@@ -1,0 +1,284 @@
+// Package repro's root benchmark harness regenerates every quantitative
+// artefact of the paper's evaluation section (see DESIGN.md's experiment
+// index): one benchmark per table plus the §8.2/§8.2.1/§8.5 measurements,
+// and micro-benchmarks for the core algorithms. Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/cluster"
+	"repro/internal/core/alloc"
+	"repro/internal/core/beam"
+	"repro/internal/core/compat"
+	"repro/internal/core/csnake"
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/inject"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/kvstore"
+	"repro/internal/systems/objstore"
+	"repro/internal/systems/stream"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+func lightConfig(seed int64) csnake.Config {
+	cfg := csnake.DefaultConfig(seed)
+	cfg.Harness = harness.Config{
+		Reps:            3,
+		DelayMagnitudes: []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second},
+	}
+	return cfg
+}
+
+// --- E1: Table 2 (static analysis inventory) ---
+
+func BenchmarkTable2_StaticAnalysis(b *testing.B) {
+	systems := []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	for i := 0; i < b.N; i++ {
+		rows, err := report.Table2(".", systems)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// --- E2: Table 3 (full campaign per system) ---
+
+func benchCampaign(b *testing.B, sys sysreg.System) {
+	for i := 0; i < b.N; i++ {
+		rep := csnake.Run(sys, lightConfig(42))
+		if rep.Space.Size() == 0 || len(rep.Runs) == 0 {
+			b.Fatal("empty campaign")
+		}
+		b.ReportMetric(float64(len(rep.Edges)), "edges")
+		b.ReportMetric(float64(len(rep.CycleClusters)), "clusters")
+		b.ReportMetric(float64(len(csnake.DetectedBugs(rep, sys.Bugs()))), "bugs")
+	}
+}
+
+func BenchmarkTable3_CampaignHDFS2(b *testing.B) { benchCampaign(b, dfs.NewV2()) }
+func BenchmarkTable3_CampaignHDFS3(b *testing.B) { benchCampaign(b, dfs.NewV3()) }
+func BenchmarkTable3_CampaignHBase(b *testing.B) { benchCampaign(b, kvstore.New()) }
+func BenchmarkTable3_CampaignFlink(b *testing.B) { benchCampaign(b, stream.New()) }
+func BenchmarkTable3_CampaignOZone(b *testing.B) { benchCampaign(b, objstore.New()) }
+
+// --- E3: Table 4 (cycle clustering, unlimited vs one-delay search) ---
+
+func BenchmarkTable4_CycleClustering(b *testing.B) {
+	art := report.RunCampaign(kvstore.New(), lightConfig(42))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row := report.Table4(art)
+		b.ReportMetric(float64(row.Cycles), "cycles")
+		b.ReportMetric(float64(row.Cycles1), "cycles_1delay")
+		b.ReportMetric(float64(row.TP), "tp")
+	}
+}
+
+// --- E4: §8.2 naive single-fault strategy ---
+
+func BenchmarkAltStrategy_Naive(b *testing.B) {
+	sys := objstore.New()
+	for i := 0; i < b.N; i++ {
+		findings := baselines.Naive(sys, baselines.NaiveConfig{Reps: 2,
+			DelayMagnitudes: []time.Duration{2 * time.Second}, BaseSeed: 42})
+		b.ReportMetric(float64(len(findings)), "findings")
+		b.ReportMetric(float64(len(baselines.DetectedByNaive(findings, sys.Bugs()))), "bugs")
+	}
+}
+
+// --- E5: §8.2 random allocation protocol ---
+
+func BenchmarkRandomAllocation(b *testing.B) {
+	sys := stream.New()
+	for i := 0; i < b.N; i++ {
+		cfg := lightConfig(43)
+		cfg.Protocol = csnake.ProtocolRandom
+		rep := csnake.Run(sys, cfg)
+		b.ReportMetric(float64(len(csnake.DetectedBugs(rep, sys.Bugs()))), "bugs")
+	}
+}
+
+// --- E6: §8.2.1 blackbox fuzzing comparison ---
+
+func BenchmarkFuzzerBaseline(b *testing.B) {
+	sys := objstore.New()
+	for i := 0; i < b.N; i++ {
+		res := baselines.Fuzz(sys, baselines.FuzzConfig{RunsPerWorkload: 2, BaseSeed: 42})
+		if len(res.BugsDetected) != 0 {
+			b.Fatal("a blackbox fuzzer cannot name causal cycles")
+		}
+		b.ReportMetric(float64(res.GenericAnomalies), "anomalies")
+	}
+}
+
+// --- E7: §8.5 instrumentation overhead ---
+
+func BenchmarkOverhead_InstrumentedProfileRun(b *testing.B) {
+	sys := dfs.NewV2()
+	driver := harness.New(sys, sysreg.Space(sys), harness.Config{Reps: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Average several paired samples per iteration: single wall-clock
+		// pairs are dominated by allocator warm-up noise.
+		var inst, bare time.Duration
+		for r := 0; r < 5; r++ {
+			di, db := driver.OverheadSample("ibr_storm", int64(i*5+r))
+			inst += di
+			bare += db
+		}
+		if bare > 0 {
+			b.ReportMetric(100*(float64(inst)/float64(bare)-1), "overhead_pct")
+		}
+	}
+}
+
+// --- micro-benchmarks for the core algorithms ---
+
+func BenchmarkSimEngine_MessageRoundTrips(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(sim.Options{Seed: int64(i)})
+		srv := eng.NewMailbox("srv", "rpc")
+		eng.Spawn("srv", "server", func(p *sim.Proc) {
+			for {
+				m, ok := p.Recv(srv, -1)
+				if !ok {
+					return
+				}
+				p.Reply(m.(sim.Req), nil, nil)
+			}
+		})
+		eng.Spawn("cli", "client", func(p *sim.Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Call(srv, j, time.Second)
+			}
+		})
+		eng.Run(time.Hour)
+		eng.Close()
+	}
+}
+
+func BenchmarkFCA_Analyze(b *testing.B) {
+	space := faults.NewSpace([]faults.Point{
+		{ID: "s.t", Kind: faults.Throw}, {ID: "s.l", Kind: faults.Loop},
+	}, nil)
+	plan := inject.Plan{Kind: inject.Exception, Target: "s.t"}
+	profile, injected := syntheticSets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fca.Analyze(space, plan, "t", profile, injected, fca.DefaultConfig())
+	}
+}
+
+func BenchmarkBeamSearch(b *testing.B) {
+	edges := syntheticEdges(120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		beam.Search(edges, nil, beam.Options{MaxLen: 6})
+	}
+}
+
+func BenchmarkIDFClustering(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	var corpus [][]faults.ID
+	for i := 0; i < 100; i++ {
+		var set []faults.ID
+		for j := 0; j < 5; j++ {
+			set = append(set, faults.ID(fmt.Sprintf("f.%d", rng.Intn(30))))
+		}
+		corpus = append(corpus, set)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idf := cluster.TrainIDF(corpus)
+		vecs := make([]cluster.Vector, len(corpus))
+		for k, set := range corpus {
+			vecs[k] = idf.Vectorize(set)
+		}
+		cluster.Hierarchical(len(vecs), func(a, c int) float64 {
+			return cluster.CosineDistance(vecs[a], vecs[c])
+		}, 0.5)
+	}
+}
+
+func BenchmarkWelchTTest(b *testing.B) {
+	x := []float64{10, 12, 11, 13, 12}
+	y := []float64{15, 17, 16, 18, 16}
+	for i := 0; i < b.N; i++ {
+		stats.TTestGreater(y, x)
+	}
+}
+
+func Benchmark3PAProtocol(b *testing.B) {
+	space := mkBenchSpace(24)
+	for i := 0; i < b.N; i++ {
+		p := &alloc.Protocol{Space: space, Rng: rand.New(rand.NewSource(int64(i)))}
+		p.Run(scriptedExecutor{})
+	}
+}
+
+// --- synthetic fixtures ---
+
+func syntheticSets() (*trace.Set, *trace.Set) {
+	profile, injected := &trace.Set{}, &trace.Set{}
+	for i := 0; i < 5; i++ {
+		pr := trace.NewRun("t", int64(i))
+		pr.LoopIters["s.l"] = 10 + i%2
+		profile.Add(pr)
+		in := trace.NewRun("t", int64(100+i))
+		in.InjFired = true
+		in.LoopIters["s.l"] = 30 + i%3
+		in.Activate("s.t", trace.Occurrence{Stack: []string{"f", "g"}})
+		injected.Add(in)
+	}
+	return profile, injected
+}
+
+func syntheticEdges(n int) []fca.Edge {
+	rng := rand.New(rand.NewSource(3))
+	var out []fca.Edge
+	for i := 0; i < n; i++ {
+		from := faults.ID(fmt.Sprintf("f.%d", rng.Intn(30)))
+		to := faults.ID(fmt.Sprintf("f.%d", rng.Intn(30)))
+		st := compat.State{Occ: []trace.Occurrence{{Stack: []string{fmt.Sprintf("fn%d", rng.Intn(4))}}}}
+		out = append(out, fca.Edge{
+			From: from, To: to, Kind: faults.EI,
+			FromClass: faults.ClassException, ToClass: faults.ClassException,
+			Test: fmt.Sprintf("t%d", rng.Intn(6)), FromState: st, ToState: st,
+		})
+	}
+	return out
+}
+
+func mkBenchSpace(n int) *faults.Space {
+	var pts []faults.Point
+	for i := 0; i < n; i++ {
+		pts = append(pts, faults.Point{ID: faults.ID(fmt.Sprintf("b.f%02d", i)), Kind: faults.Throw})
+	}
+	return faults.NewSpace(pts, nil)
+}
+
+type scriptedExecutor struct{}
+
+func (scriptedExecutor) TestsFor(f faults.ID) []alloc.TestInfo {
+	return []alloc.TestInfo{{Name: "t1", Coverage: 10}, {Name: "t2", Coverage: 8}, {Name: "t3", Coverage: 5}}
+}
+
+func (scriptedExecutor) Execute(f faults.ID, test string) []faults.ID {
+	return []faults.ID{faults.ID("x." + test)}
+}

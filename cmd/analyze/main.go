@@ -1,0 +1,33 @@
+// Command analyze runs CSnake's static analyzer over the target systems
+// and prints the Table 2 inventory (injection/monitor points and test
+// counts per system).
+//
+// Usage: analyze [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/kvstore"
+	"repro/internal/systems/objstore"
+	"repro/internal/systems/stream"
+	"repro/internal/systems/sysreg"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root containing the instrumented sources")
+	flag.Parse()
+
+	systems := []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	rows, err := report.Table2(*root, systems)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Println("Table 2: injection points, monitor points, and integration tests per system")
+	report.WriteTable2(os.Stdout, rows)
+}

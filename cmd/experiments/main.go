@@ -1,0 +1,148 @@
+// Command experiments regenerates the paper's evaluation artefacts:
+//
+//	experiments -table 2              Table 2 (static inventory)
+//	experiments -table 3              Table 3 (bugs, Alloc/Rnd/Alt columns)
+//	experiments -table 4              Table 4 (cycles/clusters/TP, 1-delay variant)
+//	experiments -fuzz                 §8.2.1 blackbox fuzzing comparison
+//	experiments -overhead             §8.5 instrumentation overhead
+//
+// By default the light (fast) execution configuration is used; pass
+// -paper for the full 5-repetition, 7-magnitude settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/core/csnake"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/kvstore"
+	"repro/internal/systems/objstore"
+	"repro/internal/systems/stream"
+	"repro/internal/systems/sysreg"
+)
+
+func allSystems() []sysreg.System {
+	return []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+}
+
+func campaignConfig(seed int64, paper bool) csnake.Config {
+	cfg := csnake.DefaultConfig(seed)
+	if !paper {
+		cfg.Harness = harness.Config{
+			Reps:            3,
+			DelayMagnitudes: []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second},
+		}
+	}
+	return cfg
+}
+
+func main() {
+	table := flag.Int("table", 0, "paper table to regenerate (2, 3, or 4)")
+	fuzz := flag.Bool("fuzz", false, "run the blackbox fuzzing comparison (§8.2.1)")
+	overhead := flag.Bool("overhead", false, "measure instrumentation overhead (§8.5)")
+	seed := flag.Int64("seed", 42, "campaign seed")
+	paper := flag.Bool("paper", false, "paper-faithful execution settings (slower)")
+	system := flag.String("system", "", "restrict to one system (hdfs2|hdfs3|hbase|flink|ozone)")
+	flag.Parse()
+
+	systems := allSystems()
+	if *system != "" {
+		systems = nil
+		for _, s := range allSystems() {
+			switch *system {
+			case "hdfs2":
+				if s.Name() == "HDFS 2" {
+					systems = append(systems, s)
+				}
+			case "hdfs3":
+				if s.Name() == "HDFS 3" {
+					systems = append(systems, s)
+				}
+			case "hbase":
+				if s.Name() == "HBase" {
+					systems = append(systems, s)
+				}
+			case "flink":
+				if s.Name() == "Flink" {
+					systems = append(systems, s)
+				}
+			case "ozone":
+				if s.Name() == "OZone" {
+					systems = append(systems, s)
+				}
+			}
+		}
+		if len(systems) == 0 {
+			log.Fatalf("unknown system %q", *system)
+		}
+	}
+
+	switch {
+	case *table == 2:
+		rows, err := report.Table2(".", systems)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Table 2: injection points, monitor points, and integration tests")
+		report.WriteTable2(os.Stdout, rows)
+
+	case *table == 3:
+		var rows []report.Table3Row
+		for _, sys := range systems {
+			fmt.Fprintf(os.Stderr, "campaign: %s...\n", sys.Name())
+			art := report.RunCampaign(sys, campaignConfig(*seed, *paper))
+			fmt.Fprintf(os.Stderr, "  %s\n", report.Summary(art))
+
+			naive := baselines.Naive(sys, baselines.NaiveConfig{BaseSeed: *seed})
+
+			rndCfg := campaignConfig(*seed+1, *paper)
+			rndCfg.Protocol = csnake.ProtocolRandom
+			rndRep := csnake.Run(sys, rndCfg)
+			rndDetected := map[string]bool{}
+			for _, id := range csnake.DetectedBugs(rndRep, sys.Bugs()) {
+				rndDetected[id] = true
+			}
+			rows = append(rows, report.Table3(art, naive, rndDetected)...)
+		}
+		fmt.Println("Table 3: self-sustaining cascading failures")
+		report.WriteTable3(os.Stdout, rows)
+
+	case *table == 4:
+		var rows []report.Table4Row
+		for _, sys := range systems {
+			fmt.Fprintf(os.Stderr, "campaign: %s...\n", sys.Name())
+			art := report.RunCampaign(sys, campaignConfig(*seed, *paper))
+			rows = append(rows, report.Table4(art))
+		}
+		fmt.Println("Table 4: cycles, clusters, true positives -- unlimited (one-delay) beam search")
+		report.WriteTable4(os.Stdout, rows)
+
+	case *fuzz:
+		fmt.Println("Blackbox nemesis fuzzing comparison (Jepsen/Blockade analogue, §8.2.1)")
+		for _, sys := range systems {
+			res := baselines.Fuzz(sys, baselines.FuzzConfig{BaseSeed: *seed})
+			fmt.Printf("%-10s runs=%d generic-anomalies=%d cascading-failures-identified=%d\n",
+				sys.Name(), res.Runs, res.GenericAnomalies, len(res.BugsDetected))
+		}
+
+	case *overhead:
+		fmt.Println("Instrumentation overhead (§8.5): monitored vs bare profile runs")
+		var rows []report.Overhead
+		for _, sys := range systems {
+			rows = append(rows, report.MeasureOverhead(sys, 3))
+		}
+		report.WriteOverhead(os.Stdout, rows)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+}

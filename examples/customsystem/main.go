@@ -1,0 +1,102 @@
+// customsystem shows how to bring your own target system to CSnake: write
+// the system against the simulator with injection hooks, declare its
+// point inventory and workloads, and hand it to a campaign. Here the
+// system is a deliberately tiny job queue with one seeded feedback bug: a
+// job that fails is re-enqueued at the FRONT of the queue, so a slow
+// worker turns one deadline miss into a permanent retry storm.
+//
+//	go run ./examples/customsystem
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core/csnake"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+)
+
+const (
+	ptWorkLoop faults.ID = "tiny.worker.loop"
+	ptJobIOE   faults.ID = "tiny.job.deadline_ioe"
+)
+
+type job struct{ deadline time.Duration }
+
+// runQueue builds the tiny system inside a workload.
+func runQueue(ctx *sysreg.RunContext, jobs int, gap time.Duration) {
+	eng, rt := ctx.Engine, ctx.RT
+	q := eng.NewMailbox("srv", "jobs")
+
+	eng.Spawn("srv", "worker", func(p *sim.Proc) {
+		defer rt.Fn(p, "worker")()
+		for {
+			m, ok := p.Recv(q, -1)
+			if !ok {
+				return
+			}
+			j := m.(job)
+			rt.Loop(p, ptWorkLoop)
+			p.Work(300 * time.Millisecond)
+			if rt.Guard(p, ptJobIOE, p.Now() > j.deadline) {
+				// The bug: a failed job is retried with a TIGHTER
+				// deadline than a fresh one, so a single miss keeps
+				// missing forever -- a self-sustaining retry storm.
+				p.Send(q, job{deadline: p.Now() + 200*time.Millisecond})
+			}
+		}
+	})
+	eng.Spawn("cli", "producer", func(p *sim.Proc) {
+		for i := 0; i < jobs; i++ {
+			p.Send(q, job{deadline: p.Now() + 2*time.Second})
+			p.Sleep(gap)
+		}
+	})
+}
+
+type tinySystem struct{}
+
+func (tinySystem) Name() string { return "TinyQueue" }
+func (tinySystem) Points() []faults.Point {
+	return []faults.Point{
+		{ID: ptWorkLoop, Kind: faults.Loop, System: "TinyQueue", Func: "worker", BodySize: 10, HasIO: true},
+		{ID: ptJobIOE, Kind: faults.Throw, System: "TinyQueue", Func: "worker"},
+	}
+}
+func (tinySystem) Nests() []faults.LoopNest { return nil }
+func (tinySystem) SourceDirs() []string     { return []string{"examples/customsystem"} }
+func (tinySystem) Workloads() []sysreg.Workload {
+	return []sysreg.Workload{
+		{Name: "burst", Desc: "a burst of jobs", Horizon: 30 * time.Second,
+			Run: func(ctx *sysreg.RunContext) { runQueue(ctx, 12, 450*time.Millisecond) }},
+		{Name: "trickle", Desc: "a slow trickle", Horizon: 30 * time.Second,
+			Run: func(ctx *sysreg.RunContext) { runQueue(ctx, 6, 2*time.Second) }},
+	}
+}
+func (tinySystem) Bugs() []sysreg.Bug {
+	return []sysreg.Bug{{
+		ID: "TINY-1", Title: "Front-of-queue retry",
+		CoreFaults: []faults.ID{ptWorkLoop, ptJobIOE},
+		Delays:     1, Exceptions: 1, SingleTest: true,
+	}}
+}
+
+func main() {
+	sys := tinySystem{}
+	cfg := csnake.DefaultConfig(7)
+	cfg.Harness = harness.Config{
+		Reps:            3,
+		DelayMagnitudes: []time.Duration{200 * time.Millisecond, time.Second},
+	}
+	rep := csnake.Run(sys, cfg)
+	fmt.Printf("fault space %d, edges %d, cycles %d\n", rep.Space.Size(), len(rep.Edges), len(rep.Cycles))
+	for _, cy := range rep.Cycles {
+		fmt.Printf("  cycle: %s\n", cy)
+	}
+	fmt.Printf("detected: %v\n", csnake.DetectedBugs(rep, sys.Bugs()))
+	_ = inject.Profile() // the inject package is part of the public hook surface
+}

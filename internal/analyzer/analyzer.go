@@ -1,0 +1,303 @@
+// Package analyzer is CSnake's static analyzer (§3 step 1), rebuilt for Go
+// source instead of Java bytecode: it parses the instrumented target
+// system packages with go/ast, finds every injection/monitor hook call
+// (Guard, Err, Negate, Loop, Branch), resolves the point identifiers from
+// the package's constant declarations, records the enclosing function and
+// whether the hook sits inside a for-statement, and cross-checks the
+// registered point inventory. Its output drives Table 2 and validates
+// that the declared fault space matches the code.
+package analyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/faults"
+)
+
+// HookKind classifies a hook call site.
+type HookKind int
+
+const (
+	HookGuard HookKind = iota // Guard or Err: exception injection points
+	HookNegate
+	HookLoop
+	HookBranch
+	HookFn
+)
+
+func (k HookKind) String() string {
+	switch k {
+	case HookGuard:
+		return "guard"
+	case HookNegate:
+		return "negate"
+	case HookLoop:
+		return "loop"
+	case HookBranch:
+		return "branch"
+	case HookFn:
+		return "fn"
+	default:
+		return fmt.Sprintf("HookKind(%d)", int(k))
+	}
+}
+
+// Site is one hook call discovered in the source.
+type Site struct {
+	Kind HookKind
+	// ID is the resolved point identifier ("" when the argument is not a
+	// resolvable constant).
+	ID faults.ID
+	// Func is the enclosing Go function or method name.
+	Func string
+	// InFor reports whether the call is lexically inside a for statement
+	// (loop hooks outside any for statement are suspicious).
+	InFor bool
+	Pos   token.Position
+}
+
+// Inventory is the analysis result for one system.
+type Inventory struct {
+	Sites []Site
+	// Consts maps constant names to their resolved point ids.
+	Consts map[string]faults.ID
+}
+
+// Analyze parses the Go packages under the given directories (relative to
+// root) and extracts the hook inventory.
+func Analyze(root string, dirs []string) (*Inventory, error) {
+	inv := &Inventory{Consts: make(map[string]faults.ID)}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, dir := range dirs {
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, dir), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer: %w", err)
+		}
+		names := make([]string, 0, len(pkgs))
+		for name := range pkgs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fileNames := make([]string, 0, len(pkgs[name].Files))
+			for fn := range pkgs[name].Files {
+				fileNames = append(fileNames, fn)
+			}
+			sort.Strings(fileNames)
+			for _, fn := range fileNames {
+				if strings.HasSuffix(fn, "_test.go") {
+					continue
+				}
+				files = append(files, pkgs[name].Files[fn])
+			}
+		}
+	}
+	for _, f := range files {
+		inv.collectConsts(f)
+	}
+	for _, f := range files {
+		inv.collectSites(fset, f)
+	}
+	return inv, nil
+}
+
+// collectConsts resolves `const Pt... faults.ID = "..."` declarations.
+func (inv *Inventory) collectConsts(f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					val := strings.Trim(lit.Value, `"`)
+					inv.Consts[name.Name] = faults.ID(val)
+				}
+			}
+		}
+	}
+}
+
+// hookOf maps a selector method name to a hook kind; ok is false for
+// non-hook calls.
+func hookOf(name string) (HookKind, bool) {
+	switch name {
+	case "Guard", "Err":
+		return HookGuard, true
+	case "Negate":
+		return HookNegate, true
+	case "Loop":
+		return HookLoop, true
+	case "Branch":
+		return HookBranch, true
+	case "Fn":
+		return HookFn, true
+	}
+	return 0, false
+}
+
+// collectSites walks function bodies recording hook calls.
+func (inv *Inventory) collectSites(fset *token.FileSet, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		inv.walk(fset, fd.Name.Name, fd.Body, false)
+	}
+}
+
+func (inv *Inventory) walk(fset *token.FileSet, fn string, node ast.Node, inFor bool) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt:
+			if x.Body != nil {
+				inv.walk(fset, fn, x.Body, true)
+			}
+			// Init/Cond/Post still walked without the loop flag.
+			return false
+		case *ast.RangeStmt:
+			if x.Body != nil {
+				inv.walk(fset, fn, x.Body, true)
+			}
+			return false
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, isHook := hookOf(sel.Sel.Name)
+			if !isHook {
+				return true
+			}
+			site := Site{Kind: kind, Func: fn, InFor: inFor, Pos: fset.Position(x.Pos())}
+			// Hook signatures put the point id as the second argument
+			// (after the *sim.Proc); Fn takes a plain string.
+			if kind != HookFn && len(x.Args) >= 2 {
+				site.ID = inv.resolveID(x.Args[1])
+			}
+			inv.Sites = append(inv.Sites, site)
+			return true
+		}
+		return true
+	})
+}
+
+// resolveID maps an identifier or selector argument to a constant value.
+func (inv *Inventory) resolveID(arg ast.Expr) faults.ID {
+	switch a := arg.(type) {
+	case *ast.Ident:
+		return inv.Consts[a.Name]
+	case *ast.SelectorExpr:
+		return inv.Consts[a.Sel.Name]
+	case *ast.BasicLit:
+		if a.Kind == token.STRING {
+			return faults.ID(strings.Trim(a.Value, `"`))
+		}
+	}
+	return ""
+}
+
+// PointIDs returns the distinct resolved point ids per hook kind.
+func (inv *Inventory) PointIDs(kind HookKind) []faults.ID {
+	seen := make(map[faults.ID]bool)
+	for _, s := range inv.Sites {
+		if s.Kind == kind && s.ID != "" {
+			seen[s.ID] = true
+		}
+	}
+	out := make([]faults.ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Counts summarises the inventory for Table 2.
+type Counts struct {
+	Loops      int
+	Exceptions int
+	Negations  int
+	Branches   int
+	Hooks      int
+}
+
+// Count computes Table 2-style totals from the distinct point ids.
+func (inv *Inventory) Count() Counts {
+	return Counts{
+		Loops:      len(inv.PointIDs(HookLoop)),
+		Exceptions: len(inv.PointIDs(HookGuard)),
+		Negations:  len(inv.PointIDs(HookNegate)),
+		Branches:   len(inv.PointIDs(HookBranch)),
+		Hooks:      len(inv.Sites),
+	}
+}
+
+// CrossCheck verifies the registered point inventory against the source:
+// every registered point of an instrumentable kind must appear in exactly
+// the matching hook calls, and vice versa. It returns human-readable
+// discrepancies (empty means clean).
+func (inv *Inventory) CrossCheck(points []faults.Point) []string {
+	var problems []string
+	fromSrc := map[faults.ID]HookKind{}
+	for _, s := range inv.Sites {
+		if s.ID != "" && s.Kind != HookBranch && s.Kind != HookFn {
+			fromSrc[s.ID] = s.Kind
+		}
+	}
+	for _, pt := range points {
+		want := HookGuard
+		switch pt.Kind {
+		case faults.Negation:
+			want = HookNegate
+		case faults.Loop:
+			want = HookLoop
+		}
+		got, ok := fromSrc[pt.ID]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("registered point %s has no hook in source", pt.ID))
+			continue
+		}
+		if got != want {
+			problems = append(problems, fmt.Sprintf("point %s: registered as %v but hooked as %v", pt.ID, pt.Kind, got))
+		}
+		delete(fromSrc, pt.ID)
+	}
+	ids := make([]string, 0, len(fromSrc))
+	for id := range fromSrc {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		problems = append(problems, fmt.Sprintf("hooked point %s is not registered", id))
+	}
+	return problems
+}
+
+// LoopHooksOutsideFor lists loop hooks not lexically inside a for
+// statement (usually an instrumentation mistake).
+func (inv *Inventory) LoopHooksOutsideFor() []Site {
+	var out []Site
+	for _, s := range inv.Sites {
+		if s.Kind == HookLoop && !s.InFor {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package analyzer
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/kvstore"
+	"repro/internal/systems/objstore"
+	"repro/internal/systems/stream"
+	"repro/internal/systems/sysreg"
+)
+
+// repoRoot locates the module root from this test file's position.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..")
+}
+
+func analyzeSys(t *testing.T, sys sysreg.System) *Inventory {
+	t.Helper()
+	inv, err := Analyze(repoRoot(t), sys.SourceDirs())
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", sys.Name(), err)
+	}
+	return inv
+}
+
+func TestCrossCheckAllSystems(t *testing.T) {
+	// The declared point inventory of every target system must match the
+	// hooks found in its source, point for point.
+	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	for _, sys := range systems {
+		inv := analyzeSys(t, sys)
+		if problems := inv.CrossCheck(sys.Points()); len(problems) != 0 {
+			for _, p := range problems {
+				t.Errorf("%s: %s", sys.Name(), p)
+			}
+		}
+	}
+}
+
+func TestDFSInventoryCounts(t *testing.T) {
+	inv := analyzeSys(t, dfs.NewV3())
+	c := inv.Count()
+	if c.Loops < 14 {
+		t.Errorf("loops = %d, want >= 14", c.Loops)
+	}
+	if c.Exceptions < 12 {
+		t.Errorf("exceptions = %d, want >= 12", c.Exceptions)
+	}
+	if c.Negations < 6 {
+		t.Errorf("negations = %d, want >= 6", c.Negations)
+	}
+	if c.Hooks < c.Loops+c.Exceptions+c.Negations {
+		t.Errorf("hooks = %d, implausibly low", c.Hooks)
+	}
+}
+
+func TestLoopHooksSitInsideForStatements(t *testing.T) {
+	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	for _, sys := range systems {
+		inv := analyzeSys(t, sys)
+		for _, s := range inv.LoopHooksOutsideFor() {
+			t.Errorf("%s: loop hook %s at %s is not inside a for statement", sys.Name(), s.ID, s.Pos)
+		}
+	}
+}
+
+func TestConstResolution(t *testing.T) {
+	inv := analyzeSys(t, dfs.NewV2())
+	if got := inv.Consts["PtDNIBRRPCIOE"]; got != "dfs.dn.ibr.rpc_ioe" {
+		t.Errorf("const resolution = %q", got)
+	}
+	for _, s := range inv.Sites {
+		if s.Kind != HookFn && s.ID == "" {
+			t.Errorf("unresolved hook id at %s (%v in %s)", s.Pos, s.Kind, s.Func)
+		}
+	}
+}
+
+func TestAnalyzeMissingDir(t *testing.T) {
+	if _, err := Analyze(repoRoot(t), []string{"internal/does/not/exist"}); err == nil {
+		t.Fatal("want error for missing directory")
+	}
+}

@@ -1,0 +1,57 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/systems/objstore"
+	"repro/internal/systems/stream"
+	"repro/internal/systems/sysreg"
+)
+
+func TestNaiveFindsSingleTestBugOnly(t *testing.T) {
+	sys := objstore.New()
+	findings := Naive(sys, NaiveConfig{
+		Reps:            2,
+		DelayMagnitudes: []time.Duration{2 * time.Second},
+		BaseSeed:        42,
+	})
+	bugs := DetectedByNaive(findings, sys.Bugs())
+	got := map[string]bool{}
+	for _, b := range bugs {
+		got[b] = true
+	}
+	// The strategy sees single faults in single workloads; bugs flagged
+	// SingleTest should dominate its catches. OZONE-2's heartbeat loop
+	// and OZONE-3's quarantine storm self-sustain in one test.
+	if len(findings) == 0 {
+		t.Fatal("naive strategy found nothing at all")
+	}
+	for _, b := range sys.Bugs() {
+		if b.SingleTest && !got[b.ID] {
+			t.Errorf("single-test bug %s missed by the naive strategy (findings %v)", b.ID, findings)
+		}
+	}
+}
+
+func TestDetectedByNaiveMapping(t *testing.T) {
+	bugs := []sysreg.Bug{
+		{ID: "B1", CoreFaults: []faults.ID{"f.a", "f.b"}},
+		{ID: "B2", CoreFaults: []faults.ID{"f.c"}},
+	}
+	got := DetectedByNaive([]NaiveFinding{{Fault: "f.b", Test: "t"}}, bugs)
+	if len(got) != 1 || got[0] != "B1" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFuzzIdentifiesNoCascades(t *testing.T) {
+	res := Fuzz(stream.New(), FuzzConfig{RunsPerWorkload: 2, BaseSeed: 42})
+	if res.Runs == 0 {
+		t.Fatal("no fuzz runs")
+	}
+	if len(res.BugsDetected) != 0 {
+		t.Fatalf("a blackbox fuzzer cannot identify causal cycles, got %v", res.BugsDetected)
+	}
+}

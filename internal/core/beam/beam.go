@@ -1,0 +1,206 @@
+// Package beam implements CSnake's parallel beam search for
+// self-sustaining cascading failures (§6.3, Algorithm 1) and the reported
+// cycle clustering.
+//
+// Starting from all discovered causal edges as length-1 propagation
+// chains, each search level appends every matching edge to every active
+// chain, keeping the best B chains ranked by the mean intra-cluster
+// interference similarity score of the injected faults involved (lower is
+// better: such chains involve conditional error-handling logic). A chain
+// whose last edge matches its first edge is a cycle: a fault that causes
+// itself through a chain of compatible causal relationships.
+package beam
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+)
+
+// Options tunes the search.
+type Options struct {
+	// BeamSize is the number of active chains kept per level (paper: 5M;
+	// default here 100k, ample for simulator-scale fault spaces).
+	BeamSize int
+	// MaxLen caps chain length as a safety valve (default 8).
+	MaxLen int
+	// MaxDelayInjections bounds the number of distinct delay injections
+	// per cycle; Table 4's parenthesised variant uses 1. Zero or negative
+	// means unlimited (the zero value is the paper's default search).
+	MaxDelayInjections int
+	// Workers sets the parallel expansion width (default GOMAXPROCS).
+	Workers int
+	// NestGroups maps loop faults to their loop-nest family. Cycles whose
+	// faults all live inside one nest family are structural artifacts
+	// (a child loop trivially "delays" its own parent) and are dropped.
+	NestGroups map[faults.ID]int
+}
+
+func (o *Options) defaults() {
+	if o.BeamSize == 0 {
+		o.BeamSize = 100_000
+	}
+	if o.MaxLen == 0 {
+		o.MaxLen = 8
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxDelayInjections <= 0 {
+		o.MaxDelayInjections = -1
+	}
+}
+
+// Cycle is one reported self-sustaining cascading failure.
+type Cycle struct {
+	Edges []fca.Edge
+	// Score is the chain ranking score: mean SimScore of the injected
+	// faults' clusters (lower = more conditional behaviour involved).
+	Score float64
+}
+
+// Faults returns the distinct injected faults (edge sources of
+// dynamically-discovered edges) in cycle order.
+func (c Cycle) Faults() []faults.ID {
+	var out []faults.ID
+	seen := make(map[faults.ID]bool)
+	for _, e := range c.Edges {
+		if e.Kind == faults.ICFG || e.Kind == faults.CFG {
+			continue // static connectors are not injections
+		}
+		if !seen[e.From] {
+			seen[e.From] = true
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Composition counts the injected faults by class: the Table 3 "Cycle"
+// column (xD | yE | zN).
+func (c Cycle) Composition() (delays, exceptions, negations int) {
+	seen := make(map[faults.ID]bool)
+	for _, e := range c.Edges {
+		if e.Kind == faults.ICFG || e.Kind == faults.CFG || seen[e.From] {
+			continue
+		}
+		seen[e.From] = true
+		switch e.FromClass {
+		case faults.ClassDelay:
+			delays++
+		case faults.ClassNegation:
+			negations++
+		default:
+			exceptions++
+		}
+	}
+	return
+}
+
+// String renders the cycle as f1 -kind-> f2 -kind-> ... -> f1.
+func (c Cycle) String() string {
+	var b strings.Builder
+	for i, e := range c.Edges {
+		if i == 0 {
+			fmt.Fprintf(&b, "%s", e.From)
+		}
+		fmt.Fprintf(&b, " -%v-> %s", e.Kind, e.To)
+	}
+	return b.String()
+}
+
+// Signature returns a rotation-invariant identity so the same cycle found
+// from different starting edges deduplicates.
+func (c Cycle) Signature() string {
+	parts := make([]string, len(c.Edges))
+	for i, e := range c.Edges {
+		parts[i] = fmt.Sprintf("%s-%v-%s", e.From, e.Kind, e.Test)
+	}
+	return minRotation(parts)
+}
+
+func minRotation(parts []string) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	best := ""
+	for r := 0; r < len(parts); r++ {
+		var b strings.Builder
+		for i := 0; i < len(parts); i++ {
+			b.WriteString(parts[(r+i)%len(parts)])
+			b.WriteByte('|')
+		}
+		if s := b.String(); best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Search runs the parallel beam search over all causal edges. simScoreOf
+// maps an injected fault to its cluster's SimScore (§5.2); use a constant
+// function when scores are unavailable.
+//
+// The implementation (engine.go) preprocesses edges into canonical state
+// keys and a From-fault index: Algorithm 1's match() then costs a sorted
+// set intersection instead of re-deriving state strings, and chains are
+// index vectors that never repeat an edge (a repeated edge only
+// re-traverses an already-reported sub-cycle).
+func Search(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+	opt.defaults()
+	if simScoreOf == nil {
+		simScoreOf = func(faults.ID) float64 { return 1 }
+	}
+	return searchFast(edges, simScoreOf, opt)
+}
+
+// CycleCluster groups equivalent reported cycles: cycles whose injected
+// faults come from the same causally-equivalent fault clusters are likely
+// the same bug (§6.3 "Clustering Reported Cycles").
+type CycleCluster struct {
+	// Key is the sorted multiset of fault-cluster indices.
+	Key string
+	// Cycles are the member cycles, best score first.
+	Cycles []Cycle
+}
+
+// ClusterCycles groups cycles by the fault clusters involved. clusterOf
+// maps a fault to its cluster index; faults never clustered map to -1 and
+// are distinguished by their own id.
+func ClusterCycles(cycles []Cycle, clusterOf func(faults.ID) (int, bool)) []CycleCluster {
+	byKey := make(map[string][]Cycle)
+	for _, cy := range cycles {
+		var parts []string
+		for _, f := range cy.Faults() {
+			if gi, ok := clusterOf(f); ok {
+				parts = append(parts, fmt.Sprintf("g%d", gi))
+			} else {
+				parts = append(parts, string(f))
+			}
+		}
+		sort.Strings(parts)
+		key := strings.Join(parts, ",")
+		byKey[key] = append(byKey[key], cy)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]CycleCluster, 0, len(keys))
+	for _, k := range keys {
+		cs := byKey[k]
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Score != cs[j].Score {
+				return cs[i].Score < cs[j].Score
+			}
+			return cs[i].Signature() < cs[j].Signature()
+		})
+		out = append(out, CycleCluster{Key: k, Cycles: cs})
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package beam
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core/compat"
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+)
+
+// matcher is the preprocessed search index: per-edge canonical state keys
+// (computed once, instead of rebuilding strings on every match), plus a
+// From-fault index so expansion only scans plausible successors.
+type matcher struct {
+	edges  []fca.Edge
+	byFrom map[faults.ID][]int
+
+	fromStack [][]string // sorted stack-only keys of FromState
+	fromFull  [][]string // sorted stack|branch keys of FromState
+	toStack   [][]string
+	toFull    [][]string
+	fromDelay []bool
+	toDelay   []bool
+	scores    []float64 // SimScore of the injected fault (From)
+	connector []bool    // ICFG/CFG edges (not injections)
+}
+
+func newMatcher(edges []fca.Edge, simScoreOf func(faults.ID) float64) *matcher {
+	m := &matcher{
+		edges:     edges,
+		byFrom:    make(map[faults.ID][]int),
+		fromStack: make([][]string, len(edges)),
+		fromFull:  make([][]string, len(edges)),
+		toStack:   make([][]string, len(edges)),
+		toFull:    make([][]string, len(edges)),
+		fromDelay: make([]bool, len(edges)),
+		toDelay:   make([]bool, len(edges)),
+		scores:    make([]float64, len(edges)),
+		connector: make([]bool, len(edges)),
+	}
+	for i, e := range edges {
+		m.byFrom[e.From] = append(m.byFrom[e.From], i)
+		m.fromStack[i], m.fromFull[i] = stateKeys(e.FromState)
+		m.toStack[i], m.toFull[i] = stateKeys(e.ToState)
+		m.fromDelay[i] = e.FromState.DelayFault
+		m.toDelay[i] = e.ToState.DelayFault
+		m.scores[i] = simScoreOf(e.From)
+		m.connector[i] = e.Kind == faults.ICFG || e.Kind == faults.CFG
+	}
+	return m
+}
+
+// stateKeys canonicalises a compat.State into sorted stack-only and
+// stack+branch key sets.
+func stateKeys(s compat.State) (stack, full []string) {
+	ss := make(map[string]bool, len(s.Occ))
+	fs := make(map[string]bool, len(s.Occ))
+	for _, o := range s.Occ {
+		sk := strings.Join(o.Stack, ">")
+		ss[sk] = true
+		var b strings.Builder
+		b.WriteString(sk)
+		b.WriteByte('|')
+		for _, be := range o.Branches {
+			b.WriteString(be.ID)
+			if be.Taken {
+				b.WriteString("=T;")
+			} else {
+				b.WriteString("=F;")
+			}
+		}
+		fs[b.String()] = true
+	}
+	return sortedKeys(ss), sortedKeys(fs)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// intersects reports whether two sorted string sets share an element.
+func intersects(a, b []string) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// matchIdx implements Algorithm 1's match over preprocessed edges i -> j.
+func (m *matcher) matchIdx(i, j int) bool {
+	e1, e2 := &m.edges[i], &m.edges[j]
+	if e1.To != e2.From || e1.ToClass != e2.FromClass {
+		return false
+	}
+	// Connector sequencing per §6.1: an ICFG (child->parent) edge may be
+	// followed by a CFG (parent->sibling) edge or by a dynamic edge; two
+	// like connectors in a row only walk the static nest without any
+	// dynamic evidence.
+	if e1.Kind == faults.ICFG && e2.Kind == faults.ICFG {
+		return false
+	}
+	if e1.Kind == faults.CFG && (e2.Kind == faults.CFG || e2.Kind == faults.ICFG) {
+		return false
+	}
+	switch e2.Kind {
+	case faults.ED, faults.SD, faults.ICFG, faults.CFG:
+		if e1.ToClass != faults.ClassDelay {
+			return false
+		}
+	case faults.EI, faults.SI:
+		if e1.ToClass == faults.ClassDelay {
+			return false
+		}
+	}
+	// Local compatibility: missing evidence passes; delay faults compare
+	// stacks only.
+	toS, toF := m.toStack[i], m.toFull[i]
+	fromS, fromF := m.fromStack[j], m.fromFull[j]
+	if len(toS) == 0 || len(fromS) == 0 {
+		return true
+	}
+	if m.toDelay[i] || m.fromDelay[j] {
+		return intersects(toS, fromS)
+	}
+	return intersects(toF, fromF)
+}
+
+// ichain is the compact chain representation: indices into the edge slice.
+type ichain struct {
+	idx      []int
+	score    float64
+	injs     int
+	delayInj uint8 // count of distinct delay injections
+}
+
+func (m *matcher) meanScore(c *ichain) float64 {
+	if c.injs == 0 {
+		return 1
+	}
+	return c.score / float64(c.injs)
+}
+
+// contains reports whether the chain already uses edge j (chains never
+// repeat an edge: a repeated edge only re-traverses an already-found
+// sub-cycle).
+func (c *ichain) contains(j int) bool {
+	for _, k := range c.idx {
+		if k == j {
+			return true
+		}
+	}
+	return false
+}
+
+// countsDelay reports whether appending edge j adds a NEW distinct delay
+// injection.
+func (m *matcher) countsDelay(c *ichain, j int) bool {
+	if m.connector[j] || m.edges[j].FromClass != faults.ClassDelay {
+		return false
+	}
+	from := m.edges[j].From
+	for _, k := range c.idx {
+		if !m.connector[k] && m.edges[k].From == from {
+			return false
+		}
+	}
+	return true
+}
+
+// searchFast is the optimized parallel beam search engine behind Search.
+func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+	m := newMatcher(edges, simScoreOf)
+
+	mkChain := func(i int) ichain {
+		c := ichain{idx: []int{i}}
+		if !m.connector[i] {
+			c.injs = 1
+			c.score = m.scores[i]
+			if m.edges[i].FromClass == faults.ClassDelay {
+				c.delayInj = 1
+			}
+		}
+		return c
+	}
+
+	var (
+		mu     sync.Mutex
+		seen   = map[string]bool{}
+		cycles []Cycle
+	)
+	addCycle := func(c *ichain) {
+		cy := Cycle{Edges: make([]fca.Edge, len(c.idx)), Score: m.meanScore(c)}
+		for i, k := range c.idx {
+			cy.Edges[i] = edges[k]
+		}
+		if oneNestFamily(cy, opt.NestGroups) {
+			return
+		}
+		sig := cy.Signature()
+		mu.Lock()
+		if !seen[sig] {
+			seen[sig] = true
+			cycles = append(cycles, cy)
+		}
+		mu.Unlock()
+	}
+
+	queue := make([]ichain, 0, len(edges))
+	for i := range edges {
+		c := mkChain(i)
+		if opt.MaxDelayInjections >= 0 && int(c.delayInj) > opt.MaxDelayInjections {
+			continue
+		}
+		if m.matchIdx(i, i) {
+			addCycle(&c)
+		}
+		queue = append(queue, c)
+	}
+
+	for level := 1; level < opt.MaxLen && len(queue) > 0; level++ {
+		next := m.expand(queue, opt, addCycle)
+		sort.Slice(next, func(a, b int) bool {
+			sa, sb := m.meanScore(&next[a]), m.meanScore(&next[b])
+			if sa != sb {
+				return sa < sb
+			}
+			return lessIdx(next[a].idx, next[b].idx)
+		})
+		if len(next) > opt.BeamSize {
+			next = next[:opt.BeamSize]
+		}
+		queue = next
+	}
+
+	sort.Slice(cycles, func(i, j int) bool {
+		if cycles[i].Score != cycles[j].Score {
+			return cycles[i].Score < cycles[j].Score
+		}
+		return cycles[i].Signature() < cycles[j].Signature()
+	})
+	return cycles
+}
+
+// oneNestFamily reports whether every fault touched by the cycle belongs
+// to a single loop-nest family: such "cycles" merely restate that a nested
+// loop shares fate with its parent.
+func oneNestFamily(cy Cycle, groups map[faults.ID]int) bool {
+	if len(groups) == 0 {
+		return false
+	}
+	family := -1
+	for _, e := range cy.Edges {
+		for _, f := range []faults.ID{e.From, e.To} {
+			g, ok := groups[f]
+			if !ok {
+				return false // a fault outside any nest: real cycle
+			}
+			if family == -1 {
+				family = g
+			} else if family != g {
+				return false
+			}
+		}
+	}
+	return family != -1
+}
+
+func lessIdx(a, b []int) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func (m *matcher) expand(queue []ichain, opt Options, addCycle func(*ichain)) []ichain {
+	shards := opt.Workers
+	if shards > len(queue) {
+		shards = len(queue)
+	}
+	if shards == 0 {
+		return nil
+	}
+	results := make([][]ichain, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []ichain
+			for qi := w; qi < len(queue); qi += shards {
+				c := &queue[qi]
+				last := c.idx[len(c.idx)-1]
+				for _, j := range m.byFrom[m.edges[last].To] {
+					if c.contains(j) || !m.matchIdx(last, j) {
+						continue
+					}
+					nd := c.delayInj
+					if m.countsDelay(c, j) {
+						nd++
+					}
+					if opt.MaxDelayInjections >= 0 && int(nd) > opt.MaxDelayInjections {
+						continue
+					}
+					nc := ichain{
+						idx:      append(append(make([]int, 0, len(c.idx)+1), c.idx...), j),
+						score:    c.score,
+						injs:     c.injs,
+						delayInj: nd,
+					}
+					if !m.connector[j] {
+						nc.injs++
+						nc.score += m.scores[j]
+					}
+					if m.matchIdx(j, nc.idx[0]) {
+						addCycle(&nc)
+					} else {
+						local = append(local, nc)
+					}
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var next []ichain
+	for _, r := range results {
+		next = append(next, r...)
+	}
+	return next
+}

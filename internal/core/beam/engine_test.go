@@ -1,0 +1,122 @@
+package beam
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core/compat"
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+func TestIntersects(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want bool
+	}{
+		{nil, nil, false},
+		{[]string{"a"}, nil, false},
+		{[]string{"a", "c"}, []string{"b", "c"}, true},
+		{[]string{"a", "b"}, []string{"c", "d"}, false},
+		{[]string{"x"}, []string{"x"}, true},
+	}
+	for _, c := range cases {
+		if got := intersects(c.a, c.b); got != c.want {
+			t.Errorf("intersects(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestIntersectsCommutativeProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		mk := func(xs []uint8) []string {
+			m := map[string]bool{}
+			for _, x := range xs {
+				m[string(rune('a'+x%16))] = true
+			}
+			return sortedKeys(m)
+		}
+		sa, sb := mk(a), mk(b)
+		return intersects(sa, sb) == intersects(sb, sa)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateKeysDelayVsFull(t *testing.T) {
+	s := compat.State{Occ: []trace.Occurrence{
+		{Stack: []string{"f", "g"}, Branches: nil},
+		{Stack: []string{"f", "g"}},
+	}}
+	stack, full := stateKeys(s)
+	if len(stack) != 1 {
+		t.Fatalf("stack keys = %v, want deduplicated", stack)
+	}
+	if len(full) != 1 {
+		t.Fatalf("full keys = %v", full)
+	}
+}
+
+func TestConnectorSequencingRules(t *testing.T) {
+	mk := func(from, to faults.ID, kind faults.EdgeKind) fca.Edge {
+		return fca.Edge{From: from, To: to, Kind: kind,
+			FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+			FromState: compat.State{DelayFault: true}, ToState: compat.State{DelayFault: true}}
+	}
+	m := newMatcher([]fca.Edge{
+		mk("a", "b", faults.ICFG), // 0
+		mk("b", "c", faults.ICFG), // 1
+		mk("b", "c", faults.CFG),  // 2
+		mk("c", "d", faults.CFG),  // 3
+		mk("c", "d", faults.SD),   // 4
+	}, func(faults.ID) float64 { return 1 })
+	if m.matchIdx(0, 1) {
+		t.Error("ICFG -> ICFG must not chain")
+	}
+	if !m.matchIdx(0, 2) {
+		t.Error("ICFG -> CFG must chain (pattern 2b)")
+	}
+	if m.matchIdx(2, 3) {
+		t.Error("CFG -> CFG must not chain")
+	}
+	if !m.matchIdx(2, 4) {
+		t.Error("CFG -> dynamic S+(D) must chain")
+	}
+}
+
+func TestOneNestFamilyFilter(t *testing.T) {
+	groups := map[faults.ID]int{"p": 0, "c1": 0, "c2": 0}
+	mk := func(from, to faults.ID, kind faults.EdgeKind) fca.Edge {
+		return fca.Edge{From: from, To: to, Kind: kind,
+			FromClass: faults.ClassDelay, ToClass: faults.ClassDelay}
+	}
+	inNest := Cycle{Edges: []fca.Edge{mk("p", "c1", faults.SD), mk("c1", "p", faults.ICFG)}}
+	if !oneNestFamily(inNest, groups) {
+		t.Error("pure nest-family cycle must be filtered")
+	}
+	crossing := Cycle{Edges: []fca.Edge{mk("p", "x", faults.SD), mk("x", "p", faults.SD)}}
+	if oneNestFamily(crossing, groups) {
+		t.Error("cycle leaving the nest must be kept")
+	}
+	if oneNestFamily(inNest, nil) {
+		t.Error("no nest info means no filtering")
+	}
+}
+
+func TestCountsDelayDistinct(t *testing.T) {
+	edges := []fca.Edge{
+		{From: "l1", To: "x", Kind: faults.SD, FromClass: faults.ClassDelay, ToClass: faults.ClassDelay},
+		{From: "l1", To: "y", Kind: faults.ED, FromClass: faults.ClassDelay, ToClass: faults.ClassException},
+		{From: "l2", To: "z", Kind: faults.SD, FromClass: faults.ClassDelay, ToClass: faults.ClassDelay},
+	}
+	m := newMatcher(edges, func(faults.ID) float64 { return 1 })
+	c := &ichain{idx: []int{0}}
+	if m.countsDelay(c, 1) {
+		t.Error("same delay fault must not count twice")
+	}
+	if !m.countsDelay(c, 2) {
+		t.Error("a new delay fault must count")
+	}
+}

@@ -1,0 +1,97 @@
+// Package compat implements CSnake's local compatibility check (§6.2).
+//
+// A full path-constraint satisfiability check would require symbolic
+// execution; CSnake instead approximates the activation condition of a
+// fault by (1) the local execution trace -- branch statements and their
+// outcomes within the fault's enclosing loop iteration or function -- and
+// (2) the two innermost call-stack frames (2-call-site sensitivity).
+// Two causal relationships discovered in different tests may be stitched
+// through a common fault f2 only when f2's local state in both tests
+// matches.
+package compat
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// State is the approximated activation condition of one fault in one
+// test: the set of occurrence states observed for it (capped by
+// trace.OccCap). For delay (loop) faults only calling context is
+// available, mirroring the paper's conservative any-iteration rule.
+type State struct {
+	Occ []trace.Occurrence
+	// DelayFault marks loop faults, for which only call stacks are
+	// compared.
+	DelayFault bool
+}
+
+// Empty reports whether the state carries no occurrence evidence.
+func (s State) Empty() bool { return len(s.Occ) == 0 }
+
+// stackKey canonicalises a 2-level call stack.
+func stackKey(stack []string) string { return strings.Join(stack, ">") }
+
+// branchKey canonicalises a local branch trace.
+func branchKey(bs []sim.BranchEval) string {
+	var b strings.Builder
+	for _, e := range bs {
+		b.WriteString(e.ID)
+		if e.Taken {
+			b.WriteString("=T;")
+		} else {
+			b.WriteString("=F;")
+		}
+	}
+	return b.String()
+}
+
+// Keys returns the canonical (stack, branch-trace) keys of a state. For
+// delay faults branch traces are ignored.
+func (s State) Keys() []string {
+	seen := make(map[string]bool, len(s.Occ))
+	for _, o := range s.Occ {
+		k := stackKey(o.Stack)
+		if !s.DelayFault {
+			k += "|" + branchKey(o.Branches)
+		}
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compatible reports whether two states of the same fault, observed in
+// different tests, approximate compatible activation conditions: some
+// occurrence pair must agree on the 2-level call stack and -- unless
+// either side is a delay fault -- on the local branch trace of the
+// fault-happening iteration.
+//
+// Missing evidence is treated permissively: static ICFG/CFG edges and
+// faults whose states were not captured always pass, matching the paper's
+// aim of *eliminating* clearly-incompatible stitchings rather than proving
+// compatibility.
+func Compatible(a, b State) bool {
+	if a.Empty() || b.Empty() {
+		return true
+	}
+	stacksOnly := a.DelayFault || b.DelayFault
+	for _, oa := range a.Occ {
+		for _, ob := range b.Occ {
+			if stackKey(oa.Stack) != stackKey(ob.Stack) {
+				continue
+			}
+			if stacksOnly || branchKey(oa.Branches) == branchKey(ob.Branches) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package compat
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func occ(stack []string, branches ...sim.BranchEval) trace.Occurrence {
+	return trace.Occurrence{Stack: stack, Branches: branches}
+}
+
+func be(id string, taken bool) sim.BranchEval { return sim.BranchEval{ID: id, Taken: taken} }
+
+func TestCompatibleIdenticalStates(t *testing.T) {
+	a := State{Occ: []trace.Occurrence{occ([]string{"BlockReceiver", "createTmp"}, be("b1", true))}}
+	b := State{Occ: []trace.Occurrence{occ([]string{"BlockReceiver", "createTmp"}, be("b1", true))}}
+	if !Compatible(a, b) {
+		t.Fatal("identical states should be compatible")
+	}
+}
+
+func TestIncompatibleBranchOutcomes(t *testing.T) {
+	// Same call site, opposite branch outcome: the conditions of the two
+	// tests are mutually exclusive (the paper's f1->f2 under c1 vs f2->f1
+	// under not-c1 example).
+	a := State{Occ: []trace.Occurrence{occ([]string{"f", "g"}, be("c1", true))}}
+	b := State{Occ: []trace.Occurrence{occ([]string{"f", "g"}, be("c1", false))}}
+	if Compatible(a, b) {
+		t.Fatal("opposite branch outcomes must be incompatible")
+	}
+}
+
+func TestIncompatibleCallStacks(t *testing.T) {
+	// Same fault, different call sites: different request types (§6.2).
+	a := State{Occ: []trace.Occurrence{occ([]string{"BlockReceiver", "createTmp"})}}
+	b := State{Occ: []trace.Occurrence{occ([]string{"Recovery", "createTmp"})}}
+	if Compatible(a, b) {
+		t.Fatal("different 2-level call stacks must be incompatible")
+	}
+}
+
+func TestCompatibleViaAnyOccurrencePair(t *testing.T) {
+	a := State{Occ: []trace.Occurrence{
+		occ([]string{"x", "y"}, be("b", true)),
+		occ([]string{"f", "g"}, be("c", false)),
+	}}
+	b := State{Occ: []trace.Occurrence{occ([]string{"f", "g"}, be("c", false))}}
+	if !Compatible(a, b) {
+		t.Fatal("one matching occurrence pair suffices")
+	}
+}
+
+func TestDelayFaultComparesStacksOnly(t *testing.T) {
+	a := State{Occ: []trace.Occurrence{occ([]string{"f", "g"}, be("b", true))}, DelayFault: true}
+	b := State{Occ: []trace.Occurrence{occ([]string{"f", "g"}, be("b", false))}}
+	if !Compatible(a, b) {
+		t.Fatal("delay faults must ignore branch traces (any-iteration rule)")
+	}
+	c := State{Occ: []trace.Occurrence{occ([]string{"other", "g"})}, DelayFault: true}
+	if Compatible(c, b) {
+		t.Fatal("delay faults still require matching stacks")
+	}
+}
+
+func TestEmptyStatesArePermissive(t *testing.T) {
+	full := State{Occ: []trace.Occurrence{occ([]string{"f", "g"})}}
+	if !Compatible(State{}, full) || !Compatible(full, State{}) || !Compatible(State{}, State{}) {
+		t.Fatal("missing evidence must not block stitching")
+	}
+}
+
+func TestBranchOrderMatters(t *testing.T) {
+	a := State{Occ: []trace.Occurrence{occ([]string{"f"}, be("b1", true), be("b2", false))}}
+	b := State{Occ: []trace.Occurrence{occ([]string{"f"}, be("b2", false), be("b1", true))}}
+	if Compatible(a, b) {
+		t.Fatal("branch traces are sequences; order must be respected")
+	}
+}
+
+func TestKeysDeterministicAndDeduplicated(t *testing.T) {
+	s := State{Occ: []trace.Occurrence{
+		occ([]string{"f", "g"}, be("b", true)),
+		occ([]string{"f", "g"}, be("b", true)),
+		occ([]string{"a", "b"}, be("b", false)),
+	}}
+	k1 := s.Keys()
+	k2 := s.Keys()
+	if len(k1) != 2 {
+		t.Fatalf("keys = %v, want 2 distinct", k1)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("Keys() not deterministic")
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package fca implements CSnake's fault causality analysis (§4.3): the
+// counterfactual comparison of an injection run's execution trace against
+// its profile run. Any additional fault triggered only under injection is
+// taken to be counterfactually caused by the injected fault, yielding the
+// causal edges of Table 1:
+//
+//	E(D)  delay      -> exception/negation   (execution trace interference)
+//	S+(D) delay      -> delay                (iteration count interference)
+//	E(I)  exc/neg    -> exception/negation
+//	S+(I) exc/neg    -> delay
+//	ICFG  child-loop delay -> parent-loop delay   (static, §4.3 Figure 5)
+//	CFG   parent-loop delay -> sibling-loop delay (static)
+//
+// Both runs are repeated (five seeds by default); exception/negation
+// interference requires activation in a majority of injection runs and in
+// no profile run, and delay interference requires a one-sided Welch t-test
+// on loop iteration counts at p < 0.1.
+package fca
+
+import (
+	"fmt"
+
+	"repro/internal/core/compat"
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config tunes the counterfactual criteria.
+type Config struct {
+	// PValue is the significance threshold for iteration increases
+	// (paper: 0.1).
+	PValue float64
+	// MinActivationRuns is the minimum number of injection runs an
+	// additional exception/negation must appear in (default 3 of 5).
+	MinActivationRuns int
+	// MinIncreaseFactor is a noise floor on iteration interference: the
+	// mean injected count must exceed the mean profile count by this
+	// factor (default 1.2). Simulated runs have less scheduling noise
+	// than the paper's JVM testbed, so the bare t-test would flag
+	// single-iteration systematic shifts.
+	MinIncreaseFactor float64
+}
+
+// DefaultConfig returns the paper's parameters plus the simulator noise
+// floor.
+func DefaultConfig() Config {
+	return Config{PValue: 0.1, MinActivationRuns: 3, MinIncreaseFactor: 1.2}
+}
+
+// Edge is one discovered causal relationship f_From -> f_To, together
+// with the evidence needed for stitching: the test it was discovered in
+// and the local states of both endpoints (§6.2).
+type Edge struct {
+	From      faults.ID
+	To        faults.ID
+	Kind      faults.EdgeKind
+	FromClass faults.FaultClass
+	ToClass   faults.FaultClass
+	// Test names the workload the relationship was observed in; empty for
+	// the static ICFG/CFG loop edges.
+	Test string
+	// FromState approximates the activation condition of the *injection*
+	// (the injection-site local state).
+	FromState compat.State
+	// ToState approximates the activation condition of the *interference*
+	// (the additional fault's occurrence states).
+	ToState compat.State
+}
+
+// Key returns a stable identity for deduplication.
+func (e Edge) Key() string {
+	return fmt.Sprintf("%s|%s|%v|%s", e.From, e.To, e.Kind, e.Test)
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("%s -%v-> %s [%s]", e.From, e.Kind, e.To, e.Test)
+}
+
+// Analyze diffs the injection run set against the profile run set for one
+// (plan, test) experiment and returns the causal edges rooted at the
+// injected fault. The interference list (additional fault ids, used by
+// 3PA's clustering) is returned alongside.
+func Analyze(space *faults.Space, plan inject.Plan, test string, profile, injected *trace.Set, cfg Config) ([]Edge, []faults.ID) {
+	if cfg.PValue == 0 {
+		cfg.PValue = 0.1
+	}
+	if cfg.MinActivationRuns == 0 {
+		cfg.MinActivationRuns = 3
+	}
+	if cfg.MinIncreaseFactor == 0 {
+		cfg.MinIncreaseFactor = 1.2
+	}
+	if plan.Kind == inject.None || injected.Len() == 0 {
+		return nil, nil
+	}
+
+	from := plan.Target
+	fromClass := classOf(plan)
+	fromState := compat.State{Occ: injected.InjSites(), DelayFault: fromClass == faults.ClassDelay}
+
+	var edges []Edge
+	var intf []faults.ID
+
+	// 1. Execution trace interference: additional exceptions/negations.
+	for _, id := range injected.ActivatedAnywhere() {
+		if injected.ActivationRate(id) < cfg.MinActivationRuns {
+			continue
+		}
+		if profile.ActivationRate(id) > 0 {
+			continue // not counterfactual: fires without the injection too
+		}
+		toClass := space.Class(id)
+		kind := faults.EI
+		if fromClass == faults.ClassDelay {
+			kind = faults.ED
+		}
+		edges = append(edges, Edge{
+			From: from, To: id, Kind: kind,
+			FromClass: fromClass, ToClass: toClass,
+			Test:      test,
+			FromState: fromState,
+			ToState:   compat.State{Occ: injected.Occurrences(id)},
+		})
+		intf = append(intf, id)
+	}
+
+	// 2. Iteration count interference: statistically increased loops.
+	for _, id := range injected.LoopIDs() {
+		if plan.Kind == inject.Delay && plan.Target == id {
+			continue // the delayed loop itself is the cause, not an effect
+		}
+		injSamples := injected.IterSamples(id)
+		profSamples := profile.IterSamples(id)
+		if stats.Mean(injSamples) < stats.Mean(profSamples)*cfg.MinIncreaseFactor {
+			continue
+		}
+		p := stats.TTestGreater(injSamples, profSamples)
+		if p >= cfg.PValue {
+			continue
+		}
+		kind := faults.SI
+		if fromClass == faults.ClassDelay {
+			kind = faults.SD
+		}
+		edges = append(edges, Edge{
+			From: from, To: id, Kind: kind,
+			FromClass: fromClass, ToClass: faults.ClassDelay,
+			Test:      test,
+			FromState: fromState,
+			ToState:   compat.State{Occ: injected.LoopSites(id), DelayFault: true},
+		})
+		intf = append(intf, id)
+	}
+
+	return edges, intf
+}
+
+func classOf(plan inject.Plan) faults.FaultClass {
+	switch plan.Kind {
+	case inject.Delay:
+		return faults.ClassDelay
+	case inject.Negate:
+		return faults.ClassNegation
+	default:
+		return faults.ClassException
+	}
+}
+
+// StaticLoopEdges materialises the ICFG/CFG relationships from the loop
+// nests (§4.3): each child loop's delay propagates to its parent (ICFG),
+// and a delayed parent propagates to the child's next sibling (CFG).
+// These edges carry no test or state and are always compatible.
+func StaticLoopEdges(space *faults.Space) []Edge {
+	var edges []Edge
+	add := func(from, to faults.ID, kind faults.EdgeKind) {
+		if _, ok := space.Lookup(from); !ok {
+			return
+		}
+		if _, ok := space.Lookup(to); !ok {
+			return
+		}
+		edges = append(edges, Edge{
+			From: from, To: to, Kind: kind,
+			FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+			FromState: compat.State{DelayFault: true},
+			ToState:   compat.State{DelayFault: true},
+		})
+	}
+	for _, nest := range space.Nests {
+		for i, child := range nest.Children {
+			add(child, nest.Parent, faults.ICFG)
+			if i+1 < len(nest.Children) {
+				add(nest.Parent, nest.Children[i+1], faults.CFG)
+			}
+		}
+	}
+	return edges
+}
+
+// Dedup removes duplicate edges (same endpoints, kind, and test), keeping
+// the first occurrence, whose states absorb the later ones' occurrence
+// evidence.
+func Dedup(edges []Edge) []Edge {
+	seen := make(map[string]int)
+	var out []Edge
+	for _, e := range edges {
+		if idx, ok := seen[e.Key()]; ok {
+			out[idx].FromState.Occ = mergeOcc(out[idx].FromState.Occ, e.FromState.Occ)
+			out[idx].ToState.Occ = mergeOcc(out[idx].ToState.Occ, e.ToState.Occ)
+			continue
+		}
+		seen[e.Key()] = len(out)
+		out = append(out, e)
+	}
+	return out
+}
+
+func mergeOcc(a, b []trace.Occurrence) []trace.Occurrence {
+	for _, o := range b {
+		if len(a) >= trace.OccCap {
+			break
+		}
+		a = append(a, o)
+	}
+	return a
+}

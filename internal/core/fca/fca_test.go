@@ -1,0 +1,232 @@
+package fca
+
+import (
+	"testing"
+
+	"repro/internal/core/compat"
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/trace"
+)
+
+func space() *faults.Space {
+	return faults.NewSpace([]faults.Point{
+		{ID: "s.throw1", Kind: faults.Throw},
+		{ID: "s.throw2", Kind: faults.Throw},
+		{ID: "s.neg", Kind: faults.Negation},
+		{ID: "s.loopA", Kind: faults.Loop},
+		{ID: "s.loopB", Kind: faults.Loop},
+		{ID: "s.loopC", Kind: faults.Loop},
+	}, []faults.LoopNest{
+		{Parent: "s.loopA", Children: []faults.ID{"s.loopB", "s.loopC"}},
+	})
+}
+
+// mkSet builds a run set of n runs customised per run by fn.
+func mkSet(test string, n int, fn func(i int, r *trace.Run)) *trace.Set {
+	s := &trace.Set{}
+	for i := 0; i < n; i++ {
+		r := trace.NewRun(test, int64(i))
+		if fn != nil {
+			fn(i, r)
+		}
+		s.Add(r)
+	}
+	return s
+}
+
+func TestExceptionInterferenceDetected(t *testing.T) {
+	profile := mkSet("t1", 5, nil)
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.InjFired = true
+		r.Activate("s.throw2", trace.Occurrence{Stack: []string{"f", "g"}})
+	})
+	plan := inject.Plan{Kind: inject.Exception, Target: "s.throw1"}
+	edges, intf := Analyze(space(), plan, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v, want 1", edges)
+	}
+	e := edges[0]
+	if e.From != "s.throw1" || e.To != "s.throw2" || e.Kind != faults.EI {
+		t.Fatalf("edge = %+v", e)
+	}
+	if e.FromClass != faults.ClassException || e.ToClass != faults.ClassException {
+		t.Fatalf("classes = %v -> %v", e.FromClass, e.ToClass)
+	}
+	if len(intf) != 1 || intf[0] != "s.throw2" {
+		t.Fatalf("interference = %v", intf)
+	}
+	if len(e.ToState.Occ) == 0 {
+		t.Fatal("interference state missing occurrence evidence")
+	}
+}
+
+func TestNotCounterfactualWhenProfileAlsoActivates(t *testing.T) {
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
+		if i == 0 {
+			r.Activate("s.throw2", trace.Occurrence{})
+		}
+	})
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.Activate("s.throw2", trace.Occurrence{})
+	})
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Exception, Target: "s.throw1"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 0 {
+		t.Fatalf("edges = %v, want none (fault fires in profile run too)", edges)
+	}
+}
+
+func TestMinorityActivationIgnored(t *testing.T) {
+	profile := mkSet("t1", 5, nil)
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		if i < 2 { // below the 3-run majority default
+			r.Activate("s.throw2", trace.Occurrence{})
+		}
+	})
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Exception, Target: "s.throw1"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 0 {
+		t.Fatalf("edges = %v, want none under nondeterminism threshold", edges)
+	}
+}
+
+func TestDelayCausesExceptionIsED(t *testing.T) {
+	profile := mkSet("t1", 5, nil)
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.Activate("s.throw1", trace.Occurrence{})
+	})
+	plan := inject.Plan{Kind: inject.Delay, Target: "s.loopA"}
+	edges, _ := Analyze(space(), plan, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 1 || edges[0].Kind != faults.ED {
+		t.Fatalf("edges = %v, want one E(D)", edges)
+	}
+	if !edges[0].FromState.DelayFault {
+		t.Fatal("delay injection state must be marked DelayFault")
+	}
+}
+
+func TestIterationIncreaseSignificant(t *testing.T) {
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopB"] = 10 + i%2
+	})
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopB"] = 40 + i%3
+	})
+	plan := inject.Plan{Kind: inject.Exception, Target: "s.throw1"}
+	edges, _ := Analyze(space(), plan, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v, want 1", edges)
+	}
+	e := edges[0]
+	if e.Kind != faults.SI || e.To != "s.loopB" || e.ToClass != faults.ClassDelay {
+		t.Fatalf("edge = %+v", e)
+	}
+	if !e.ToState.DelayFault {
+		t.Fatal("loop interference state must be DelayFault")
+	}
+}
+
+func TestIterationNoiseNotSignificant(t *testing.T) {
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopB"] = 10 + i%3
+	})
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopB"] = 10 + (i+1)%3
+	})
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Exception, Target: "s.throw1"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 0 {
+		t.Fatalf("edges = %v, want none for statistically flat counts", edges)
+	}
+}
+
+func TestDelayedLoopItselfExcluded(t *testing.T) {
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopA"] = 5
+	})
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.LoopIters["s.loopA"] = 50 // the injected loop itself grew
+	})
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Delay, Target: "s.loopA"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 0 {
+		t.Fatalf("edges = %v, the injected loop must not be its own effect", edges)
+	}
+}
+
+func TestDelayCausesDelayIsSD(t *testing.T) {
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) { r.LoopIters["s.loopB"] = 8 })
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) { r.LoopIters["s.loopB"] = 30 + i })
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Delay, Target: "s.loopA"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 1 || edges[0].Kind != faults.SD {
+		t.Fatalf("edges = %v, want one S+(D)", edges)
+	}
+}
+
+func TestNegationInjectionClass(t *testing.T) {
+	profile := mkSet("t1", 5, nil)
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
+		r.Activate("s.throw1", trace.Occurrence{})
+	})
+	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Negate, Target: "s.neg"}, "t1", profile, injected, DefaultConfig())
+	if len(edges) != 1 || edges[0].FromClass != faults.ClassNegation || edges[0].Kind != faults.EI {
+		t.Fatalf("edges = %v", edges)
+	}
+}
+
+func TestProfilePlanYieldsNothing(t *testing.T) {
+	set := mkSet("t1", 5, func(i int, r *trace.Run) { r.Activate("s.throw1", trace.Occurrence{}) })
+	edges, intf := Analyze(space(), inject.Profile(), "t1", set, set, DefaultConfig())
+	if edges != nil || intf != nil {
+		t.Fatal("profile plan must not produce edges")
+	}
+}
+
+func TestStaticLoopEdges(t *testing.T) {
+	edges := StaticLoopEdges(space())
+	want := map[string]bool{
+		"s.loopB-ICFG-s.loopA": true,
+		"s.loopC-ICFG-s.loopA": true,
+		"s.loopA-CFG-s.loopC":  true,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v, want %d", edges, len(want))
+	}
+	for _, e := range edges {
+		k := string(e.From) + "-" + e.Kind.String() + "-" + string(e.To)
+		if !want[k] {
+			t.Errorf("unexpected static edge %s", k)
+		}
+		if e.Test != "" {
+			t.Errorf("static edge carries test %q", e.Test)
+		}
+	}
+}
+
+func TestStaticLoopEdgesSkipFilteredLoops(t *testing.T) {
+	sp := faults.NewSpace([]faults.Point{
+		{ID: "s.loopA", Kind: faults.Loop},
+		// s.loopB filtered out (constant bound), so no edges through it.
+		{ID: "s.loopB", Kind: faults.Loop, ConstBound: true},
+	}, []faults.LoopNest{{Parent: "s.loopA", Children: []faults.ID{"s.loopB"}}})
+	if edges := StaticLoopEdges(sp); len(edges) != 0 {
+		t.Fatalf("edges = %v, want none through filtered loop", edges)
+	}
+}
+
+func TestDedupMergesStates(t *testing.T) {
+	mkState := func(n int) compat.State {
+		s := compat.State{}
+		for i := 0; i < n; i++ {
+			s.Occ = append(s.Occ, trace.Occurrence{Stack: []string{"f"}})
+		}
+		return s
+	}
+	e1 := Edge{From: "a", To: "b", Kind: faults.EI, Test: "t1", ToState: mkState(1)}
+	e2 := Edge{From: "a", To: "b", Kind: faults.EI, Test: "t1", ToState: mkState(2)}
+	e3 := Edge{From: "a", To: "b", Kind: faults.EI, Test: "t2"}
+	out := Dedup([]Edge{e1, e2, e3})
+	if len(out) != 2 {
+		t.Fatalf("deduped to %d, want 2", len(out))
+	}
+	if len(out[0].ToState.Occ) != 3 {
+		t.Fatalf("merged occurrences = %d, want 3", len(out[0].ToState.Occ))
+	}
+}

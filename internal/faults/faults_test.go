@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointKindClass(t *testing.T) {
+	cases := []struct {
+		kind PointKind
+		want FaultClass
+	}{
+		{Throw, ClassException},
+		{LibCall, ClassException},
+		{Negation, ClassNegation},
+		{Loop, ClassDelay},
+	}
+	for _, c := range cases {
+		if got := c.kind.Class(); got != c.want {
+			t.Errorf("%v.Class() = %v, want %v", c.kind, got, c.want)
+		}
+	}
+}
+
+func TestInjectableExceptionFiltering(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   Point
+		want bool
+	}{
+		{"system exception kept", Point{Kind: Throw, Category: ExcSystem}, true},
+		{"library exception kept", Point{Kind: LibCall, Category: ExcLibrary}, true},
+		{"reflection filtered", Point{Kind: Throw, Category: ExcReflection}, false},
+		{"security filtered", Point{Kind: Throw, Category: ExcSecurity}, false},
+		{"test-only filtered", Point{Kind: Throw, Category: ExcSystem, TestOnly: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.pt.Injectable(); got != c.want {
+			t.Errorf("%s: Injectable() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInjectableNegationFiltering(t *testing.T) {
+	cases := []struct {
+		name string
+		pt   Point
+		want bool
+	}{
+		{"real detector kept", Point{Kind: Negation}, true},
+		{"config-only filtered", Point{Kind: Negation, ConfigOnly: true}, false},
+		{"constant return filtered", Point{Kind: Negation, ConstReturn: true}, false},
+		{"primitive-only util filtered", Point{Kind: Negation, PrimitiveOnly: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.pt.Injectable(); got != c.want {
+			t.Errorf("%s: Injectable() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInjectableLoopConstBoundFiltered(t *testing.T) {
+	if (Point{Kind: Loop, ConstBound: true}).Injectable() {
+		t.Error("constant-bound loop should be filtered")
+	}
+	if !(Point{Kind: Loop}).Injectable() {
+		t.Error("workload-related loop should be kept")
+	}
+}
+
+func TestSpaceShortLoopDecileFilter(t *testing.T) {
+	// 20 loops with body sizes 1..20; the bottom decile (sizes 1, 2) is
+	// excluded unless the loop performs I/O.
+	var pts []Point
+	for i := 1; i <= 20; i++ {
+		pts = append(pts, Point{
+			ID:       ID(fmt.Sprintf("sys.loop%02d", i)),
+			Kind:     Loop,
+			BodySize: i,
+			HasIO:    i == 1, // smallest loop does I/O: must survive
+		})
+	}
+	s := NewSpace(pts, nil)
+	if _, ok := s.Lookup("sys.loop01"); !ok {
+		t.Error("small loop with I/O was filtered, want kept")
+	}
+	if _, ok := s.Lookup("sys.loop02"); ok {
+		t.Error("small non-I/O loop survived, want filtered")
+	}
+	if _, ok := s.Lookup("sys.loop03"); !ok {
+		t.Error("size-3 loop filtered, want kept (above bottom decile)")
+	}
+	if s.Size() != 19 {
+		t.Errorf("space size = %d, want 19", s.Size())
+	}
+}
+
+func TestSpaceFewLoopsNoDecileFilter(t *testing.T) {
+	pts := []Point{
+		{ID: "a.l1", Kind: Loop, BodySize: 1},
+		{ID: "a.l2", Kind: Loop, BodySize: 2},
+	}
+	s := NewSpace(pts, nil)
+	if s.Size() != 2 {
+		t.Errorf("size = %d, want 2 (no rank filter under 10 loops)", s.Size())
+	}
+}
+
+func TestSpaceLookupAndClass(t *testing.T) {
+	s := NewSpace([]Point{
+		{ID: "x.throw", Kind: Throw},
+		{ID: "x.neg", Kind: Negation},
+		{ID: "x.loop", Kind: Loop},
+	}, nil)
+	if got := s.Class("x.neg"); got != ClassNegation {
+		t.Errorf("Class(x.neg) = %v", got)
+	}
+	if got := s.Class("x.loop"); got != ClassDelay {
+		t.Errorf("Class(x.loop) = %v", got)
+	}
+	if got := s.Class("unknown"); got != ClassException {
+		t.Errorf("Class(unknown) = %v, want exception default", got)
+	}
+	ids := s.IDs()
+	if len(ids) != 3 || ids[0] != "x.throw" {
+		t.Errorf("IDs() = %v", ids)
+	}
+}
+
+func TestEdgeKindStrings(t *testing.T) {
+	want := map[EdgeKind]string{
+		ED: "E(D)", SD: "S+(D)", EI: "E(I)", SI: "S+(I)", ICFG: "ICFG", CFG: "CFG",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestShortLoopCutoffProperty(t *testing.T) {
+	// Property: the cutoff never exceeds the maximum size and at most 10%
+	// of non-I/O loops fall at or below it.
+	f := func(sizes []uint8) bool {
+		if len(sizes) < 10 {
+			return true
+		}
+		var pts []Point
+		for i, sz := range sizes {
+			pts = append(pts, Point{ID: ID(fmt.Sprintf("l%d", i)), Kind: Loop, BodySize: int(sz)})
+		}
+		cut := shortLoopCutoff(pts)
+		atOrBelow := 0
+		for _, sz := range sizes {
+			if int(sz) <= cut {
+				atOrBelow++
+			}
+		}
+		// With ties the count can exceed the decile, but the rank index
+		// itself is len/10, so at least that many are at or below.
+		return atOrBelow >= len(sizes)/10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

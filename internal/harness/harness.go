@@ -1,0 +1,269 @@
+// Package harness is CSnake's workload driver (§3): it executes profile
+// and injection runs of (fault, workload) pairs against a target system,
+// repeats each configuration across seeds, caches profile runs and
+// coverage, applies fault causality analysis, and accumulates the causal
+// edge set consumed by the bug detector.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core/alloc"
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+// Config tunes the driver.
+type Config struct {
+	// Reps is the number of seeds each run configuration is repeated with
+	// (paper: 5).
+	Reps int
+	// DelayMagnitudes are the spin lengths swept per delay injection
+	// (paper: seven values, 100ms-8s).
+	DelayMagnitudes []time.Duration
+	// BaseSeed offsets all run seeds, so campaigns are reproducible but
+	// distinct.
+	BaseSeed int64
+	// FCA configures the counterfactual criteria.
+	FCA fca.Config
+}
+
+// DefaultConfig returns the paper's execution parameters.
+func DefaultConfig() Config {
+	return Config{
+		Reps:            5,
+		DelayMagnitudes: inject.DelayMagnitudes,
+		BaseSeed:        1,
+		FCA:             fca.DefaultConfig(),
+	}
+}
+
+func (c *Config) defaults() {
+	if c.Reps == 0 {
+		c.Reps = 5
+	}
+	if len(c.DelayMagnitudes) == 0 {
+		c.DelayMagnitudes = inject.DelayMagnitudes
+	}
+	if c.FCA.PValue == 0 {
+		c.FCA = fca.DefaultConfig()
+	}
+}
+
+// Driver executes runs for one system. It implements alloc.Executor, so a
+// 3PA protocol (or the random baseline) can schedule experiments directly
+// against it.
+type Driver struct {
+	sys   sysreg.System
+	space *faults.Space
+	cfg   Config
+
+	workloads map[string]sysreg.Workload
+	order     []string
+
+	profiles map[string]*trace.Set
+	edges    []fca.Edge
+	marks    []int
+
+	// Sims counts simulated executions, for reporting.
+	Sims int
+}
+
+// New builds a driver over sys.
+func New(sys sysreg.System, space *faults.Space, cfg Config) *Driver {
+	cfg.defaults()
+	d := &Driver{
+		sys:       sys,
+		space:     space,
+		cfg:       cfg,
+		workloads: make(map[string]sysreg.Workload),
+		profiles:  make(map[string]*trace.Set),
+	}
+	for _, w := range sys.Workloads() {
+		d.workloads[w.Name] = w
+		d.order = append(d.order, w.Name)
+	}
+	return d
+}
+
+// Space returns the system's filtered fault space.
+func (d *Driver) Space() *faults.Space { return d.space }
+
+// Workloads returns the workload names in declaration order.
+func (d *Driver) Workloads() []string { return append([]string(nil), d.order...) }
+
+// runOnce executes a single simulated run of workload w under plan.
+// When record is false the trace recorder is disabled (overhead baseline).
+func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record bool) *trace.Run {
+	var rec *trace.Run
+	if record {
+		rec = trace.NewRun(w.Name, seed)
+	}
+	rt := inject.New(plan, rec)
+	eng := sim.NewEngine(sim.Options{Seed: seed})
+	ctx := &sysreg.RunContext{Engine: eng, RT: rt}
+	start := time.Now()
+	w.Run(ctx)
+	res := eng.Run(w.Horizon)
+	eng.Close()
+	d.Sims++
+	if rec != nil {
+		rec.Result = res
+		rec.Wall = time.Since(start)
+	}
+	return rec
+}
+
+// runSet executes cfg.Reps seeded runs of (w, plan).
+func (d *Driver) runSet(w sysreg.Workload, plan inject.Plan, salt int64) *trace.Set {
+	set := &trace.Set{}
+	for i := 0; i < d.cfg.Reps; i++ {
+		seed := d.cfg.BaseSeed + salt*1_000_003 + int64(i)
+		set.Add(d.runOnce(w, plan, seed, true))
+	}
+	return set
+}
+
+// Profile returns (running and caching on first use) the profile run set
+// of a workload: the counterfactual baseline FCA diffs every injection run
+// against. Five seeds (cfg.Reps) absorb scheduling nondeterminism, exactly
+// as in §4.3.
+func (d *Driver) Profile(test string) *trace.Set {
+	if set, ok := d.profiles[test]; ok {
+		return set
+	}
+	w, ok := d.workloads[test]
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown workload %q", test))
+	}
+	set := d.runSet(w, inject.Profile(), saltOf(test, ""))
+	d.profiles[test] = set
+	return set
+}
+
+// ProfileAll forces profile runs of every workload (coverage map
+// construction).
+func (d *Driver) ProfileAll() {
+	for _, name := range d.order {
+		d.Profile(name)
+	}
+}
+
+// OverheadSample measures one profile execution with monitoring on and
+// off, returning the wall-clock times (§8.5).
+func (d *Driver) OverheadSample(test string, seed int64) (instrumented, bare time.Duration) {
+	w := d.workloads[test]
+	start := time.Now()
+	d.runOnce(w, inject.Profile(), seed, true)
+	instrumented = time.Since(start)
+	start = time.Now()
+	d.runOnce(w, inject.Profile(), seed, false)
+	bare = time.Since(start)
+	return
+}
+
+// TestsFor implements alloc.Executor: the workloads whose profile runs
+// cover f, with their total coverage as the phase-one ranking key.
+func (d *Driver) TestsFor(f faults.ID) []alloc.TestInfo {
+	var out []alloc.TestInfo
+	for _, name := range d.order {
+		cov := d.Profile(name).Coverage()
+		if cov[f] {
+			out = append(out, alloc.TestInfo{Name: name, Coverage: len(cov)})
+		}
+	}
+	return out
+}
+
+// Execute implements alloc.Executor: it runs the full injection
+// experiment for fault f under the named workload -- Reps seeds, and for
+// delay faults the whole magnitude sweep -- applies FCA against the
+// workload's profile set, accumulates the discovered edges, and returns
+// the additional fault ids triggered.
+func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
+	pt, ok := d.space.Lookup(f)
+	if !ok {
+		return nil
+	}
+	w, wok := d.workloads[test]
+	if !wok {
+		panic(fmt.Sprintf("harness: unknown workload %q", test))
+	}
+	profile := d.Profile(test)
+
+	intfSet := make(map[faults.ID]bool)
+	var intf []faults.ID
+	collect := func(plan inject.Plan, salt int64) {
+		injected := d.runSet(w, plan, salt)
+		edges, add := fca.Analyze(d.space, plan, test, profile, injected, d.cfg.FCA)
+		d.edges = append(d.edges, edges...)
+		for _, id := range add {
+			if !intfSet[id] {
+				intfSet[id] = true
+				intf = append(intf, id)
+			}
+		}
+	}
+
+	if pt.Kind == faults.Loop {
+		for mi, mag := range d.cfg.DelayMagnitudes {
+			plan := inject.PlanFor(pt, mag)
+			collect(plan, saltOf(test, string(f))+int64(mi+1))
+		}
+	} else {
+		collect(inject.PlanFor(pt, 0), saltOf(test, string(f)))
+	}
+	sort.Slice(intf, func(i, j int) bool { return intf[i] < intf[j] })
+	d.marks = append(d.marks, len(d.edges))
+	return intf
+}
+
+// Marks returns the cumulative dynamic-edge count after each Execute call,
+// in call order. Combined with the allocation's run records this
+// attributes every edge to the experiment (and hence 3PA phase) that
+// discovered it.
+func (d *Driver) Marks() []int { return append([]int(nil), d.marks...) }
+
+// EdgesUpTo returns the dynamic edges discovered by the first n Execute
+// calls plus the static loop edges, deduplicated.
+func (d *Driver) EdgesUpTo(n int) []fca.Edge {
+	if n >= len(d.marks) {
+		return d.Edges()
+	}
+	cut := 0
+	if n > 0 {
+		cut = d.marks[n-1]
+	}
+	all := append([]fca.Edge(nil), d.edges[:cut]...)
+	all = append(all, fca.StaticLoopEdges(d.space)...)
+	return fca.Dedup(all)
+}
+
+// Edges returns the deduplicated causal edge set discovered so far,
+// including the static ICFG/CFG loop edges.
+func (d *Driver) Edges() []fca.Edge {
+	all := append([]fca.Edge(nil), d.edges...)
+	all = append(all, fca.StaticLoopEdges(d.space)...)
+	return fca.Dedup(all)
+}
+
+// saltOf derives a stable per-(test,fault) seed salt.
+func saltOf(test, fault string) int64 {
+	h := int64(1469598103934665603)
+	for _, s := range []string{test, fault} {
+		for i := 0; i < len(s); i++ {
+			h ^= int64(s[i])
+			h *= 1099511628211
+		}
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h % 1_000_000_007
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/sysreg"
+)
+
+func lightDriver(t *testing.T) *Driver {
+	t.Helper()
+	sys := dfs.NewV2()
+	return New(sys, sysreg.Space(sys), Config{
+		Reps:            2,
+		DelayMagnitudes: []time.Duration{2 * time.Second},
+	})
+}
+
+func TestProfileIsCached(t *testing.T) {
+	d := lightDriver(t)
+	a := d.Profile("basic_write")
+	sims := d.Sims
+	b := d.Profile("basic_write")
+	if a != b {
+		t.Fatal("profile set not cached")
+	}
+	if d.Sims != sims {
+		t.Fatal("cached profile re-ran simulations")
+	}
+}
+
+func TestTestsForUsesCoverage(t *testing.T) {
+	d := lightDriver(t)
+	tests := d.TestsFor(dfs.PtDNIBRRPCIOE)
+	if len(tests) == 0 {
+		t.Fatal("no covering tests for a core fault")
+	}
+	for _, ti := range tests {
+		if ti.Coverage <= 0 {
+			t.Fatalf("coverage = %d for %s", ti.Coverage, ti.Name)
+		}
+	}
+	// The recovery-worker fault is only reachable in lease-recovery
+	// workloads.
+	rec := d.TestsFor(dfs.PtDNRecoveryIOE)
+	for _, ti := range rec {
+		switch ti.Name {
+		case "lease_storm", "pipeline_recovery", "recovery_deadline", "write_retry":
+		default:
+			t.Errorf("unexpected covering test %q for recovery fault", ti.Name)
+		}
+	}
+}
+
+func TestExecuteAccumulatesEdgesAndMarks(t *testing.T) {
+	d := lightDriver(t)
+	d.Execute(dfs.PtNNIBRProcessLoop, "ibr_storm")
+	marks := d.Marks()
+	if len(marks) != 1 {
+		t.Fatalf("marks = %v", marks)
+	}
+	if marks[0] == 0 {
+		t.Fatal("no edges recorded for a storm-producing injection")
+	}
+	edges := d.EdgesUpTo(1)
+	if len(edges) == 0 {
+		t.Fatal("EdgesUpTo(1) empty")
+	}
+	if got := d.EdgesUpTo(0); len(got) >= len(edges) {
+		t.Fatalf("EdgesUpTo(0) = %d edges, want only static ones (< %d)", len(got), len(edges))
+	}
+}
+
+func TestOverheadSampleMeasuresBothModes(t *testing.T) {
+	d := lightDriver(t)
+	inst, bare := d.OverheadSample("quiet_baseline", 3)
+	if inst <= 0 || bare <= 0 {
+		t.Fatalf("inst=%v bare=%v", inst, bare)
+	}
+}
+
+func TestUnknownWorkloadPanics(t *testing.T) {
+	d := lightDriver(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for unknown workload")
+		}
+	}()
+	d.Profile("nope")
+}

@@ -1,0 +1,247 @@
+package inject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// runWith executes body as a single simulated process with the given plan
+// and returns the recorded trace.
+func runWith(t *testing.T, plan Plan, body func(p *sim.Proc, rt *Runtime)) *trace.Run {
+	t.Helper()
+	rec := trace.NewRun("test", 1)
+	rt := New(plan, rec)
+	e := sim.NewEngine(sim.Options{Seed: 1})
+	e.Spawn("n1", "main", func(p *sim.Proc) { body(p, rt) })
+	e.Run(time.Hour)
+	e.Close()
+	return rec
+}
+
+func TestGuardNaturalActivation(t *testing.T) {
+	rec := runWith(t, Profile(), func(p *sim.Proc, rt *Runtime) {
+		defer rt.Fn(p, "handler")()
+		if !rt.Guard(p, "sys.throw", true) {
+			t.Error("natural condition suppressed")
+		}
+	})
+	if rec.Reached["sys.throw"] != 1 {
+		t.Fatalf("Reached = %d, want 1", rec.Reached["sys.throw"])
+	}
+	if !rec.Covered["sys.throw"] {
+		t.Fatal("coverage not recorded")
+	}
+	if rec.InjFired {
+		t.Fatal("profile run reported injection")
+	}
+}
+
+func TestGuardInjectionIsOneTime(t *testing.T) {
+	fires := 0
+	rec := runWith(t, Plan{Kind: Exception, Target: "sys.throw"}, func(p *sim.Proc, rt *Runtime) {
+		for i := 0; i < 5; i++ {
+			if rt.Guard(p, "sys.throw", false) {
+				fires++
+			}
+		}
+	})
+	if fires != 1 {
+		t.Fatalf("injected throw fired %d times, want 1 (one-time)", fires)
+	}
+	if !rec.InjFired {
+		t.Fatal("InjFired not set")
+	}
+	if rec.Reached["sys.throw"] != 0 {
+		t.Fatalf("injected activation counted as natural: %d", rec.Reached["sys.throw"])
+	}
+}
+
+func TestGuardInjectionDoesNotLeakToOtherPoints(t *testing.T) {
+	runWith(t, Plan{Kind: Exception, Target: "sys.other"}, func(p *sim.Proc, rt *Runtime) {
+		if rt.Guard(p, "sys.throw", false) {
+			t.Error("guard fired for non-target point")
+		}
+	})
+}
+
+func TestErrReturnsInjectedError(t *testing.T) {
+	runWith(t, Plan{Kind: Exception, Target: "sys.ioe"}, func(p *sim.Proc, rt *Runtime) {
+		err := rt.Err(p, "sys.ioe", false, "io failure")
+		if err == nil {
+			t.Error("want injected error")
+			return
+		}
+		var ie *InjectedError
+		if !errors.As(err, &ie) || ie.ID != "sys.ioe" {
+			t.Errorf("unexpected error: %v", err)
+		}
+	})
+}
+
+func TestNegatePersistent(t *testing.T) {
+	negated := 0
+	rec := runWith(t, Plan{Kind: Negate, Target: "sys.isStale"}, func(p *sim.Proc, rt *Runtime) {
+		for i := 0; i < 4; i++ {
+			// Detector naturally healthy (false); errVal=true means
+			// "stale". Under injection every call reports stale.
+			if rt.Negate(p, "sys.isStale", false, true) {
+				negated++
+			}
+		}
+	})
+	if negated != 4 {
+		t.Fatalf("negated %d of 4 calls, want all (persistent)", negated)
+	}
+	if !rec.InjFired {
+		t.Fatal("InjFired not set")
+	}
+	if rec.Reached["sys.isStale"] != 0 {
+		t.Fatal("injected negation counted as natural activation")
+	}
+}
+
+func TestNegateNaturalErrorRecorded(t *testing.T) {
+	rec := runWith(t, Profile(), func(p *sim.Proc, rt *Runtime) {
+		rt.Negate(p, "sys.isStale", true, true) // naturally stale
+		rt.Negate(p, "sys.isStale", false, true)
+	})
+	if rec.Reached["sys.isStale"] != 1 {
+		t.Fatalf("natural error activations = %d, want 1", rec.Reached["sys.isStale"])
+	}
+}
+
+func TestLoopCountsAndDelayInjection(t *testing.T) {
+	var virtual time.Duration
+	rec := runWith(t, Plan{Kind: Delay, Target: "sys.loop", Delay: time.Second}, func(p *sim.Proc, rt *Runtime) {
+		start := p.Now()
+		for i := 0; i < 3; i++ {
+			rt.Loop(p, "sys.loop")
+		}
+		virtual = p.Now() - start
+	})
+	if rec.LoopIters["sys.loop"] != 3 {
+		t.Fatalf("iters = %d, want 3", rec.LoopIters["sys.loop"])
+	}
+	if virtual != 3*time.Second {
+		t.Fatalf("delay injected %v, want 3s (1s per iteration)", virtual)
+	}
+	if !rec.InjFired {
+		t.Fatal("InjFired not set for delay")
+	}
+}
+
+func TestLoopNoDelayWhenNotTarget(t *testing.T) {
+	var virtual time.Duration
+	runWith(t, Plan{Kind: Delay, Target: "sys.otherloop", Delay: time.Second}, func(p *sim.Proc, rt *Runtime) {
+		start := p.Now()
+		rt.Loop(p, "sys.loop")
+		virtual = p.Now() - start
+	})
+	if virtual != 0 {
+		t.Fatalf("non-target loop delayed by %v", virtual)
+	}
+}
+
+func TestLoopResetsLocalBranchTrace(t *testing.T) {
+	rec := runWith(t, Profile(), func(p *sim.Proc, rt *Runtime) {
+		defer rt.Fn(p, "createTmp")()
+		for i := 0; i < 2; i++ {
+			rt.Loop(p, "sys.loop")
+			rt.Branch(p, "sys.branch", i == 1)
+			if i == 1 {
+				rt.Guard(p, "sys.throw", true)
+			}
+		}
+	})
+	occ := rec.Occ["sys.throw"]
+	if len(occ) != 1 {
+		t.Fatalf("occurrences = %d, want 1", len(occ))
+	}
+	// The occurrence's branch trace must cover only the fault-happening
+	// iteration: the explicit monitor point, not the guard itself.
+	if len(occ[0].Branches) != 1 {
+		t.Fatalf("branch trace = %v, want 1 entry from final iteration", occ[0].Branches)
+	}
+	if occ[0].Branches[0].ID != "sys.branch" || !occ[0].Branches[0].Taken {
+		t.Fatalf("branch trace[0] = %v", occ[0].Branches[0])
+	}
+}
+
+func TestOccurrenceCapturesTwoLevelStack(t *testing.T) {
+	rec := runWith(t, Profile(), func(p *sim.Proc, rt *Runtime) {
+		defer rt.Fn(p, "BlockReceiver")()
+		func() {
+			defer rt.Fn(p, "createTmp")()
+			rt.Guard(p, "sys.throw", true)
+		}()
+	})
+	occ := rec.Occ["sys.throw"]
+	if len(occ) != 1 {
+		t.Fatalf("occurrences = %d, want 1", len(occ))
+	}
+	if len(occ[0].Stack) != 2 || occ[0].Stack[0] != "BlockReceiver" || occ[0].Stack[1] != "createTmp" {
+		t.Fatalf("stack = %v, want [BlockReceiver createTmp]", occ[0].Stack)
+	}
+}
+
+func TestOccurrenceCapIsEnforced(t *testing.T) {
+	rec := runWith(t, Profile(), func(p *sim.Proc, rt *Runtime) {
+		for i := 0; i < trace.OccCap+10; i++ {
+			rt.Guard(p, "sys.throw", true)
+		}
+	})
+	if got := len(rec.Occ["sys.throw"]); got != trace.OccCap {
+		t.Fatalf("stored %d occurrences, want cap %d", got, trace.OccCap)
+	}
+	if rec.Reached["sys.throw"] != trace.OccCap+10 {
+		t.Fatalf("Reached = %d, want %d", rec.Reached["sys.throw"], trace.OccCap+10)
+	}
+}
+
+func TestNilRecorderDisablesMonitoringButKeepsInjection(t *testing.T) {
+	rt := New(Plan{Kind: Exception, Target: "sys.throw"}, nil)
+	e := sim.NewEngine(sim.Options{Seed: 1})
+	fired := false
+	e.Spawn("n1", "main", func(p *sim.Proc) {
+		fired = rt.Guard(p, "sys.throw", false)
+	})
+	e.Run(time.Hour)
+	e.Close()
+	if !fired {
+		t.Fatal("injection suppressed with nil recorder")
+	}
+}
+
+func TestPlanForMapsPointKinds(t *testing.T) {
+	if p := PlanFor(faults.Point{ID: "a", Kind: faults.Loop}, time.Second); p.Kind != Delay || p.Delay != time.Second {
+		t.Errorf("loop plan = %+v", p)
+	}
+	if p := PlanFor(faults.Point{ID: "a", Kind: faults.Negation}, 0); p.Kind != Negate {
+		t.Errorf("negation plan = %+v", p)
+	}
+	if p := PlanFor(faults.Point{ID: "a", Kind: faults.Throw}, 0); p.Kind != Exception {
+		t.Errorf("throw plan = %+v", p)
+	}
+	if p := PlanFor(faults.Point{ID: "a", Kind: faults.LibCall}, 0); p.Kind != Exception {
+		t.Errorf("libcall plan = %+v", p)
+	}
+}
+
+func TestDelayMagnitudesMatchPaperRange(t *testing.T) {
+	if len(DelayMagnitudes) != 7 {
+		t.Fatalf("len = %d, want 7", len(DelayMagnitudes))
+	}
+	if DelayMagnitudes[0] != 100*time.Millisecond || DelayMagnitudes[6] != 8*time.Second {
+		t.Fatalf("range = [%v, %v], want [100ms, 8s]", DelayMagnitudes[0], DelayMagnitudes[6])
+	}
+	for i := 1; i < len(DelayMagnitudes); i++ {
+		if DelayMagnitudes[i] <= DelayMagnitudes[i-1] {
+			t.Fatal("magnitudes not strictly increasing")
+		}
+	}
+}

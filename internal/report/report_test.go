@@ -1,0 +1,79 @@
+package report
+
+import (
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/systems/dfs"
+	"repro/internal/systems/kvstore"
+	"repro/internal/systems/sysreg"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("no caller info")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..")
+}
+
+func TestTable2AgainstSources(t *testing.T) {
+	rows, err := Table2(repoRoot(t), []sysreg.System{dfs.NewV2(), kvstore.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	hdfs := rows[0]
+	if hdfs.System != "HDFS 2" || hdfs.Loops < 14 || hdfs.Exceptions < 12 || hdfs.Negations < 6 || hdfs.Tests != 14 {
+		t.Fatalf("HDFS 2 row = %+v", hdfs)
+	}
+	var b strings.Builder
+	WriteTable2(&b, rows)
+	if !strings.Contains(b.String(), "HDFS 2") || !strings.Contains(b.String(), "HBase") {
+		t.Fatalf("render:\n%s", b.String())
+	}
+}
+
+func TestWriteTable3Rendering(t *testing.T) {
+	rows := []Table3Row{
+		{System: "X", Bug: sysreg.Bug{ID: "X-1", Title: "Some task"},
+			Detected: true, Cycle: "1D | 1E | 0N", AllocPhase: 2, Random: true, Alt: false},
+		{System: "X", Bug: sysreg.Bug{ID: "X-2", Title: "Other"}, Detected: false},
+	}
+	var b strings.Builder
+	WriteTable3(&b, rows)
+	out := b.String()
+	for _, want := range []string{"X-1", "1D | 1E | 0N", "Some task"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTable4Rendering(t *testing.T) {
+	var b strings.Builder
+	WriteTable4(&b, []Table4Row{{System: "X", Cycles: 38, Clusters: 15, TP: 6, Cycles1: 23, Clusters1: 9, TP1: 6}})
+	if !strings.Contains(b.String(), "38 (23)") || !strings.Contains(b.String(), "6 (6)") {
+		t.Fatalf("render:\n%s", b.String())
+	}
+}
+
+func TestMeasureOverheadShape(t *testing.T) {
+	o := MeasureOverhead(kvstore.New(), 1)
+	if o.Samples == 0 {
+		t.Fatal("no samples")
+	}
+	if o.MinPct > o.AvgPct || o.AvgPct > o.MaxPct {
+		t.Fatalf("ordering violated: %+v", o)
+	}
+	var b strings.Builder
+	WriteOverhead(&b, []Overhead{o})
+	if !strings.Contains(b.String(), "HBase") {
+		t.Fatalf("render:\n%s", b.String())
+	}
+}

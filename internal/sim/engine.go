@@ -1,0 +1,356 @@
+// Package sim implements a deterministic discrete-event simulator for
+// distributed systems. It is the execution substrate on which the target
+// systems in internal/systems run: every node, worker, queue, timer, RPC,
+// and network fault is simulated against a virtual clock, so fault
+// injection experiments are fast, reproducible, and seed-controlled.
+//
+// The engine uses a cooperative single-runner discipline: at any instant
+// exactly one simulated process executes; all others are parked. Processes
+// advance the virtual clock only through blocking operations (Sleep, Work,
+// Recv, Call), which makes runs with equal seeds bit-for-bit identical.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// StopReason reports why Engine.Run returned.
+type StopReason int
+
+const (
+	// StopQuiesced means the event queue drained: no process has pending
+	// work or timers. This is the normal end of a workload.
+	StopQuiesced StopReason = iota
+	// StopHorizon means the virtual-time horizon passed before the system
+	// quiesced. Long-running services (heartbeat loops) always end here.
+	StopHorizon
+	// StopEventBudget means the event-count safety valve fired, which
+	// usually indicates a runaway retry storm -- exactly the behaviour
+	// cascading-failure experiments try to provoke.
+	StopEventBudget
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopQuiesced:
+		return "quiesced"
+	case StopHorizon:
+		return "horizon"
+	case StopEventBudget:
+		return "event-budget"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(r))
+	}
+}
+
+// RunResult summarises a completed Engine.Run call.
+type RunResult struct {
+	Reason StopReason
+	Now    time.Duration
+	Events int
+}
+
+// LatencyFunc computes the one-way network latency for a message between
+// two nodes. Implementations may draw jitter from rng; the engine calls it
+// only from the single-runner context, so no locking is needed.
+type LatencyFunc func(rng *rand.Rand, src, dst string) time.Duration
+
+// Options configures a new Engine.
+type Options struct {
+	// Seed initialises the engine RNG. Runs with equal seeds and equal
+	// workloads produce identical schedules.
+	Seed int64
+	// MaxEvents bounds the number of processed events per Run call as a
+	// defence against livelock. Zero means the default (4 million).
+	MaxEvents int
+	// Latency overrides the default message latency model. When nil, a
+	// fixed DefaultLatency plus uniform Jitter is used.
+	Latency LatencyFunc
+	// DefaultLatency is the base one-way message latency (default 1ms).
+	DefaultLatency time.Duration
+	// Jitter is the maximum uniform extra latency per message (default
+	// 200us). Jitter is what makes different seeds explore different
+	// interleavings.
+	Jitter time.Duration
+}
+
+type eventKind int
+
+const (
+	evWake  eventKind = iota // resume a parked or not-yet-started process
+	evApply                  // run a closure in engine context
+)
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	proc *Proc
+	gen  uint64 // wake generation; stale wakes are ignored
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator instance. An Engine
+// is not safe for concurrent use; all interaction happens either before
+// Run, from within simulated processes, or from evApply closures.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	procs    []*Proc
+	nextPID  int
+	parked   chan struct{} // signalled by a process when it yields or exits
+	running  bool
+	closed   bool
+	executed int
+
+	latency    LatencyFunc
+	partitions map[[2]string]bool
+	paused     map[string]bool
+	crashed    map[string]bool
+	held       map[string][]heldDelivery // deliveries held while a node is paused
+
+	maxEvents int
+	fail      *procPanic
+
+	nextMailboxID int
+}
+
+// procPanic carries a user panic from a process goroutine back to the
+// engine goroutine.
+type procPanic struct {
+	proc *Proc
+	val  interface{}
+}
+
+type heldDelivery struct {
+	mb   *Mailbox
+	body interface{}
+}
+
+// NewEngine returns a fresh Engine configured by opts.
+func NewEngine(opts Options) *Engine {
+	if opts.MaxEvents == 0 {
+		opts.MaxEvents = 4_000_000
+	}
+	if opts.DefaultLatency == 0 {
+		opts.DefaultLatency = time.Millisecond
+	}
+	if opts.Jitter == 0 {
+		opts.Jitter = 200 * time.Microsecond
+	}
+	e := &Engine{
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		parked:     make(chan struct{}),
+		partitions: make(map[[2]string]bool),
+		paused:     make(map[string]bool),
+		crashed:    make(map[string]bool),
+		held:       make(map[string][]heldDelivery),
+		maxEvents:  opts.MaxEvents,
+	}
+	if opts.Latency != nil {
+		e.latency = opts.Latency
+	} else {
+		base, jit := opts.DefaultLatency, opts.Jitter
+		e.latency = func(rng *rand.Rand, src, dst string) time.Duration {
+			if src == dst {
+				return 10 * time.Microsecond
+			}
+			return base + time.Duration(rng.Int63n(int64(jit)+1))
+		}
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine RNG. It must only be used from the single-runner
+// context (process bodies, After closures, or before Run).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+func (e *Engine) schedule(at time.Duration, kind eventKind, p *Proc, gen uint64, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, kind: kind, proc: p, gen: gen, fn: fn})
+}
+
+// After runs fn in engine context at virtual time Now()+d. fn must not
+// block; use Spawn for blocking work.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.schedule(e.now+d, evApply, nil, 0, fn)
+}
+
+// Spawn creates a new simulated process on the given node and schedules it
+// to start immediately. The name is used in diagnostics and call stacks.
+func (e *Engine) Spawn(node, name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		eng:    e,
+		pid:    e.nextPID,
+		node:   node,
+		name:   name,
+		fn:     fn,
+		resume: make(chan wakeSignal),
+	}
+	e.procs = append(e.procs, p)
+	e.schedule(e.now, evWake, p, 0, nil)
+	return p
+}
+
+// Run processes events until the virtual clock passes the horizon, the
+// event queue drains, or the event budget is exhausted.
+func (e *Engine) Run(horizon time.Duration) RunResult {
+	if e.closed {
+		panic("sim: Run after Close")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	processed := 0
+	for e.events.Len() > 0 {
+		if processed >= e.maxEvents {
+			e.executed += processed
+			return RunResult{Reason: StopEventBudget, Now: e.now, Events: processed}
+		}
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at > horizon {
+			// Put it back for a potential later Run with a larger horizon.
+			heap.Push(&e.events, ev)
+			e.now = horizon
+			e.executed += processed
+			return RunResult{Reason: StopHorizon, Now: e.now, Events: processed}
+		}
+		e.now = ev.at
+		processed++
+		switch ev.kind {
+		case evApply:
+			ev.fn()
+		case evWake:
+			p := ev.proc
+			if p.done || p.killed || e.crashed[p.node] {
+				continue
+			}
+			if ev.gen != p.wakeGen {
+				continue // stale wake (e.g. timeout racing a delivery)
+			}
+			e.step(p, wakeSignal{})
+		}
+	}
+	e.executed += processed
+	return RunResult{Reason: StopQuiesced, Now: e.now, Events: processed}
+}
+
+// step hands the runner token to p and waits for it to park again.
+func (e *Engine) step(p *Proc, sig wakeSignal) {
+	if !p.started {
+		p.started = true
+		go p.run()
+	}
+	p.resume <- sig
+	<-e.parked
+	if e.fail != nil {
+		f := e.fail
+		e.fail = nil
+		panic(fmt.Sprintf("sim: process %q on node %q panicked: %v", f.proc.name, f.proc.node, f.val))
+	}
+}
+
+// Close terminates all live processes and releases their goroutines. It
+// must be called exactly once after the final Run.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, p := range e.procs {
+		if p.started && !p.done {
+			p.killed = true
+			e.step(p, wakeSignal{kill: true})
+		}
+	}
+}
+
+// Events returns the total number of events processed across all Run calls.
+func (e *Engine) Events() int { return e.executed }
+
+// --- network fault surface (used by the blackbox fuzzing baseline and by
+// workloads that model coarse external faults) ---
+
+func partKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// SetPartition blocks (or unblocks) message delivery between two nodes.
+func (e *Engine) SetPartition(a, b string, blocked bool) {
+	if blocked {
+		e.partitions[partKey(a, b)] = true
+	} else {
+		delete(e.partitions, partKey(a, b))
+	}
+}
+
+// Partitioned reports whether messages between a and b are being dropped.
+func (e *Engine) Partitioned(a, b string) bool { return e.partitions[partKey(a, b)] }
+
+// PauseNode holds all message deliveries to the node until ResumeNode.
+// Paused nodes keep their local timers; only the network is frozen, which
+// mirrors a GC pause or an overloaded NIC.
+func (e *Engine) PauseNode(node string) { e.paused[node] = true }
+
+// ResumeNode releases a paused node and flushes held deliveries.
+func (e *Engine) ResumeNode(node string) {
+	if !e.paused[node] {
+		return
+	}
+	delete(e.paused, node)
+	held := e.held[node]
+	delete(e.held, node)
+	for _, h := range held {
+		h.mb.deliver(h.body)
+	}
+}
+
+// CrashNode permanently removes a node: its processes stop being scheduled
+// and messages to it vanish.
+func (e *Engine) CrashNode(node string) {
+	e.crashed[node] = true
+	delete(e.held, node)
+	for _, p := range e.procs {
+		if p.node == node && p.started && !p.done {
+			p.wakeGen++ // invalidate pending wakes
+		}
+	}
+}
+
+// Crashed reports whether the node has been crashed.
+func (e *Engine) Crashed(node string) bool { return e.crashed[node] }

@@ -1,0 +1,28 @@
+package sim
+
+// Mutex is a cooperative mutual-exclusion lock for simulated processes,
+// built on a token mailbox. Target systems use it to model coarse-grained
+// locks (e.g. a namesystem lock) whose holders transitively delay every
+// other request -- a key contention-propagation mechanism in cascading
+// failures.
+type Mutex struct {
+	token *Mailbox
+}
+
+// NewMutex creates an unlocked mutex hosted on the given node.
+func NewMutex(e *Engine, node string) *Mutex {
+	m := &Mutex{token: e.NewMailbox(node, "mutex")}
+	m.token.deliver(struct{}{})
+	return m
+}
+
+// Lock blocks until the mutex is acquired.
+func (m *Mutex) Lock(p *Proc) {
+	p.Recv(m.token, -1)
+}
+
+// Unlock releases the mutex, waking one waiter. The unlocking process
+// must hold the lock.
+func (m *Mutex) Unlock(p *Proc) {
+	p.Send(m.token, struct{}{})
+}

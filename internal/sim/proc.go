@@ -1,0 +1,214 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// ErrTimeout is returned by Call when no response arrives in time.
+var ErrTimeout = errors.New("sim: rpc timeout")
+
+// ErrCrashed is returned by Call when the caller can immediately tell the
+// destination node is gone (same-node fast path); remote callers observe
+// ErrTimeout instead, as in a real network.
+var ErrCrashed = errors.New("sim: destination crashed")
+
+// errKilled is the panic sentinel used to unwind process goroutines when
+// the engine shuts them down.
+var errKilled = errors.New("sim: process killed")
+
+type wakeSignal struct {
+	kill bool
+}
+
+// Proc is a simulated process: a goroutine that runs under the engine's
+// cooperative single-runner discipline. All methods must be called from
+// the process's own body.
+type Proc struct {
+	eng    *Engine
+	pid    int
+	node   string
+	name   string
+	fn     func(p *Proc)
+	resume chan wakeSignal
+
+	started bool
+	done    bool
+	killed  bool
+	wakeGen uint64
+
+	// frames is the explicit call stack maintained by Enter/exit. The
+	// injection layer reads it to capture 2-level calling context and the
+	// per-frame local branch traces used by the compatibility check.
+	frames []Frame
+}
+
+// Frame is one entry of a process's explicit call stack.
+type Frame struct {
+	Fn string
+	// Branches accumulates (branch id, outcome) pairs evaluated in this
+	// frame since the frame was entered or since the innermost loop hook
+	// last reset it. The compatibility check compares these.
+	Branches []BranchEval
+}
+
+// BranchEval records a monitored branch evaluation.
+type BranchEval struct {
+	ID    string
+	Taken bool
+}
+
+func (p *Proc) run() {
+	defer func() {
+		r := recover()
+		p.done = true
+		if r != nil && r != errKilled {
+			// Propagate user panics to the engine goroutine, where Run
+			// re-raises them with process context.
+			p.eng.fail = &procPanic{proc: p, val: r}
+		}
+		p.eng.parked <- struct{}{}
+	}()
+	sig := <-p.resume
+	if sig.kill {
+		panic(errKilled)
+	}
+	p.fn(p)
+}
+
+// yield parks the process and hands the runner token back to the engine.
+func (p *Proc) yield() {
+	p.eng.parked <- struct{}{}
+	sig := <-p.resume
+	if sig.kill || p.killed {
+		panic(errKilled)
+	}
+}
+
+// block registers a fresh wake generation, optionally arms a timeout wake,
+// and parks. Returns after some wake targeted at the current generation.
+func (p *Proc) block(timeout time.Duration) {
+	p.wakeGen++
+	if timeout >= 0 {
+		p.eng.schedule(p.eng.now+timeout, evWake, p, p.wakeGen, nil)
+	}
+	p.yield()
+}
+
+// wakeNow schedules an immediate wake for the current generation. Used by
+// mailboxes on delivery.
+func (p *Proc) wakeNow() {
+	p.eng.schedule(p.eng.now, evWake, p, p.wakeGen, nil)
+}
+
+// Node returns the node this process runs on.
+func (p *Proc) Node() string { return p.node }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// PID returns the unique process id.
+func (p *Proc) PID() int { return p.pid }
+
+// Now returns current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+// Rand returns the engine RNG (single-runner safe).
+func (p *Proc) Rand() *rand.Rand { return p.eng.rng }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Sleep advances this process's local time by d.
+func (p *Proc) Sleep(d time.Duration) {
+	if p.killed {
+		panic(errKilled)
+	}
+	if d <= 0 {
+		return
+	}
+	p.wakeGen++
+	p.eng.schedule(p.eng.now+d, evWake, p, p.wakeGen, nil)
+	p.yield()
+}
+
+// Work models CPU-bound work of duration d. It is semantically identical
+// to Sleep but documents intent: a worker draining a queue serialises all
+// Work on itself, which is what makes queue length translate into latency
+// and latency into timeouts -- the contention mechanics cascading-failure
+// experiments rely on.
+func (p *Proc) Work(d time.Duration) { p.Sleep(d) }
+
+// Spawn starts a sibling process on the same node.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.eng.Spawn(p.node, name, fn)
+}
+
+// Enter pushes a named frame onto the explicit call stack and returns the
+// matching pop. Use as: defer p.Enter("BlockReceiver")().
+func (p *Proc) Enter(fn string) func() {
+	p.frames = append(p.frames, Frame{Fn: fn})
+	depth := len(p.frames)
+	return func() {
+		if len(p.frames) >= depth {
+			p.frames = p.frames[:depth-1]
+		}
+	}
+}
+
+// Stack returns up to the two innermost frame names, outermost first,
+// excluding nothing: [caller, callee] -- the "2-call-site sensitivity"
+// context from the paper (§6.2).
+func (p *Proc) Stack() []string {
+	n := len(p.frames)
+	lo := n - 2
+	if lo < 0 {
+		lo = 0
+	}
+	out := make([]string, 0, 2)
+	for _, f := range p.frames[lo:n] {
+		out = append(out, f.Fn)
+	}
+	return out
+}
+
+// FullStack returns the entire explicit call stack, outermost first.
+func (p *Proc) FullStack() []string {
+	out := make([]string, len(p.frames))
+	for i, f := range p.frames {
+		out[i] = f.Fn
+	}
+	return out
+}
+
+// RecordBranch appends a branch evaluation to the innermost frame.
+func (p *Proc) RecordBranch(id string, taken bool) {
+	if len(p.frames) == 0 {
+		p.frames = append(p.frames, Frame{Fn: p.name})
+	}
+	f := &p.frames[len(p.frames)-1]
+	f.Branches = append(f.Branches, BranchEval{ID: id, Taken: taken})
+}
+
+// ResetLocalBranches clears the innermost frame's branch accumulator. Loop
+// hooks call this at each iteration so occurrence states carry only the
+// fault-happening iteration's trace (§6.2).
+func (p *Proc) ResetLocalBranches() {
+	if len(p.frames) == 0 {
+		return
+	}
+	f := &p.frames[len(p.frames)-1]
+	f.Branches = f.Branches[:0]
+}
+
+// LocalBranches returns a copy of the innermost frame's branch trace.
+func (p *Proc) LocalBranches() []BranchEval {
+	if len(p.frames) == 0 {
+		return nil
+	}
+	src := p.frames[len(p.frames)-1].Branches
+	out := make([]BranchEval, len(src))
+	copy(out, src)
+	return out
+}

@@ -1,0 +1,170 @@
+// Package stats implements the statistical machinery FCA needs: a
+// one-sided Welch t-test over loop iteration counts (§4.3 uses p < 0.1 to
+// call an iteration increase significant) built on a from-scratch
+// regularized incomplete beta function, since only the standard library is
+// available.
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when n < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// TTestGreater performs a one-sided Welch t-test of H1: mean(a) > mean(b),
+// returning the p-value. Degenerate inputs are handled conservatively:
+//   - fewer than 2 samples on either side: p = 1 (cannot conclude), unless
+//     both sides are all-equal constants, which reduces to a comparison;
+//   - both variances zero: p = 0 if mean(a) > mean(b), else 1.
+func TTestGreater(a, b []float64) float64 {
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	if va == 0 && vb == 0 {
+		if allEqual(a) && allEqual(b) && len(a) > 0 && len(b) > 0 {
+			if ma > mb {
+				return 0
+			}
+			return 1
+		}
+	}
+	if len(a) < 2 || len(b) < 2 {
+		return 1
+	}
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma > mb {
+			return 0
+		}
+		return 1
+	}
+	t := (ma - mb) / se
+	// Welch–Satterthwaite degrees of freedom.
+	num := (va/na + vb/nb) * (va/na + vb/nb)
+	den := (va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1))
+	df := num / den
+	if math.IsNaN(df) || df <= 0 {
+		return 1
+	}
+	return 1 - StudentCDF(t, df)
+}
+
+func allEqual(xs []float64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// StudentCDF returns P(T <= t) for Student's t distribution with df
+// degrees of freedom.
+func StudentCDF(t, df float64) float64 {
+	if math.IsInf(t, 1) {
+		return 1
+	}
+	if math.IsInf(t, -1) {
+		return 0
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Lentz's method), following the
+// classical Numerical Recipes formulation.
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

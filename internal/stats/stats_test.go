@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %v, want %v", v, 32.0/7.0)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestStudentCDFReferenceValues(t *testing.T) {
+	// Reference values from standard t tables.
+	cases := []struct {
+		t, df, want float64
+	}{
+		{0, 5, 0.5},
+		{1.476, 5, 0.90},    // t_{0.90,5}
+		{2.015, 5, 0.95},    // t_{0.95,5}
+		{2.571, 5, 0.975},   // t_{0.975,5}
+		{1.533, 4, 0.90},    // t_{0.90,4}
+		{2.132, 4, 0.95},    // t_{0.95,4}
+		{1.282, 1000, 0.90}, // approaches the normal quantile
+		{-2.015, 5, 0.05},   // symmetry
+	}
+	for _, c := range cases {
+		got := StudentCDF(c.t, c.df)
+		if !approx(got, c.want, 2e-3) {
+			t.Errorf("StudentCDF(%v, %v) = %v, want %v", c.t, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentCDFSymmetryProperty(t *testing.T) {
+	f := func(rawT int16, rawDF uint8) bool {
+		tt := float64(rawT) / 1000
+		df := float64(rawDF%60) + 1
+		lo := StudentCDF(tt, df)
+		hi := StudentCDF(-tt, df)
+		return approx(lo+hi, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudentCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b int16, rawDF uint8) bool {
+		x, y := float64(a)/500, float64(b)/500
+		if x > y {
+			x, y = y, x
+		}
+		df := float64(rawDF%40) + 2
+		return StudentCDF(x, df) <= StudentCDF(y, df)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 {
+		t.Error("I_0 != 0")
+	}
+	if RegIncBeta(2, 3, 1) != 1 {
+		t.Error("I_1 != 1")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !approx(got, x, 1e-10) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(1, b) = 1-(1-x)^b.
+	if got := RegIncBeta(1, 4, 0.3); !approx(got, 1-math.Pow(0.7, 4), 1e-10) {
+		t.Errorf("I_.3(1,4) = %v", got)
+	}
+}
+
+func TestTTestClearIncrease(t *testing.T) {
+	base := []float64{10, 11, 10, 12, 11}
+	inflated := []float64{25, 27, 24, 26, 28}
+	p := TTestGreater(inflated, base)
+	if p >= 0.01 {
+		t.Fatalf("p = %v, want < 0.01 for an obvious increase", p)
+	}
+}
+
+func TestTTestNoIncrease(t *testing.T) {
+	a := []float64{10, 11, 10, 12, 11}
+	b := []float64{11, 10, 12, 10, 11}
+	p := TTestGreater(a, b)
+	if p < 0.1 {
+		t.Fatalf("p = %v, want >= 0.1 for identical distributions", p)
+	}
+}
+
+func TestTTestDecreaseIsNotSignificant(t *testing.T) {
+	a := []float64{5, 6, 5, 6, 5}
+	b := []float64{20, 22, 21, 19, 20}
+	if p := TTestGreater(a, b); p < 0.9 {
+		t.Fatalf("p = %v, want near 1 when a < b", p)
+	}
+}
+
+func TestTTestConstantSamples(t *testing.T) {
+	if p := TTestGreater([]float64{7, 7, 7}, []float64{3, 3, 3}); p != 0 {
+		t.Errorf("constant increase: p = %v, want 0", p)
+	}
+	if p := TTestGreater([]float64{3, 3}, []float64{3, 3}); p != 1 {
+		t.Errorf("constant equal: p = %v, want 1", p)
+	}
+	if p := TTestGreater([]float64{1, 1}, []float64{9, 9}); p != 1 {
+		t.Errorf("constant decrease: p = %v, want 1", p)
+	}
+}
+
+func TestTTestTinySamples(t *testing.T) {
+	if p := TTestGreater([]float64{5}, []float64{1, 2, 3}); p != 1 {
+		t.Errorf("n=1 with variance: p = %v, want 1 (cannot conclude)", p)
+	}
+	if p := TTestGreater([]float64{5}, []float64{2}); p != 0 {
+		t.Errorf("two constants: p = %v, want 0 via comparison fallback", p)
+	}
+}
+
+func TestTTestPValueInUnitIntervalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seedA, seedB uint8) bool {
+		n := int(seedA%5) + 2
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()*float64(seedA%7+1) + float64(seedB%13)
+			b[i] = rng.NormFloat64()*float64(seedB%7+1) + float64(seedA%13)
+		}
+		p := TTestGreater(a, b)
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTestDetectsModerateShiftAtPaperThreshold(t *testing.T) {
+	// The paper's criterion is p < 0.1 with five runs per side. A shift of
+	// about two standard deviations should clear it.
+	base := []float64{100, 102, 98, 101, 99}
+	shifted := []float64{104, 106, 103, 105, 107}
+	if p := TTestGreater(shifted, base); p >= 0.1 {
+		t.Fatalf("p = %v, want < 0.1", p)
+	}
+}

@@ -1,0 +1,196 @@
+package dfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// writeClientTimeout is the client's patience for a whole-block pipeline
+// write (generously above the in-pipeline ack deadline so receiver-side
+// errors surface as error replies, not bare timeouts).
+const writeClientTimeout = 9 * time.Second
+
+// WriterOpts shapes a writer process.
+type WriterOpts struct {
+	Name   string
+	Files  int
+	Blocks int // blocks per file
+	Gap    time.Duration
+	// AbortMidWrite abandons each file's last block halfway through,
+	// leaving partial replicas behind (lease-recovery fodder).
+	AbortMidWrite bool
+	// Delete removes each file right after writing it (churn).
+	Delete bool
+	// Start delays the writer's first operation.
+	Start time.Duration
+}
+
+// SpawnWriter starts a writer client process against the cluster.
+func (c *Cluster) SpawnWriter(opts WriterOpts) {
+	node := "client-" + opts.Name
+	c.eng.Spawn(node, opts.Name, func(p *sim.Proc) {
+		defer p.Enter("writeFile")()
+		rt := c.rt
+		if opts.Start > 0 {
+			p.Sleep(opts.Start)
+		}
+		if opts.Gap == 0 {
+			opts.Gap = 300 * time.Millisecond
+		}
+		for f := 0; f < opts.Files; f++ {
+			file := fmt.Sprintf("/%s/f%d", opts.Name, f)
+			for b := 0; b < opts.Blocks; b++ {
+				rt.Loop(p, PtClientWriteLoop)
+				abort := opts.AbortMidWrite && b == opts.Blocks-1
+				c.writeBlock(p, file, abort)
+				p.Sleep(opts.Gap + time.Duration(p.Rand().Intn(60))*time.Millisecond)
+			}
+			if opts.Delete {
+				p.Call(c.nn.rpc, deleteFileMsg{file: file}, c.cfg.RPCTimeout)
+				p.Sleep(opts.Gap)
+			}
+		}
+	})
+}
+
+// writeBlock allocates and writes one block, rebuilding the pipeline on
+// failure up to cfg.ClientRetries times.
+func (c *Cluster) writeBlock(p *sim.Proc, file string, abort bool) {
+	rt := c.rt
+	exclude := map[string]bool{}
+	attempts := 0
+	for {
+		attempts++
+		resp, err := p.Call(c.nn.rpc, addBlockMsg{file: file, exclude: exclude}, c.cfg.RPCTimeout)
+		if err != nil {
+			if rt.Guard(p, PtClientWriteIOE, attempts > c.cfg.ClientRetries) {
+				return // write abandoned at the client surface
+			}
+			p.Sleep(500 * time.Millisecond)
+			continue
+		}
+		alloc := resp.(addBlockReply)
+		primary := c.dnByName(alloc.targets[0])
+		if abort {
+			// Stream half the packets then abandon the block: the lease
+			// is left dangling and the NameNode must recover it.
+			for i := 0; i < packetsPerBlock/2; i++ {
+				p.Call(primary.mirror, packetMsg{block: alloc.block}, 3*time.Second)
+			}
+			p.Call(c.nn.rpc, abandonMsg{block: alloc.block, file: file}, c.cfg.RPCTimeout)
+			return
+		}
+		_, err = p.Call(primary.xfer, writeBlockMsg{
+			block:    alloc.block,
+			file:     file,
+			pipeline: alloc.targets,
+			packets:  packetsPerBlock,
+		}, writeClientTimeout)
+		if err == nil {
+			return
+		}
+		// Pipeline failure: abandon the attempt (queueing cleanup and,
+		// when enabled, lease recovery) and retry with the primary
+		// excluded.
+		p.Call(c.nn.rpc, abandonMsg{block: alloc.block, file: file, failedDN: alloc.targets[0]}, c.cfg.RPCTimeout)
+		exclude[alloc.targets[0]] = true
+		if rt.Guard(p, PtClientWriteIOE, attempts > c.cfg.ClientRetries) {
+			return
+		}
+		p.Sleep(300 * time.Millisecond)
+	}
+}
+
+// ReaderOpts shapes a reader process.
+type ReaderOpts struct {
+	Name  string
+	Ops   int
+	Gap   time.Duration
+	Start time.Duration
+}
+
+// SpawnReader starts a reader that cycles over the preloaded blocks.
+func (c *Cluster) SpawnReader(opts ReaderOpts) {
+	node := "client-" + opts.Name
+	c.eng.Spawn(node, opts.Name, func(p *sim.Proc) {
+		defer p.Enter("readFile")()
+		rt := c.rt
+		if opts.Start > 0 {
+			p.Sleep(opts.Start)
+		}
+		if opts.Gap == 0 {
+			opts.Gap = 200 * time.Millisecond
+		}
+		for i := 0; i < opts.Ops; i++ {
+			rt.Loop(p, PtClientReadLoop)
+			c.readAny(p, i)
+			p.Sleep(opts.Gap + time.Duration(p.Rand().Intn(40))*time.Millisecond)
+		}
+	})
+}
+
+// readAny reads some finalized block from some DataNode, retrying once on
+// a different replica before surfacing a read error.
+func (c *Cluster) readAny(p *sim.Proc, salt int) {
+	rt := c.rt
+	done := false
+	for attempt := 0; attempt < 2 && !done; attempt++ {
+		dn := c.dns[(salt+attempt)%len(c.dns)]
+		block := dn.anyFinalized(salt)
+		if block < 0 {
+			continue
+		}
+		if _, err := p.Call(dn.xfer, readBlockMsg{block: block}, readTimeout); err == nil {
+			done = true
+		}
+	}
+	rt.Guard(p, PtClientReadIOE, !done)
+}
+
+// anyFinalized picks a deterministic finalized block, or -1.
+func (dn *dataNode) anyFinalized(salt int) int {
+	if len(dn.cache) > 0 {
+		return dn.cache[salt%len(dn.cache)]
+	}
+	best := -1
+	for b := range dn.finalized {
+		if best == -1 || b < best {
+			best = b
+		}
+	}
+	return best
+}
+
+// dnByName resolves a DataNode by node name.
+func (c *Cluster) dnByName(name string) *dataNode {
+	for _, d := range c.dns {
+		if d.node == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Preload installs cfg.PreloadBlocks committed blocks per DataNode and
+// registers every DataNode with the NameNode. Call once per workload,
+// before spawning clients.
+func (c *Cluster) Preload() {
+	id := 1_000_000 // preloaded block ids live above client allocations
+	for _, dn := range c.dns {
+		var blocks []int
+		for i := 0; i < c.cfg.PreloadBlocks; i++ {
+			blocks = append(blocks, id)
+			c.nn.preloadBlock(id, []string{dn.node})
+			id++
+		}
+		dn.preload(blocks)
+		c.nn.registerDN(dn.node, blocks)
+	}
+	if c.cfg.PreloadBlocks == 0 {
+		for _, dn := range c.dns {
+			c.nn.registerDN(dn.node, nil)
+		}
+	}
+}

@@ -1,0 +1,539 @@
+package dfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// --- DataNode transfer messages ---
+
+type writeBlockMsg struct {
+	block    int
+	file     string
+	pipeline []string // all replica holders, primary first
+	packets  int
+}
+
+type packetMsg struct {
+	block int
+	last  bool
+}
+
+type readBlockMsg struct{ block int }
+
+type copyBlockMsg struct{ block int }
+
+type dataNode struct {
+	c    *Cluster
+	idx  int
+	node string
+
+	xfer   *sim.Mailbox // data transfer server (writes, reads, copies)
+	mirror *sim.Mailbox // dedicated mirror-packet lane (prevents pipeline
+	// self-deadlock when every xceiver is a busy primary)
+	diskMu *sim.Mutex
+
+	blocks    map[int]bool
+	finalized map[int]bool
+
+	pendingIBR []ibrEntry
+	ibrRetry   bool // failed IBR pending: retried at next heartbeat,
+	// bypassing the configured interval (the HDFS2-6 bug)
+	lastIBR time.Duration
+
+	recoverQ *sim.Mailbox
+	deleteQ  *sim.Mailbox
+	reconQ   *sim.Mailbox
+
+	// recoveryLease tracks dangling per-block recovery leases left by
+	// failed attempts; attempts on a leased block fail fast and extend
+	// the lease -- the self-sustaining core of the HDFS2-3 bug.
+	recoveryLease map[int]time.Duration
+
+	cache    []int
+	cacheSet map[int]bool
+}
+
+func newDataNode(c *Cluster, idx int) *dataNode {
+	dn := &dataNode{
+		c:             c,
+		idx:           idx,
+		node:          fmt.Sprintf("dn%d", idx),
+		blocks:        make(map[int]bool),
+		finalized:     make(map[int]bool),
+		cacheSet:      make(map[int]bool),
+		recoveryLease: make(map[int]time.Duration),
+	}
+	dn.xfer = c.eng.NewMailbox(dn.node, "xfer")
+	dn.mirror = c.eng.NewMailbox(dn.node, "mirror")
+	dn.diskMu = sim.NewMutex(c.eng, dn.node)
+	dn.recoverQ = c.eng.NewMailbox(dn.node, "recoverq")
+	dn.deleteQ = c.eng.NewMailbox(dn.node, "deleteq")
+	dn.reconQ = c.eng.NewMailbox(dn.node, "reconq")
+	return dn
+}
+
+func (dn *dataNode) start() {
+	for i := 0; i < 2; i++ {
+		dn.c.eng.Spawn(dn.node, "xceiver", dn.xceiverLoop)
+		dn.c.eng.Spawn(dn.node, "mirrorWorker", dn.mirrorLoop)
+	}
+	dn.c.eng.Spawn(dn.node, "bpServiceActor", dn.bpServiceActor)
+	dn.c.eng.Spawn(dn.node, "deletionService", dn.deletionService)
+	dn.c.eng.Spawn(dn.node, "recoveryWorker", dn.recoveryWorker)
+	if dn.c.cfg.CacheCapacity > 0 {
+		dn.c.eng.Spawn(dn.node, "cacheManager", dn.cacheManager)
+	}
+	if dn.c.cfg.V3 {
+		dn.c.eng.Spawn(dn.node, "reconstructionWorker", dn.reconstructionWorker)
+	}
+}
+
+func (dn *dataNode) preload(blocks []int) {
+	for _, b := range blocks {
+		dn.blocks[b] = true
+		dn.finalized[b] = true
+	}
+}
+
+func (dn *dataNode) queueIBR(e ibrEntry) { dn.pendingIBR = append(dn.pendingIBR, e) }
+
+// diskOp acquires the disk with a patience deadline; ok is false when the
+// disk stayed busy past the deadline (the caller's write/read fails).
+func (dn *dataNode) diskOp(p *sim.Proc, cost time.Duration, patience time.Duration) bool {
+	start := p.Now()
+	dn.diskMu.Lock(p)
+	waited := p.Now() - start
+	if patience > 0 && waited > patience {
+		dn.diskMu.Unlock(p)
+		return false
+	}
+	p.Work(cost)
+	dn.diskMu.Unlock(p)
+	return true
+}
+
+// --- BPServiceActor: the Figure 5 service loop ---
+// Loop 1 (service) contains Loop 2 (command processing) and Loop 3 (IBR
+// sending) as consecutive children; a delayed child stalls its parent and
+// sibling, which is exactly what the ICFG/CFG edges model.
+
+func (dn *dataNode) bpServiceActor(p *sim.Proc) {
+	defer p.Enter("BPServiceActor")()
+	rt := dn.c.rt
+	cfg := dn.c.cfg
+	nn := dn.c.nn
+
+	// Initial registration: a full block report covering the preload.
+	p.Call(nn.rpc, fbrMsg{dn: dn.node, blocks: len(dn.blocks)}, cfg.RPCTimeout)
+
+	for {
+		rt.Loop(p, PtDNServiceLoop)
+		p.Sleep(cfg.HBInterval + time.Duration(p.Rand().Intn(50))*time.Millisecond)
+
+		resp, err := p.Call(nn.svc, hbMsg{dn: dn.node}, cfg.RPCTimeout)
+		if rt.Guard(p, PtDNHBRPCIOE, err != nil) {
+			continue // heartbeat lost; retried next round
+		}
+		reply := resp.(hbReply)
+		for _, cmd := range reply.cmds {
+			rt.Loop(p, PtDNCmdLoop)
+			dn.processCommand(p, cmd)
+		}
+
+		if dn.shouldSendIBR(p) {
+			dn.sendIBR(p)
+		}
+	}
+}
+
+// shouldSendIBR applies the IBR throttle -- except that a previously
+// failed report is retried at the very next heartbeat, ignoring the
+// configured interval (Table 3 HDFS2-6, §8.3.2).
+func (dn *dataNode) shouldSendIBR(p *sim.Proc) bool {
+	if len(dn.pendingIBR) == 0 {
+		return false
+	}
+	if dn.c.cfg.IBRInterval == 0 {
+		return true
+	}
+	if dn.ibrRetry {
+		return true
+	}
+	return p.Now()-dn.lastIBR >= dn.c.cfg.IBRInterval
+}
+
+// sendIBR streams the pending entries to the NameNode in batches.
+func (dn *dataNode) sendIBR(p *sim.Proc) {
+	defer p.Enter("sendIBR")()
+	rt := dn.c.rt
+	cfg := dn.c.cfg
+	var batch []ibrEntry
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		_, err := p.Call(dn.c.nn.rpc, ibrMsg{dn: dn.node, entries: batch}, cfg.RPCTimeout)
+		if rt.Guard(p, PtDNIBRRPCIOE, err != nil) {
+			// Keep everything still pending and retry at the next
+			// heartbeat (bypassing the throttle interval).
+			dn.ibrRetry = true
+			return false
+		}
+		dn.pendingIBR = dn.pendingIBR[len(batch):]
+		batch = batch[:0]
+		return true
+	}
+	pending := append([]ibrEntry(nil), dn.pendingIBR...)
+	for _, e := range pending {
+		rt.Loop(p, PtDNIBRSendLoop)
+		p.Work(500 * time.Microsecond)
+		batch = append(batch, e)
+		if len(batch) >= cfg.IBRBatch {
+			if !flush() {
+				return
+			}
+		}
+	}
+	if !flush() {
+		return
+	}
+	dn.ibrRetry = false
+	dn.lastIBR = p.Now()
+}
+
+func (dn *dataNode) processCommand(p *sim.Proc, cmd command) {
+	switch cmd.kind {
+	case "replicate":
+		dn.copyReplica(p, cmd.block, cmd.target)
+	case "delete":
+		p.Send(dn.deleteQ, cmd.block)
+	case "recover":
+		p.Send(dn.recoverQ, cmd)
+	case "reconstruct":
+		p.Send(dn.reconQ, cmd.block)
+	}
+}
+
+// copyReplica performs an inline replica copy to the target DN: a local
+// disk read followed by a transfer RPC. Running inline in the command
+// loop, heavy replication traffic delays heartbeats -- the staleness
+// feedback path.
+func (dn *dataNode) copyReplica(p *sim.Proc, block int, target string) {
+	defer p.Enter("copyReplica")()
+	rt := dn.c.rt
+	if !dn.blocks[block] {
+		return
+	}
+	dn.diskOp(p, diskReadCost, 0)
+	var tgt *dataNode
+	for _, d := range dn.c.dns {
+		if d.node == target {
+			tgt = d
+			break
+		}
+	}
+	var err error
+	if tgt == nil {
+		err = &pipelineError{"unknown target"}
+	} else {
+		_, err = p.Call(tgt.xfer, copyBlockMsg{block: block}, dn.c.cfg.RPCTimeout)
+	}
+	if rt.Guard(p, PtDNReplCopyIOE, err != nil) {
+		// Copy failed; the block stays under-replicated and the monitor
+		// will retry on a later scan.
+		dn.c.nn.mu.Lock(p)
+		dn.c.nn.underRepl = append(dn.c.nn.underRepl, block)
+		dn.c.nn.mu.Unlock(p)
+	}
+}
+
+// --- data transfer server ---
+
+func (dn *dataNode) xceiverLoop(p *sim.Proc) {
+	for {
+		m, ok := p.Recv(dn.xfer, -1)
+		if !ok {
+			return
+		}
+		req := m.(sim.Req)
+		switch body := req.Body.(type) {
+		case writeBlockMsg:
+			dn.blockReceiver(p, req, body)
+		case readBlockMsg:
+			dn.handleRead(p, req, body)
+		case copyBlockMsg:
+			dn.handleCopy(p, req, body)
+		default:
+			p.Reply(req, nil, nil)
+		}
+	}
+}
+
+func (dn *dataNode) mirrorLoop(p *sim.Proc) {
+	for {
+		m, ok := p.Recv(dn.mirror, -1)
+		if !ok {
+			return
+		}
+		req := m.(sim.Req)
+		if body, isPacket := req.Body.(packetMsg); isPacket {
+			dn.handleMirrorPacket(p, req, body)
+		} else {
+			p.Reply(req, nil, nil)
+		}
+	}
+}
+
+// blockReceiver runs the primary end of the write pipeline: it receives
+// packets, persists them, mirrors them downstream, and finally waits for
+// the NameNode commit ack within the ack deadline.
+func (dn *dataNode) blockReceiver(p *sim.Proc, req sim.Req, msg writeBlockMsg) {
+	defer p.Enter("BlockReceiver")()
+	rt := dn.c.rt
+	cfg := dn.c.cfg
+	start := p.Now()
+	deadline := start + cfg.AckTimeout
+
+	var downstream []*dataNode
+	for _, name := range msg.pipeline[1:] {
+		for _, d := range dn.c.dns {
+			if d.node == name {
+				downstream = append(downstream, d)
+			}
+		}
+	}
+
+	dn.blocks[msg.block] = true
+	rt.Branch(p, "dfs.pipeline.has_downstream", len(downstream) > 0)
+	for i := 0; i < msg.packets; i++ {
+		rt.Loop(p, PtDNReceiveLoop)
+		// Local persistence; fails if the disk is hogged past patience
+		// (deletion/eviction/recovery contention) or by injection.
+		ok := dn.diskOp(p, diskWriteCost, diskWaitDeadline)
+		if rt.Guard(p, PtDNWriteIOE, !ok) {
+			p.Reply(req, nil, &pipelineError{"disk write failed"})
+			return
+		}
+		// Mirror to each downstream replica.
+		for _, d := range downstream {
+			_, err := p.Call(d.mirror, packetMsg{block: msg.block, last: i == msg.packets-1}, 3*time.Second)
+			if rt.Guard(p, PtDNMirrorIOE, err != nil) {
+				p.Reply(req, nil, &pipelineError{"mirror forward failed"})
+				return
+			}
+		}
+	}
+	dn.finalizeBlock(p, msg.block)
+
+	// Commit ack: the block must be committed on the NameNode within the
+	// ack deadline; a namesystem lock stalled past the deadline surfaces
+	// here as the pipeline ack exception. The guard is evaluated before
+	// each attempt so an injected ack failure aborts an uncommitted
+	// block, exactly like a real early throw.
+	for {
+		if rt.Guard(p, PtDNAckIOE, p.Now() >= deadline) {
+			p.Reply(req, nil, &pipelineError{"commit ack deadline exceeded"})
+			return
+		}
+		resp, err := p.Call(dn.c.nn.rpc, commitMsg{block: msg.block}, cfg.RPCTimeout)
+		if err == nil && p.Now() < deadline {
+			if ready, _ := resp.(bool); ready {
+				break
+			}
+		}
+		// Late or failed commit: a stale ack is worthless to the client;
+		// loop back so the deadline guard fires.
+		p.Sleep(commitRetryGap)
+	}
+	p.Reply(req, msg.block, nil)
+}
+
+// handleMirrorPacket is the downstream end of the pipeline.
+func (dn *dataNode) handleMirrorPacket(p *sim.Proc, req sim.Req, msg packetMsg) {
+	defer p.Enter("mirrorReceiver")()
+	rt := dn.c.rt
+	dn.blocks[msg.block] = true
+	ok := dn.diskOp(p, diskWriteCost, diskWaitDeadline)
+	if rt.Guard(p, PtDNWriteIOE, !ok) {
+		p.Reply(req, nil, &pipelineError{"disk write failed"})
+		return
+	}
+	if msg.last {
+		dn.finalizeBlock(p, msg.block)
+	}
+	p.Reply(req, nil, nil)
+}
+
+// finalizeBlock completes a local replica: it becomes reportable (IBR) and
+// cached.
+func (dn *dataNode) finalizeBlock(p *sim.Proc, block int) {
+	dn.finalized[block] = true
+	dn.queueIBR(ibrEntry{block: block, kind: "received"})
+	if dn.c.cfg.CacheCapacity > 0 && !dn.cacheSet[block] {
+		dn.cache = append(dn.cache, block)
+		dn.cacheSet[block] = true
+	}
+}
+
+func (dn *dataNode) handleRead(p *sim.Proc, req sim.Req, msg readBlockMsg) {
+	defer p.Enter("readBlock")()
+	if !dn.blocks[msg.block] {
+		p.Reply(req, nil, &pipelineError{"replica not found"})
+		return
+	}
+	if !dn.diskOp(p, diskReadCost, readTimeout) {
+		p.Reply(req, nil, &pipelineError{"read too slow"})
+		return
+	}
+	p.Reply(req, msg.block, nil)
+}
+
+func (dn *dataNode) handleCopy(p *sim.Proc, req sim.Req, msg copyBlockMsg) {
+	defer p.Enter("receiveCopy")()
+	if !dn.diskOp(p, diskWriteCost*packetsPerBlock, 0) {
+		p.Reply(req, nil, &pipelineError{"copy write failed"})
+		return
+	}
+	dn.blocks[msg.block] = true
+	dn.finalizeBlock(p, msg.block)
+	p.Reply(req, nil, nil)
+}
+
+// --- background services ---
+
+// deletionService drains the deletion queue in batches under the disk
+// lock; writes racing a large batch wait -- the HDFS3-1 contention source.
+func (dn *dataNode) deletionService(p *sim.Proc) {
+	defer p.Enter("deletionService")()
+	rt := dn.c.rt
+	for {
+		m, ok := p.Recv(dn.deleteQ, -1)
+		if !ok {
+			return
+		}
+		batch := []int{m.(int)}
+		for dn.deleteQ.Len() > 0 {
+			if m2, ok2 := p.Recv(dn.deleteQ, 0); ok2 {
+				batch = append(batch, m2.(int))
+			}
+		}
+		dn.diskMu.Lock(p)
+		for _, b := range batch {
+			rt.Loop(p, PtDNDeletionLoop)
+			p.Work(deletionCost)
+			delete(dn.blocks, b)
+			delete(dn.finalized, b)
+			dn.queueIBR(ibrEntry{block: b, kind: "deleted"})
+		}
+		dn.diskMu.Unlock(p)
+	}
+}
+
+// cacheManager evicts blocks beyond capacity in batches under the disk
+// lock -- the HDFS2-5 contention source.
+func (dn *dataNode) cacheManager(p *sim.Proc) {
+	defer p.Enter("cacheManager")()
+	rt := dn.c.rt
+	for {
+		p.Sleep(500*time.Millisecond + time.Duration(p.Rand().Intn(20))*time.Millisecond)
+		if len(dn.cache) <= dn.c.cfg.CacheCapacity {
+			continue
+		}
+		dn.diskMu.Lock(p)
+		for len(dn.cache) > dn.c.cfg.CacheCapacity {
+			rt.Loop(p, PtDNEvictLoop)
+			p.Work(evictCost)
+			victim := dn.cache[0]
+			dn.cache = dn.cache[1:]
+			delete(dn.cacheSet, victim)
+		}
+		dn.diskMu.Unlock(p)
+	}
+}
+
+// recoveryWorker executes block recovery commands: it validates the local
+// replica, truncates/finalizes it, and reports back. Recoveries that miss
+// their deadline fail and are re-enqueued by the NameNode without bound
+// (Table 3 HDFS2-3).
+func (dn *dataNode) recoveryWorker(p *sim.Proc) {
+	defer p.Enter("recoveryWorker")()
+	rt := dn.c.rt
+	cfg := dn.c.cfg
+	for {
+		m, ok := p.Recv(dn.recoverQ, -1)
+		if !ok {
+			return
+		}
+		cmd := m.(command)
+		rt.Loop(p, PtDNRecoveryLoop)
+		rt.Branch(p, "dfs.recovery.replica_present", dn.blocks[cmd.block])
+		valid := rt.Negate(p, PtDNReplicaValid, dn.finalized[cmd.block], false)
+		if !valid {
+			// Partial replica: salvage requires a full rewrite pass.
+			dn.diskOp(p, recoveryExecCost, 0)
+		} else {
+			dn.diskOp(p, recoveryFastCost, 0)
+		}
+		// A failed attempt leaves a dangling recovery lease; while it is
+		// held every new attempt on the block fails fast AND extends the
+		// lease. One deadline miss therefore breeds an indefinite
+		// miss-retry-miss loop (Table 3 HDFS2-3).
+		leased := p.Now() < dn.recoveryLease[cmd.block]
+		if rt.Guard(p, PtDNRecoveryIOE, leased || p.Now() > cmd.deadline) {
+			dn.recoveryLease[cmd.block] = p.Now() + recoveryLeaseHold
+			p.Call(dn.c.nn.rpc, recoveryDoneMsg{block: cmd.block, dn: dn.node, ok: false}, cfg.RPCTimeout)
+			continue
+		}
+		delete(dn.recoveryLease, cmd.block)
+		dn.finalized[cmd.block] = true
+		dn.queueIBR(ibrEntry{block: cmd.block, kind: "received"})
+		p.Call(dn.c.nn.rpc, recoveryDoneMsg{block: cmd.block, dn: dn.node, ok: true}, cfg.RPCTimeout)
+	}
+}
+
+// reconstructionWorker (V3) rebuilds missing replicas by reading chunks
+// from the surviving holders -- expensive work whose duplication under
+// re-dispatch is the HDFS3-2 feedback loop.
+func (dn *dataNode) reconstructionWorker(p *sim.Proc) {
+	defer p.Enter("reconstructionWorker")()
+	rt := dn.c.rt
+	cfg := dn.c.cfg
+	for {
+		m, ok := p.Recv(dn.reconQ, -1)
+		if !ok {
+			return
+		}
+		block := m.(int)
+		rt.Loop(p, PtDNReconstructLoop)
+		start := p.Now()
+		// Read source chunks from up to two peers.
+		sources := 0
+		var readErr error
+		for _, peer := range dn.c.dns {
+			if peer == dn || !peer.blocks[block] {
+				continue
+			}
+			if sources >= 2 {
+				break
+			}
+			if _, err := p.Call(peer.xfer, readBlockMsg{block: block}, readTimeout); err != nil {
+				readErr = err
+			}
+			sources++
+		}
+		tooSlow := p.Now()-start > reconstructWait
+		if rt.Guard(p, PtDNReconReadIOE, readErr != nil || tooSlow) {
+			// Failed reconstruction: report failure; the block remains
+			// pending and will be re-dispatched.
+			p.Call(dn.c.nn.rpc, reconDoneMsg{block: block, dn: dn.node, ok: false}, cfg.RPCTimeout)
+			continue
+		}
+		dn.diskOp(p, reconstructCost, 0)
+		dn.blocks[block] = true
+		dn.finalizeBlock(p, block)
+		p.Call(dn.c.nn.rpc, reconDoneMsg{block: block, dn: dn.node, ok: true}, cfg.RPCTimeout)
+	}
+}

@@ -1,0 +1,265 @@
+package dfs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+// runWorkload executes one named workload under a plan and returns its
+// trace.
+func runWorkload(t *testing.T, sys sysreg.System, name string, plan inject.Plan, seed int64) *trace.Run {
+	t.Helper()
+	for _, w := range sys.Workloads() {
+		if w.Name != name {
+			continue
+		}
+		rec := trace.NewRun(name, seed)
+		rt := inject.New(plan, rec)
+		eng := sim.NewEngine(sim.Options{Seed: seed})
+		w.Run(&sysreg.RunContext{Engine: eng, RT: rt})
+		res := eng.Run(w.Horizon)
+		eng.Close()
+		rec.Result = res
+		return rec
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+func runSet(t *testing.T, sys sysreg.System, name string, plan inject.Plan, n int, base int64) *trace.Set {
+	s := &trace.Set{}
+	for i := 0; i < n; i++ {
+		s.Add(runWorkload(t, sys, name, plan, base+int64(i)))
+	}
+	return s
+}
+
+func TestProfileRunsAreQuiet(t *testing.T) {
+	// No profile run may naturally activate the seeded exception points:
+	// counterfactual causality requires a quiet baseline.
+	sys := NewV2()
+	noisy := []faults.ID{PtDNIBRRPCIOE, PtDNAckIOE, PtDNWriteIOE, PtDNRecoveryIOE,
+		PtDNMirrorIOE, PtNNAddBlockIOE, PtClientWriteIOE}
+	for _, w := range sys.Workloads() {
+		rec := runWorkload(t, sys, w.Name, inject.Profile(), 7)
+		for _, id := range noisy {
+			if rec.Reached[id] > 0 {
+				t.Errorf("workload %s: %s activated naturally %d times", w.Name, id, rec.Reached[id])
+			}
+		}
+	}
+}
+
+func TestProfileCoverageBasics(t *testing.T) {
+	sys := NewV2()
+	rec := runWorkload(t, sys, "basic_write", inject.Profile(), 3)
+	for _, id := range []faults.ID{PtDNServiceLoop, PtDNIBRSendLoop, PtNNIBRProcessLoop,
+		PtDNReceiveLoop, PtClientWriteLoop, PtNNIsStale, PtDNIBRRPCIOE} {
+		if !rec.Covered[id] {
+			t.Errorf("basic_write does not cover %s", id)
+		}
+	}
+	if rec.LoopIters[PtDNReceiveLoop] == 0 {
+		t.Error("no pipeline packets received")
+	}
+	if rec.LoopIters[PtNNIBRProcessLoop] == 0 {
+		t.Error("no IBR entries processed")
+	}
+}
+
+func TestWorkloadsAreDeterministic(t *testing.T) {
+	sys := NewV2()
+	a := runWorkload(t, sys, "ibr_storm", inject.Profile(), 11)
+	b := runWorkload(t, sys, "ibr_storm", inject.Profile(), 11)
+	if a.Result.Events != b.Result.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
+	}
+	for id, n := range a.LoopIters {
+		if b.LoopIters[id] != n {
+			t.Fatalf("loop %s iters differ: %d vs %d", id, n, b.LoopIters[id])
+		}
+	}
+}
+
+// TestBugIBRStorm_EdgeA checks the §8.3.2 E(D) edge: delaying the NN IBR
+// processing loop in the large-namespace workload times out DataNode IBR
+// RPCs.
+func TestBugIBRStorm_EdgeA(t *testing.T) {
+	sys := NewV2()
+	plan := inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: 4 * time.Second}
+	rec := runWorkload(t, sys, "ibr_storm", plan, 5)
+	if rec.Reached[PtDNIBRRPCIOE] == 0 {
+		t.Fatalf("delaying NN IBR processing did not trigger IBR RPC IOEs (iters=%d)", rec.LoopIters[PtNNIBRProcessLoop])
+	}
+}
+
+// TestBugIBRStorm_EdgeA_NotInSmallTest checks the conditionality: the same
+// moderate delay that breaks the 5000-block workload leaves the throttled
+// small-namespace workload healthy (which is why stitching across tests is
+// needed: no single test satisfies all triggering conditions).
+func TestBugIBRStorm_EdgeA_NotInSmallTest(t *testing.T) {
+	sys := NewV2()
+	small := runWorkload(t, sys, "ibr_interval",
+		inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: 500 * time.Millisecond}, 5)
+	if small.Reached[PtDNIBRRPCIOE] > 0 {
+		t.Fatalf("small test unexpectedly triggered IBR IOE under NN delay")
+	}
+	storm := runWorkload(t, sys, "ibr_storm",
+		inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: time.Second}, 5)
+	if storm.Reached[PtDNIBRRPCIOE] == 0 {
+		t.Fatalf("storm test did not trigger IBR IOE under NN delay")
+	}
+}
+
+// TestBugIBRStorm_EdgeB checks the §8.3.2 S+(I) edge: injecting the IBR
+// RPC exception in the throttled workload makes the failed report retry at
+// the next heartbeat, inflating NN IBR processing counts.
+func TestBugIBRStorm_EdgeB(t *testing.T) {
+	sys := NewV2()
+	profile := runSet(t, sys, "ibr_interval", inject.Profile(), 5, 100)
+	injected := runSet(t, sys, "ibr_interval", inject.Plan{Kind: inject.Exception, Target: PtDNIBRRPCIOE}, 5, 200)
+	space := sysreg.Space(sys)
+	edges, _ := fca.Analyze(space, inject.Plan{Kind: inject.Exception, Target: PtDNIBRRPCIOE},
+		"ibr_interval", profile, injected, fca.DefaultConfig())
+	found := false
+	for _, e := range edges {
+		if e.To == PtNNIBRProcessLoop {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no S+(I) edge ibr_ioe -> nn.ibr.process_loop; edges = %v", edges)
+	}
+}
+
+// TestBugRecoveryRetry checks HDFS2-3's single-test mechanics: delaying
+// the DN recovery worker blows per-task deadlines, recovery IOEs fire, and
+// the unbounded NameNode re-enqueue inflates the worker loop.
+func TestBugRecoveryRetry(t *testing.T) {
+	sys := NewV2()
+	// A moderate per-task delay is the dangerous one: it keeps the worker
+	// saturated so re-enqueued recoveries pile up (metastable overload);
+	// a huge delay merely slows the loop down.
+	plan := inject.Plan{Kind: inject.Delay, Target: PtDNRecoveryLoop, Delay: 2 * time.Second}
+	rec := runWorkload(t, sys, "recovery_deadline", plan, 5)
+	if rec.Reached[PtDNRecoveryIOE] == 0 {
+		t.Fatalf("delayed recovery worker did not miss deadlines (iters=%d)", rec.LoopIters[PtDNRecoveryLoop])
+	}
+	prof := runWorkload(t, sys, "recovery_deadline", inject.Profile(), 5)
+	if rec.LoopIters[PtDNRecoveryLoop] <= prof.LoopIters[PtDNRecoveryLoop] {
+		t.Fatalf("no retry storm: injected iters %d <= profile iters %d",
+			rec.LoopIters[PtDNRecoveryLoop], prof.LoopIters[PtDNRecoveryLoop])
+	}
+}
+
+// TestBugEditLog checks HDFS2-2 edge A: delaying the edit-log flush loop
+// (which holds the namesystem lock) stalls IBR handling into RPC timeouts.
+func TestBugEditLog(t *testing.T) {
+	sys := NewV2()
+	plan := inject.Plan{Kind: inject.Delay, Target: PtNNEditFlushLoop, Delay: 2 * time.Second}
+	rec := runWorkload(t, sys, "meta_churn", plan, 5)
+	if rec.Reached[PtDNIBRRPCIOE] == 0 {
+		t.Fatalf("edit-log delay did not stall IBRs into IOEs (flush iters=%d)", rec.LoopIters[PtNNEditFlushLoop])
+	}
+}
+
+// TestBugLeaseScan checks HDFS2-1 edge A: a delayed recovery scan holds
+// the namesystem lock long enough to stall pipeline commit acks.
+func TestBugLeaseScan(t *testing.T) {
+	sys := NewV2()
+	plan := inject.Plan{Kind: inject.Delay, Target: PtNNRecoveryScan, Delay: 4 * time.Second}
+	rec := runWorkload(t, sys, "lease_storm", plan, 5)
+	if rec.Reached[PtDNAckIOE] == 0 {
+		t.Fatalf("recovery-scan delay did not stall commit acks (scan iters=%d)", rec.LoopIters[PtNNRecoveryScan])
+	}
+}
+
+// TestBugLeaseScan_ReverseEdge checks HDFS2-1 edge B: injected pipeline
+// ack failures push blocks into lease recovery, inflating the scan loop.
+func TestBugLeaseScan_ReverseEdge(t *testing.T) {
+	sys := NewV2()
+	prof := runWorkload(t, sys, "pipeline_recovery", inject.Profile(), 5)
+	rec := runWorkload(t, sys, "pipeline_recovery",
+		inject.Plan{Kind: inject.Exception, Target: PtDNAckIOE}, 5)
+	if rec.LoopIters[PtNNRecoveryScan] <= prof.LoopIters[PtNNRecoveryScan] {
+		t.Fatalf("ack failure did not grow recovery scans: %d <= %d",
+			rec.LoopIters[PtNNRecoveryScan], prof.LoopIters[PtNNRecoveryScan])
+	}
+}
+
+// TestBugCacheEvict checks HDFS2-5 edge A: eviction batches holding the
+// disk lock starve pipeline writes past their patience.
+func TestBugCacheEvict(t *testing.T) {
+	sys := NewV2()
+	plan := inject.Plan{Kind: inject.Delay, Target: PtDNEvictLoop, Delay: 2 * time.Second}
+	rec := runWorkload(t, sys, "cache_churn", plan, 5)
+	if rec.Reached[PtDNWriteIOE] == 0 {
+		t.Fatalf("eviction delay did not starve writes (evict iters=%d)", rec.LoopIters[PtDNEvictLoop])
+	}
+}
+
+// TestBugPipelineDelay checks HDFS2-4 edge A: a delayed packet receive
+// loop blows the commit-ack deadline.
+func TestBugPipelineDelay(t *testing.T) {
+	sys := NewV2()
+	plan := inject.Plan{Kind: inject.Delay, Target: PtDNReceiveLoop, Delay: 2 * time.Second}
+	rec := runWorkload(t, sys, "write_heavy", plan, 5)
+	if rec.Reached[PtDNAckIOE] == 0 && rec.Reached[PtDNWriteIOE] == 0 {
+		t.Fatalf("pipeline delay caused no write-path faults")
+	}
+}
+
+// TestStaleNegationStorm checks that persistently flipping the staleness
+// detector triggers mass redistribution churn.
+func TestStaleNegationStorm(t *testing.T) {
+	sys := NewV2()
+	prof := runWorkload(t, sys, "cache_churn", inject.Profile(), 5)
+	rec := runWorkload(t, sys, "cache_churn",
+		inject.Plan{Kind: inject.Negate, Target: PtNNIsStale}, 5)
+	if rec.LoopIters[PtNNReplMonitorLoop] <= prof.LoopIters[PtNNReplMonitorLoop] {
+		t.Fatalf("stale negation caused no redistribution: %d <= %d",
+			rec.LoopIters[PtNNReplMonitorLoop], prof.LoopIters[PtNNReplMonitorLoop])
+	}
+}
+
+// TestV3ReconstructionFlow checks the HDFS3 substrate: a crashed DN leads
+// to reconstruction commands processed by the workers.
+func TestV3ReconstructionFlow(t *testing.T) {
+	sys := NewV3()
+	rec := runWorkload(t, sys, "ec_base", inject.Profile(), 5)
+	if rec.LoopIters[PtDNReconstructLoop] == 0 {
+		t.Fatal("no reconstruction work after DN crash")
+	}
+	if rec.LoopIters[PtNNEventLoop] == 0 {
+		t.Fatal("event dispatcher idle after DN crash")
+	}
+}
+
+// TestHarnessExecuteProducesEdges wires the real driver: executing the
+// §8.3.2 injection must register causal edges.
+func TestHarnessExecuteProducesEdges(t *testing.T) {
+	sys := NewV2()
+	cfg := harness.Config{Reps: 3, DelayMagnitudes: []time.Duration{2 * time.Second, 4 * time.Second}}
+	d := harness.New(sys, sysreg.Space(sys), cfg)
+	intf := d.Execute(PtNNIBRProcessLoop, "ibr_storm")
+	if len(intf) == 0 {
+		t.Fatal("no interference from NN IBR delay in ibr_storm")
+	}
+	found := false
+	for _, id := range intf {
+		if id == PtDNIBRRPCIOE {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("interference %v misses dn.ibr.rpc_ioe", intf)
+	}
+}

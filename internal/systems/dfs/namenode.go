@@ -1,0 +1,761 @@
+package dfs
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// --- RPC message types ---
+
+type hbMsg struct{ dn string }
+
+type hbReply struct{ cmds []command }
+
+type ibrEntry struct {
+	block int
+	kind  string // "received" or "deleted"
+}
+
+type ibrMsg struct {
+	dn      string
+	entries []ibrEntry
+}
+
+type fbrMsg struct {
+	dn     string
+	blocks int
+}
+
+type addBlockMsg struct {
+	file    string
+	exclude map[string]bool
+}
+
+type addBlockReply struct {
+	block   int
+	targets []string
+}
+
+type commitMsg struct{ block int }
+
+type abandonMsg struct {
+	block    int
+	file     string
+	failedDN string
+}
+
+type recoveryDoneMsg struct {
+	block int
+	dn    string
+	ok    bool
+}
+
+type deleteFileMsg struct{ file string }
+
+type reconDoneMsg struct {
+	block int
+	dn    string
+	ok    bool
+}
+
+// command is a NameNode instruction piggybacked on a heartbeat reply.
+type command struct {
+	kind     string // "replicate", "delete", "recover", "reconstruct"
+	block    int
+	target   string
+	deadline time.Duration
+}
+
+// nnEvent is an entry of the V3 async event queue.
+type nnEvent struct {
+	kind  string // "underReplicated"
+	block int
+}
+
+type dnInfo struct {
+	name   string
+	lastHB time.Duration
+	stale  bool
+	dead   bool
+	cmds   []command
+	blocks map[int]bool
+}
+
+type blockInfo struct {
+	id        int
+	file      string
+	replicas  map[string]bool // DNs holding (possibly partial) replicas
+	reported  map[string]bool // DNs that reported the replica via IBR
+	committed bool
+	partial   bool // left by an abandoned pipeline
+}
+
+// recoveryTask is a lease/block recovery work item; failed recoveries are
+// re-enqueued without bound -- one of the seeded feedback loops.
+type recoveryTask struct {
+	block     int
+	notBefore time.Duration
+}
+
+type nameNode struct {
+	c    *Cluster
+	node string
+	rpc  *sim.Mailbox // data RPCs, served by the handler pool
+	svc  *sim.Mailbox // heartbeat service, served separately
+	mu   *sim.Mutex   // the namesystem lock
+
+	dns       map[string]*dnInfo
+	dnNames   []string
+	blocks    map[int]*blockInfo
+	nextBlock int
+
+	editQ     int // pending edit-log entries
+	recoveryQ []recoveryTask
+	underRepl []int
+
+	// V3: async event queue and reconstruction re-dispatch tracking.
+	events       []nnEvent
+	eventSignal  *sim.Mailbox
+	pendingRecon map[int]time.Duration
+}
+
+func newNameNode(c *Cluster) *nameNode {
+	nn := &nameNode{
+		c:            c,
+		node:         "nn",
+		dns:          make(map[string]*dnInfo),
+		blocks:       make(map[int]*blockInfo),
+		pendingRecon: make(map[int]time.Duration),
+	}
+	nn.rpc = c.eng.NewMailbox(nn.node, "rpc")
+	nn.svc = c.eng.NewMailbox(nn.node, "svc")
+	nn.mu = sim.NewMutex(c.eng, nn.node)
+	nn.eventSignal = c.eng.NewMailbox(nn.node, "events")
+	return nn
+}
+
+func (nn *nameNode) start() {
+	for i := 0; i < nn.c.cfg.NNHandlers; i++ {
+		nn.c.eng.Spawn(nn.node, "handler", nn.handlerLoop)
+	}
+	nn.c.eng.Spawn(nn.node, "service", nn.serviceLoop)
+	nn.c.eng.Spawn(nn.node, "staleMonitor", nn.staleMonitor)
+	nn.c.eng.Spawn(nn.node, "replMonitor", nn.replicationMonitor)
+	nn.c.eng.Spawn(nn.node, "editFlusher", nn.editFlusher)
+	if nn.c.cfg.LeaseRecovery {
+		nn.c.eng.Spawn(nn.node, "recoveryScanner", nn.recoveryScanner)
+	}
+	if nn.c.cfg.V3 {
+		nn.c.eng.Spawn(nn.node, "eventDispatcher", nn.eventDispatcher)
+	}
+}
+
+func (nn *nameNode) registerDN(name string, preload []int) {
+	info := &dnInfo{name: name, blocks: make(map[int]bool)}
+	for _, b := range preload {
+		info.blocks[b] = true
+	}
+	nn.dns[name] = info
+	nn.dnNames = append(nn.dnNames, name)
+	sort.Strings(nn.dnNames)
+}
+
+// preloadBlock registers a pre-existing committed block.
+func (nn *nameNode) preloadBlock(id int, holders []string) {
+	b := &blockInfo{id: id, file: "preload", replicas: map[string]bool{}, reported: map[string]bool{}, committed: true}
+	for _, h := range holders {
+		b.replicas[h] = true
+		b.reported[h] = true
+	}
+	nn.blocks[id] = b
+	if id >= nn.nextBlock {
+		nn.nextBlock = id + 1
+	}
+}
+
+func (nn *nameNode) logEdit() { nn.editQ++ }
+
+// --- heartbeat service (dedicated, lock-free like HDFS's service RPC) ---
+
+func (nn *nameNode) serviceLoop(p *sim.Proc) {
+	defer p.Enter("heartbeatService")()
+	rt := nn.c.rt
+	for {
+		m, ok := p.Recv(nn.svc, -1)
+		if !ok {
+			return
+		}
+		req := m.(sim.Req)
+		hb := req.Body.(hbMsg)
+		p.Work(time.Millisecond)
+		info := nn.dns[hb.dn]
+		if info == nil {
+			p.Reply(req, hbReply{}, nil)
+			continue
+		}
+		info.lastHB = p.Now()
+		cmds := info.cmds
+		info.cmds = nil
+		_ = rt
+		p.Reply(req, hbReply{cmds: cmds}, nil)
+	}
+}
+
+// --- data RPC handler pool ---
+
+func (nn *nameNode) handlerLoop(p *sim.Proc) {
+	for {
+		m, ok := p.Recv(nn.rpc, -1)
+		if !ok {
+			return
+		}
+		req := m.(sim.Req)
+		switch body := req.Body.(type) {
+		case ibrMsg:
+			nn.handleIBR(p, req, body)
+		case fbrMsg:
+			nn.handleFBR(p, req, body)
+		case addBlockMsg:
+			nn.handleAddBlock(p, req, body)
+		case commitMsg:
+			nn.handleCommit(p, req, body)
+		case abandonMsg:
+			nn.handleAbandon(p, req, body)
+		case recoveryDoneMsg:
+			nn.handleRecoveryDone(p, req, body)
+		case deleteFileMsg:
+			nn.handleDeleteFile(p, req, body)
+		case reconDoneMsg:
+			nn.handleReconDone(p, req, body)
+		default:
+			p.Reply(req, nil, nil)
+		}
+	}
+}
+
+func (nn *nameNode) handleIBR(p *sim.Proc, req sim.Req, msg ibrMsg) {
+	defer p.Enter("processIBR")()
+	rt := nn.c.rt
+	nn.mu.Lock(p)
+	for _, e := range msg.entries {
+		rt.Loop(p, PtNNIBRProcessLoop)
+		p.Work(ibrEntryCost)
+		b := nn.blocks[e.block]
+		if b == nil {
+			continue
+		}
+		switch e.kind {
+		case "received":
+			b.reported[msg.dn] = true
+			b.replicas[msg.dn] = true
+			if info := nn.dns[msg.dn]; info != nil {
+				info.blocks[e.block] = true
+			}
+		case "deleted":
+			delete(b.reported, msg.dn)
+			delete(b.replicas, msg.dn)
+			if info := nn.dns[msg.dn]; info != nil {
+				delete(info.blocks, e.block)
+			}
+		}
+		nn.logEdit()
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+func (nn *nameNode) handleFBR(p *sim.Proc, req sim.Req, msg fbrMsg) {
+	defer p.Enter("processFBR")()
+	rt := nn.c.rt
+	nn.mu.Lock(p)
+	for i := 0; i < msg.blocks; i++ {
+		rt.Loop(p, PtNNFBRProcessLoop)
+		p.Work(fbrEntryCost)
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+func (nn *nameNode) handleAddBlock(p *sim.Proc, req sim.Req, msg addBlockMsg) {
+	defer p.Enter("addBlock")()
+	rt := nn.c.rt
+	nn.mu.Lock(p)
+	p.Work(2 * time.Millisecond)
+	var candidates []string
+	var fallback []string
+	for _, name := range nn.dnNames {
+		info := nn.dns[name]
+		if info.dead || msg.exclude[name] {
+			continue
+		}
+		fallback = append(fallback, name)
+		if !info.stale {
+			candidates = append(candidates, name)
+		}
+	}
+	// canPlacePipeline: enough non-stale nodes for a full pipeline.
+	ok := rt.Negate(p, PtNNCanAllocate, len(candidates) >= nn.c.cfg.Replication, false)
+	if !ok && len(fallback) >= nn.c.cfg.Replication {
+		// Degraded placement: accept stale nodes rather than fail the
+		// client outright (best-effort, like HDFS's stale-avoidance).
+		candidates = fallback
+		ok = true
+	}
+	if rt.Guard(p, PtNNAddBlockIOE, !ok) {
+		nn.mu.Unlock(p)
+		p.Reply(req, nil, &pipelineError{"no viable pipeline targets"})
+		return
+	}
+	// Prefer emptier DNs for balance; stable tie-break by name.
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return len(nn.dns[candidates[i]].blocks) < len(nn.dns[candidates[j]].blocks)
+	})
+	n := nn.c.cfg.Replication
+	if n > len(candidates) {
+		n = len(candidates)
+	}
+	targets := append([]string(nil), candidates[:n]...)
+	id := nn.nextBlock
+	nn.nextBlock++
+	b := &blockInfo{id: id, file: msg.file, replicas: map[string]bool{}, reported: map[string]bool{}}
+	for _, t := range targets {
+		b.replicas[t] = true
+	}
+	nn.blocks[id] = b
+	nn.logEdit()
+	nn.mu.Unlock(p)
+	p.Reply(req, addBlockReply{block: id, targets: targets}, nil)
+}
+
+func (nn *nameNode) handleCommit(p *sim.Proc, req sim.Req, msg commitMsg) {
+	defer p.Enter("commitBlock")()
+	nn.mu.Lock(p)
+	p.Work(time.Millisecond)
+	b := nn.blocks[msg.block]
+	ready := b != nil
+	if ready && !b.committed {
+		b.committed = true
+		nn.logEdit()
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, ready, nil)
+}
+
+func (nn *nameNode) handleAbandon(p *sim.Proc, req sim.Req, msg abandonMsg) {
+	defer p.Enter("abandonBlock")()
+	nn.mu.Lock(p)
+	p.Work(time.Millisecond)
+	if b := nn.blocks[msg.block]; b != nil && !b.committed {
+		b.partial = true
+		if nn.c.cfg.LeaseRecovery {
+			// Recovery owns the partial replicas; they are salvaged, not
+			// deleted.
+			nn.recoveryQ = append(nn.recoveryQ, recoveryTask{block: b.id})
+		} else {
+			// No recovery: partial replicas are queued for deletion.
+			for _, name := range nn.dnNames {
+				if b.replicas[name] {
+					nn.dns[name].cmds = append(nn.dns[name].cmds, command{kind: "delete", block: b.id})
+				}
+			}
+		}
+		nn.logEdit()
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+func (nn *nameNode) handleRecoveryDone(p *sim.Proc, req sim.Req, msg recoveryDoneMsg) {
+	defer p.Enter("recoveryDone")()
+	nn.mu.Lock(p)
+	p.Work(time.Millisecond)
+	if b := nn.blocks[msg.block]; b != nil {
+		if msg.ok {
+			b.committed = true
+			b.partial = false
+		} else {
+			// Unbounded re-enqueue: the block-recovery retry feedback loop
+			// (Table 3, HDFS2-3).
+			nn.recoveryQ = append(nn.recoveryQ, recoveryTask{block: msg.block, notBefore: p.Now() + recoveryScanGap})
+		}
+		nn.logEdit()
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+func (nn *nameNode) handleDeleteFile(p *sim.Proc, req sim.Req, msg deleteFileMsg) {
+	defer p.Enter("deleteFile")()
+	nn.mu.Lock(p)
+	p.Work(time.Millisecond)
+	ids := make([]int, 0, 4)
+	for id, b := range nn.blocks {
+		if b.file == msg.file {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b := nn.blocks[id]
+		for _, name := range nn.dnNames {
+			if b.replicas[name] {
+				nn.dns[name].cmds = append(nn.dns[name].cmds, command{kind: "delete", block: id})
+			}
+		}
+		delete(nn.blocks, id)
+		nn.logEdit()
+	}
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+func (nn *nameNode) handleReconDone(p *sim.Proc, req sim.Req, msg reconDoneMsg) {
+	defer p.Enter("reconstructionDone")()
+	nn.mu.Lock(p)
+	p.Work(time.Millisecond)
+	if msg.ok {
+		delete(nn.pendingRecon, msg.block)
+		if b := nn.blocks[msg.block]; b != nil {
+			b.replicas[msg.dn] = true
+			b.reported[msg.dn] = true
+		}
+	}
+	// Failed reconstructions stay pending; the replication monitor
+	// re-dispatches them after reconstructWait (duplicate-work feedback).
+	nn.mu.Unlock(p)
+	p.Reply(req, nil, nil)
+}
+
+// --- monitors ---
+
+// staleMonitor periodically classifies DataNodes via the is-stale/is-dead
+// error detectors. Stale nodes' blocks are queued for redistribution
+// (mirroring stale-avoidance placement plus the AWS incident's
+// redistribution behaviour); dead nodes' replicas are dropped.
+func (nn *nameNode) staleMonitor(p *sim.Proc) {
+	defer p.Enter("staleMonitor")()
+	rt := nn.c.rt
+	cfg := nn.c.cfg
+	for {
+		p.Sleep(time.Second + time.Duration(p.Rand().Intn(40))*time.Millisecond)
+		for _, name := range nn.dnNames {
+			info := nn.dns[name]
+			sinceHB := p.Now() - info.lastHB
+			stale := rt.Negate(p, PtNNIsStale, sinceHB > cfg.StaleAfter, true)
+			dead := rt.Negate(p, PtNNIsDead, sinceHB > cfg.DeadAfter, true)
+			if stale && !info.stale {
+				nn.enqueueRedistribution(p, name)
+			}
+			info.stale = stale
+			if dead && !info.dead {
+				info.dead = true
+				nn.dropReplicasOf(p, name)
+			} else if !dead {
+				info.dead = false
+			}
+		}
+	}
+}
+
+// enqueueRedistribution queues all of a newly-stale DN's blocks for
+// re-replication.
+func (nn *nameNode) enqueueRedistribution(p *sim.Proc, name string) {
+	nn.mu.Lock(p)
+	info := nn.dns[name]
+	ids := make([]int, 0, len(info.blocks))
+	for id := range info.blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	nn.underRepl = append(nn.underRepl, ids...)
+	nn.mu.Unlock(p)
+}
+
+func (nn *nameNode) dropReplicasOf(p *sim.Proc, name string) {
+	nn.mu.Lock(p)
+	info := nn.dns[name]
+	ids := make([]int, 0, len(info.blocks))
+	for id := range info.blocks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if b := nn.blocks[id]; b != nil {
+			delete(b.replicas, name)
+			delete(b.reported, name)
+			nn.underRepl = append(nn.underRepl, id)
+		}
+	}
+	nn.mu.Unlock(p)
+}
+
+// replicationMonitor scans the under-replication queue and issues
+// replicate commands (V2) or posts reconstruction events (V3).
+func (nn *nameNode) replicationMonitor(p *sim.Proc) {
+	defer p.Enter("replicationMonitor")()
+	rt := nn.c.rt
+	for {
+		p.Sleep(replScanGap + time.Duration(p.Rand().Intn(30))*time.Millisecond)
+		nn.mu.Lock(p)
+		queue := nn.underRepl
+		nn.underRepl = nil
+		nn.mu.Unlock(p)
+		for _, id := range queue {
+			rt.Loop(p, PtNNReplMonitorLoop)
+			nn.mu.Lock(p)
+			p.Work(2 * time.Millisecond)
+			nn.scheduleReplication(p, id)
+			nn.mu.Unlock(p)
+		}
+		// V3: re-dispatch reconstructions that stayed pending too long
+		// (duplicate-dispatch feedback, Table 3 HDFS3-2).
+		if nn.c.cfg.V3 {
+			nn.redispatchStaleRecon(p)
+		}
+	}
+}
+
+// scheduleReplication decides what to do with one possibly-under- or
+// over-replicated block. Caller holds the namesystem lock.
+func (nn *nameNode) scheduleReplication(p *sim.Proc, id int) {
+	b := nn.blocks[id]
+	if b == nil || b.partial {
+		return
+	}
+	live := 0
+	for name := range b.replicas {
+		if info := nn.dns[name]; info != nil && !info.dead {
+			live++
+		}
+	}
+	want := nn.c.cfg.Replication
+	switch {
+	case live < want:
+		if nn.c.cfg.V3 {
+			nn.postEvent(p, nnEvent{kind: "underReplicated", block: id})
+			return
+		}
+		src, dst := nn.pickCopyPair(b)
+		if src == "" || dst == "" {
+			return
+		}
+		nn.dns[src].cmds = append(nn.dns[src].cmds, command{kind: "replicate", block: id, target: dst})
+	case live > want:
+		// Excess replica: delete from a stale holder first.
+		victim := ""
+		for _, name := range nn.dnNames {
+			if b.replicas[name] && !nn.dns[name].dead {
+				if victim == "" || nn.dns[name].stale {
+					victim = name
+				}
+			}
+		}
+		if victim != "" {
+			nn.dns[victim].cmds = append(nn.dns[victim].cmds, command{kind: "delete", block: id})
+			delete(b.replicas, victim)
+			delete(b.reported, victim)
+			delete(nn.dns[victim].blocks, id)
+		}
+	}
+}
+
+// pickCopyPair chooses a live source replica and a live non-holder target
+// with the fewest blocks (best-effort: stale nodes allowed when nothing
+// else is available).
+func (nn *nameNode) pickCopyPair(b *blockInfo) (src, dst string) {
+	for _, name := range nn.dnNames {
+		if b.replicas[name] && !nn.dns[name].dead {
+			src = name
+			break
+		}
+	}
+	best := -1
+	var bestStale string
+	bestStaleN := -1
+	for _, name := range nn.dnNames {
+		info := nn.dns[name]
+		if b.replicas[name] || info.dead {
+			continue
+		}
+		if !info.stale && (best == -1 || len(info.blocks) < best) {
+			best = len(info.blocks)
+			dst = name
+		}
+		if info.stale && (bestStaleN == -1 || len(info.blocks) < bestStaleN) {
+			bestStaleN = len(info.blocks)
+			bestStale = name
+		}
+	}
+	if dst == "" {
+		dst = bestStale
+	}
+	return src, dst
+}
+
+// recoveryScanner drives lease/block recovery: each scan issues recover
+// commands for due tasks, doing per-task bookkeeping under the namesystem
+// lock -- the delayed task of Table 3 HDFS2-1.
+func (nn *nameNode) recoveryScanner(p *sim.Proc) {
+	defer p.Enter("recoveryScan")()
+	rt := nn.c.rt
+	for {
+		p.Sleep(recoveryScanGap + time.Duration(p.Rand().Intn(30))*time.Millisecond)
+		// The whole due batch is processed under the namesystem lock,
+		// like FSNamesystem's lease release path: a slow scan therefore
+		// stalls commits and report processing -- the HDFS2-1 mechanism.
+		nn.mu.Lock(p)
+		due := nn.recoveryQ
+		nn.recoveryQ = nil
+		var later []recoveryTask
+		for _, task := range due {
+			if task.notBefore > p.Now() {
+				later = append(later, task)
+				continue
+			}
+			rt.Loop(p, PtNNRecoveryScan)
+			p.Work(recoveryTaskCost)
+			if b := nn.blocks[task.block]; b != nil && !b.committed {
+				primary := ""
+				for _, name := range nn.dnNames {
+					if b.replicas[name] && !nn.dns[name].dead {
+						primary = name
+						break
+					}
+				}
+				if primary != "" {
+					nn.dns[primary].cmds = append(nn.dns[primary].cmds,
+						command{kind: "recover", block: task.block, deadline: p.Now() + recoveryDeadline})
+				} else {
+					later = append(later, recoveryTask{block: task.block, notBefore: p.Now() + recoveryScanGap})
+				}
+			}
+		}
+		nn.recoveryQ = append(nn.recoveryQ, later...)
+		nn.mu.Unlock(p)
+	}
+}
+
+// editFlusher batches pending edits to stable storage under the namesystem
+// lock -- the delayed task of Table 3 HDFS2-2.
+func (nn *nameNode) editFlusher(p *sim.Proc) {
+	defer p.Enter("flushEditLog")()
+	rt := nn.c.rt
+	for {
+		p.Sleep(editFlushPeriod + time.Duration(p.Rand().Intn(20))*time.Millisecond)
+		if nn.editQ == 0 {
+			continue
+		}
+		nn.mu.Lock(p)
+		batch := nn.editQ
+		flushed := 0
+		failed := false
+		for i := 0; i < batch; i++ {
+			rt.Loop(p, PtNNEditFlushLoop)
+			if rt.Guard(p, PtNNEditSyncIOE, false) {
+				// Sync failure: keep the remaining edits for the next
+				// flush round (they will be re-flushed).
+				failed = true
+				break
+			}
+			p.Work(editFlushCost)
+			flushed++
+		}
+		nn.editQ -= flushed
+		_ = failed
+		nn.mu.Unlock(p)
+	}
+}
+
+// --- V3 async event queue ---
+
+// postEvent appends to the bounded event queue; overflow raises the
+// dispatch failure exception (Table 3 OZone-1's analogue lives in
+// objstore; here the queue feeds reconstruction).
+func (nn *nameNode) postEvent(p *sim.Proc, ev nnEvent) {
+	if len(nn.events) < eventQueueCap {
+		nn.events = append(nn.events, ev)
+	}
+	p.Send(nn.eventSignal, struct{}{})
+}
+
+func (nn *nameNode) eventDispatcher(p *sim.Proc) {
+	defer p.Enter("eventDispatcher")()
+	rt := nn.c.rt
+	for {
+		if _, ok := p.Recv(nn.eventSignal, -1); !ok {
+			return
+		}
+		for len(nn.events) > 0 {
+			rt.Loop(p, PtNNEventLoop)
+			ev := nn.events[0]
+			nn.events = nn.events[1:]
+			p.Work(2 * time.Millisecond)
+			if rt.Guard(p, PtNNEventDropIOE, len(nn.events) >= eventQueueCap-1) {
+				continue // event dropped under pressure
+			}
+			if ev.kind == "underReplicated" {
+				nn.dispatchReconstruction(p, ev.block)
+			}
+		}
+	}
+}
+
+// dispatchReconstruction sends a reconstruct command for the block to the
+// emptiest live non-holder.
+func (nn *nameNode) dispatchReconstruction(p *sim.Proc, id int) {
+	nn.mu.Lock(p)
+	defer nn.mu.Unlock(p)
+	b := nn.blocks[id]
+	if b == nil {
+		return
+	}
+	if _, already := nn.pendingRecon[id]; already {
+		// A reconstruction is in flight; the re-dispatch path goes
+		// through redispatchStaleRecon.
+		return
+	}
+	_, dst := nn.pickCopyPair(b)
+	if dst == "" {
+		return
+	}
+	nn.dns[dst].cmds = append(nn.dns[dst].cmds, command{kind: "reconstruct", block: id})
+	nn.pendingRecon[id] = p.Now()
+}
+
+// redispatchStaleRecon re-issues reconstructions pending longer than
+// reconstructWait. Because the original command may still be queued on a
+// busy worker, this duplicates work -- the HDFS3-2 feedback loop.
+func (nn *nameNode) redispatchStaleRecon(p *sim.Proc) {
+	nn.mu.Lock(p)
+	ids := make([]int, 0, len(nn.pendingRecon))
+	for id, at := range nn.pendingRecon {
+		if p.Now()-at > reconstructWait {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		delete(nn.pendingRecon, id)
+	}
+	nn.mu.Unlock(p)
+	for _, id := range ids {
+		nn.mu.Lock(p)
+		b := nn.blocks[id]
+		var dst string
+		if b != nil {
+			_, dst = nn.pickCopyPair(b)
+			if dst != "" {
+				nn.dns[dst].cmds = append(nn.dns[dst].cmds, command{kind: "reconstruct", block: id})
+				nn.pendingRecon[id] = p.Now()
+			}
+		}
+		nn.mu.Unlock(p)
+	}
+}
+
+// pipelineError is the dfs error type for failed allocations.
+type pipelineError struct{ msg string }
+
+func (e *pipelineError) Error() string { return "dfs: " + e.msg }

@@ -1,0 +1,130 @@
+package dfs
+
+import "repro/internal/faults"
+
+// Injection/monitor point ids. The static analyzer cross-checks that every
+// id named here appears in exactly these hook calls in the source.
+const (
+	// NameNode loops.
+	PtNNIBRProcessLoop  faults.ID = "dfs.nn.ibr.process_loop"
+	PtNNFBRProcessLoop  faults.ID = "dfs.nn.fbr.process_loop"
+	PtNNEditFlushLoop   faults.ID = "dfs.nn.editlog.flush_loop"
+	PtNNRecoveryScan    faults.ID = "dfs.nn.recovery.scan_loop"
+	PtNNReplMonitorLoop faults.ID = "dfs.nn.repl.monitor_loop"
+	PtNNEventLoop       faults.ID = "dfs.nn.events.dispatch_loop" // V3
+	PtNNStartupLoop     faults.ID = "dfs.nn.startup.init_loop"    // const-bound: filtered
+
+	// DataNode loops.
+	PtDNServiceLoop     faults.ID = "dfs.dn.bp.service_loop"
+	PtDNCmdLoop         faults.ID = "dfs.dn.bp.cmd_loop"
+	PtDNIBRSendLoop     faults.ID = "dfs.dn.ibr.send_loop"
+	PtDNReceiveLoop     faults.ID = "dfs.dn.pipeline.receive_loop"
+	PtDNDeletionLoop    faults.ID = "dfs.dn.deletion.loop"
+	PtDNEvictLoop       faults.ID = "dfs.dn.cache.evict_loop"
+	PtDNRecoveryLoop    faults.ID = "dfs.dn.recovery.loop"
+	PtDNReconstructLoop faults.ID = "dfs.dn.reconstruct.loop" // V3
+	PtDNChecksumLoop    faults.ID = "dfs.dn.checksum.loop"    // const-bound: filtered
+
+	// Client loops.
+	PtClientWriteLoop faults.ID = "dfs.client.write.loop"
+	PtClientReadLoop  faults.ID = "dfs.client.read.loop"
+
+	// Exceptions (throw points and library-call sites).
+	PtDNIBRRPCIOE    faults.ID = "dfs.dn.ibr.rpc_ioe"
+	PtDNHBRPCIOE     faults.ID = "dfs.dn.hb.rpc_ioe"
+	PtDNAckIOE       faults.ID = "dfs.dn.pipeline.ack_ioe"
+	PtDNMirrorIOE    faults.ID = "dfs.dn.pipeline.mirror_ioe"
+	PtDNWriteIOE     faults.ID = "dfs.dn.pipeline.write_ioe" // libcall (disk)
+	PtDNRecoveryIOE  faults.ID = "dfs.dn.recovery.ioe"
+	PtDNReplCopyIOE  faults.ID = "dfs.dn.repl.copy_ioe"
+	PtNNAddBlockIOE  faults.ID = "dfs.nn.addblock.ioe"
+	PtNNEditSyncIOE  faults.ID = "dfs.nn.editlog.sync_ioe"     // libcall
+	PtNNEventDropIOE faults.ID = "dfs.nn.events.dispatch_ioe"  // V3
+	PtDNReconReadIOE faults.ID = "dfs.dn.reconstruct.read_ioe" // V3
+	PtClientWriteIOE faults.ID = "dfs.client.write.ioe"
+	PtClientReadIOE  faults.ID = "dfs.client.read.ioe"
+	PtSecAuthExc     faults.ID = "dfs.sec.auth_exc"     // security: filtered
+	PtReflProtoExc   faults.ID = "dfs.refl.proto_exc"   // reflection: filtered
+	PtTestHarnessExc faults.ID = "dfs.test.harness_exc" // test-only: filtered
+
+	// Negations (boolean error detectors).
+	PtNNIsStale      faults.ID = "dfs.nn.dn.is_stale"
+	PtNNIsDead       faults.ID = "dfs.nn.dn.is_dead"
+	PtDNReplicaValid faults.ID = "dfs.dn.replica.is_valid"
+	PtNNCanAllocate  faults.ID = "dfs.nn.pipeline.can_allocate"
+	PtUtilIsSorted   faults.ID = "dfs.util.is_sorted"       // primitive-only: filtered
+	PtConfHAEnabled  faults.ID = "dfs.conf.ha_enabled"      // config-only: filtered
+	PtNNDebugEnabled faults.ID = "dfs.nn.log.debug_enabled" // const return: filtered
+)
+
+// points returns the full (pre-filter) point inventory; v3 selects the
+// V3-only points.
+func points(v3 bool) []faults.Point {
+	sys := "HDFS 2"
+	if v3 {
+		sys = "HDFS 3"
+	}
+	pts := []faults.Point{
+		// Loops. BodySize reflects reachable work; HasIO marks loops whose
+		// bodies touch disk or network.
+		{ID: PtNNIBRProcessLoop, Kind: faults.Loop, System: sys, Func: "processIBR", BodySize: 40, HasIO: false, Desc: "NN per-entry IBR processing"},
+		{ID: PtNNFBRProcessLoop, Kind: faults.Loop, System: sys, Func: "processFBR", BodySize: 30},
+		{ID: PtNNEditFlushLoop, Kind: faults.Loop, System: sys, Func: "flushEditLog", BodySize: 25, HasIO: true},
+		{ID: PtNNRecoveryScan, Kind: faults.Loop, System: sys, Func: "recoveryScan", BodySize: 55, HasIO: true},
+		{ID: PtNNReplMonitorLoop, Kind: faults.Loop, System: sys, Func: "replicationMonitor", BodySize: 45, HasIO: true},
+		{ID: PtDNServiceLoop, Kind: faults.Loop, System: sys, Func: "BPServiceActor", BodySize: 90, HasIO: true, Desc: "DN heartbeat/report service loop"},
+		{ID: PtDNCmdLoop, Kind: faults.Loop, System: sys, Func: "BPServiceActor", BodySize: 60, HasIO: true},
+		{ID: PtDNIBRSendLoop, Kind: faults.Loop, System: sys, Func: "sendIBR", BodySize: 35, HasIO: true},
+		{ID: PtDNReceiveLoop, Kind: faults.Loop, System: sys, Func: "BlockReceiver", BodySize: 70, HasIO: true},
+		{ID: PtDNDeletionLoop, Kind: faults.Loop, System: sys, Func: "deletionService", BodySize: 20, HasIO: true},
+		{ID: PtDNEvictLoop, Kind: faults.Loop, System: sys, Func: "cacheManager", BodySize: 18, HasIO: true},
+		{ID: PtDNRecoveryLoop, Kind: faults.Loop, System: sys, Func: "recoveryWorker", BodySize: 50, HasIO: true},
+		{ID: PtClientWriteLoop, Kind: faults.Loop, System: sys, Func: "writeFile", BodySize: 65, HasIO: true},
+		{ID: PtClientReadLoop, Kind: faults.Loop, System: sys, Func: "readFile", BodySize: 40, HasIO: true},
+		{ID: PtDNChecksumLoop, Kind: faults.Loop, System: sys, Func: "verifyChecksum", BodySize: 5, ConstBound: true},
+		{ID: PtNNStartupLoop, Kind: faults.Loop, System: sys, Func: "initNameNode", BodySize: 8, ConstBound: true},
+
+		// Exceptions.
+		{ID: PtDNIBRRPCIOE, Kind: faults.Throw, System: sys, Func: "sendIBR", Desc: "IBR RPC failed"},
+		{ID: PtDNHBRPCIOE, Kind: faults.Throw, System: sys, Func: "BPServiceActor", Desc: "heartbeat RPC failed"},
+		{ID: PtDNAckIOE, Kind: faults.Throw, System: sys, Func: "BlockReceiver", Desc: "commit ack deadline exceeded"},
+		{ID: PtDNMirrorIOE, Kind: faults.Throw, System: sys, Func: "BlockReceiver", Desc: "mirror forward failed"},
+		{ID: PtDNWriteIOE, Kind: faults.LibCall, System: sys, Func: "BlockReceiver", Category: faults.ExcLibrary, Desc: "disk write failed"},
+		{ID: PtDNRecoveryIOE, Kind: faults.Throw, System: sys, Func: "recoveryWorker", Desc: "block recovery failed"},
+		{ID: PtDNReplCopyIOE, Kind: faults.Throw, System: sys, Func: "BPServiceActor", Desc: "replica copy failed"},
+		{ID: PtNNAddBlockIOE, Kind: faults.Throw, System: sys, Func: "addBlock", Desc: "no viable pipeline targets"},
+		{ID: PtNNEditSyncIOE, Kind: faults.LibCall, System: sys, Func: "flushEditLog", Category: faults.ExcLibrary, Desc: "edit sync failed"},
+		{ID: PtClientWriteIOE, Kind: faults.Throw, System: sys, Func: "writeFile", Desc: "write retries exhausted"},
+		{ID: PtClientReadIOE, Kind: faults.Throw, System: sys, Func: "readFile", Desc: "read failed"},
+		{ID: PtSecAuthExc, Kind: faults.Throw, System: sys, Func: "authenticate", Category: faults.ExcSecurity},
+		{ID: PtReflProtoExc, Kind: faults.Throw, System: sys, Func: "loadProto", Category: faults.ExcReflection},
+		{ID: PtTestHarnessExc, Kind: faults.Throw, System: sys, Func: "testSetup", TestOnly: true},
+
+		// Negations.
+		{ID: PtNNIsStale, Kind: faults.Negation, System: sys, Func: "staleMonitor", Desc: "DN heartbeat staleness detector"},
+		{ID: PtNNIsDead, Kind: faults.Negation, System: sys, Func: "staleMonitor", Desc: "DN death detector"},
+		{ID: PtDNReplicaValid, Kind: faults.Negation, System: sys, Func: "recoveryWorker", Desc: "replica validity check"},
+		{ID: PtNNCanAllocate, Kind: faults.Negation, System: sys, Func: "addBlock", Desc: "pipeline allocatability check"},
+		{ID: PtUtilIsSorted, Kind: faults.Negation, System: sys, Func: "isSorted", PrimitiveOnly: true},
+		{ID: PtConfHAEnabled, Kind: faults.Negation, System: sys, Func: "haEnabled", ConfigOnly: true},
+		{ID: PtNNDebugEnabled, Kind: faults.Negation, System: sys, Func: "debugEnabled", ConstReturn: true},
+	}
+	if v3 {
+		pts = append(pts,
+			faults.Point{ID: PtNNEventLoop, Kind: faults.Loop, System: sys, Func: "eventDispatcher", BodySize: 35, HasIO: false},
+			faults.Point{ID: PtDNReconstructLoop, Kind: faults.Loop, System: sys, Func: "reconstructionWorker", BodySize: 75, HasIO: true},
+			faults.Point{ID: PtNNEventDropIOE, Kind: faults.Throw, System: sys, Func: "eventDispatcher", Desc: "event queue dispatch failure"},
+			faults.Point{ID: PtDNReconReadIOE, Kind: faults.Throw, System: sys, Func: "reconstructionWorker", Desc: "reconstruction source read failed"},
+		)
+	}
+	return pts
+}
+
+// nests declares the loop nesting of Figure 5: the DN service loop is the
+// parent batch loop, with command processing and IBR sending as
+// consecutive child loops.
+func nests() []faults.LoopNest {
+	return []faults.LoopNest{
+		{Parent: PtDNServiceLoop, Children: []faults.ID{PtDNCmdLoop, PtDNIBRSendLoop}},
+	}
+}

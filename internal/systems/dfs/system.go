@@ -1,0 +1,286 @@
+package dfs
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/systems/sysreg"
+)
+
+// sysImpl implements sysreg.System for both HDFS variants.
+type sysImpl struct {
+	name string
+	v3   bool
+}
+
+// NewV2 returns the HDFS 2 target system.
+func NewV2() sysreg.System { return &sysImpl{name: "HDFS 2", v3: false} }
+
+// NewV3 returns the HDFS 3 target system (async events + reconstruction).
+func NewV3() sysreg.System { return &sysImpl{name: "HDFS 3", v3: true} }
+
+func (s *sysImpl) Name() string             { return s.name }
+func (s *sysImpl) Points() []faults.Point   { return points(s.v3) }
+func (s *sysImpl) Nests() []faults.LoopNest { return nests() }
+func (s *sysImpl) SourceDirs() []string     { return []string{"internal/systems/dfs"} }
+
+func (s *sysImpl) Workloads() []sysreg.Workload {
+	if s.v3 {
+		return workloadsV3()
+	}
+	return workloadsV2()
+}
+
+func (s *sysImpl) Bugs() []sysreg.Bug {
+	if s.v3 {
+		return bugsV3()
+	}
+	return bugsV2()
+}
+
+// wl builds a workload that runs a cluster scenario.
+func wl(name, desc string, horizon time.Duration, cfg Config, scenario func(c *Cluster)) sysreg.Workload {
+	return sysreg.Workload{
+		Name:    name,
+		Desc:    desc,
+		Horizon: horizon,
+		Run: func(ctx *sysreg.RunContext) {
+			c := NewCluster(ctx, cfg)
+			c.Preload()
+			scenario(c)
+		},
+	}
+}
+
+func workloadsV2() []sysreg.Workload {
+	return []sysreg.Workload{
+		wl("basic_write", "three writers on a 3-DN cluster", 30*time.Second,
+			Config{ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 3, Blocks: 2})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 3, Blocks: 2, Start: 500 * time.Millisecond})
+			}),
+		wl("write_retry", "writers with pipeline retries enabled", 40*time.Second,
+			Config{ClientRetries: 2, LeaseRecovery: true},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 4, Blocks: 2})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 4, Blocks: 2, Start: time.Second})
+			}),
+		wl("write_heavy", "six concurrent writers saturating the pipelines", 45*time.Second,
+			Config{DataNodes: 4, ClientRetries: 1},
+			func(c *Cluster) {
+				for i := 0; i < 6; i++ {
+					c.SpawnWriter(WriterOpts{Name: wname(i), Files: 3, Blocks: 3,
+						Gap: 150 * time.Millisecond, Start: time.Duration(i) * 200 * time.Millisecond})
+				}
+			}),
+		wl("ibr_interval", "IBR throttling configured, small namespace", 60*time.Second,
+			Config{IBRInterval: 15 * time.Second, PreloadBlocks: 8, ClientRetries: 1},
+			func(c *Cluster) {
+				// All eight blocks land inside the first throttle window,
+				// so one failed report retried at the next heartbeat
+				// visibly inflates the report-processing counts (§8.3.2).
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 4, Blocks: 1, Gap: 3 * time.Second})
+			}),
+		wl("ibr_storm", "5000-block namespace with heavy report churn", 45*time.Second,
+			Config{PreloadBlocks: 1700, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 6, Blocks: 3, Gap: 120 * time.Millisecond, Delete: true})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 6, Blocks: 3, Gap: 140 * time.Millisecond, Delete: true, Start: 300 * time.Millisecond})
+			}),
+		wl("lease_storm", "aborted writers queueing lease recovery", 45*time.Second,
+			Config{LeaseRecovery: true, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "aborter1", Files: 5, Blocks: 2, AbortMidWrite: true, Gap: 400 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "aborter2", Files: 5, Blocks: 2, AbortMidWrite: true, Gap: 500 * time.Millisecond, Start: 700 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "steady", Files: 5, Blocks: 2})
+			}),
+		wl("pipeline_recovery", "writers with retries plus lease recovery", 45*time.Second,
+			Config{LeaseRecovery: true, ClientRetries: 2},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 5, Blocks: 2, Gap: 250 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 4, Blocks: 2, Start: time.Second})
+			}),
+		wl("cache_churn", "tiny block cache forcing eviction batches", 45*time.Second,
+			Config{CacheCapacity: 3, ClientRetries: 2},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 6, Blocks: 3, Gap: 150 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 6, Blocks: 3, Gap: 180 * time.Millisecond, Start: 400 * time.Millisecond})
+			}),
+		wl("delete_churn", "write-then-delete churn stressing deletion batches", 45*time.Second,
+			Config{ClientRetries: 2},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 8, Blocks: 2, Delete: true, Gap: 150 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 8, Blocks: 2, Delete: true, Gap: 170 * time.Millisecond, Start: 300 * time.Millisecond})
+			}),
+		wl("read_write_mix", "readers and writers sharing the disks", 40*time.Second,
+			Config{PreloadBlocks: 40, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 5, Blocks: 2})
+				c.SpawnReader(ReaderOpts{Name: "r1", Ops: 60})
+				c.SpawnReader(ReaderOpts{Name: "r2", Ops: 60, Start: 300 * time.Millisecond})
+			}),
+		wl("meta_churn", "metadata-heavy load keeping the edit log busy", 40*time.Second,
+			Config{ClientRetries: 1},
+			func(c *Cluster) {
+				for i := 0; i < 4; i++ {
+					c.SpawnWriter(WriterOpts{Name: wname(i), Files: 6, Blocks: 2,
+						Delete: true, Gap: 100 * time.Millisecond, Start: time.Duration(i) * 150 * time.Millisecond})
+				}
+			}),
+		wl("stale_watch", "tight staleness threshold under load", 45*time.Second,
+			Config{StaleAfter: 8 * time.Second, ClientRetries: 1, PreloadBlocks: 10},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 5, Blocks: 2})
+				c.SpawnReader(ReaderOpts{Name: "r1", Ops: 50})
+			}),
+		wl("recovery_deadline", "recovery tasks concentrating on one worker", 55*time.Second,
+			Config{LeaseRecovery: true, ClientRetries: 1},
+			func(c *Cluster) {
+				// Aborted blocks all recover on dn0 (the name-ordered
+				// primary), so a moderately delayed worker tips into the
+				// metastable miss-retry-miss regime.
+				c.SpawnWriter(WriterOpts{Name: "aborter1", Files: 6, Blocks: 2, AbortMidWrite: true, Gap: 200 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "aborter2", Files: 6, Blocks: 2, AbortMidWrite: true, Gap: 250 * time.Millisecond, Start: 300 * time.Millisecond})
+			}),
+		wl("quiet_baseline", "near-idle cluster (coverage floor)", 25*time.Second,
+			Config{PreloadBlocks: 4, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 1, Blocks: 1})
+				c.SpawnReader(ReaderOpts{Name: "r1", Ops: 10})
+			}),
+	}
+}
+
+func workloadsV3() []sysreg.Workload {
+	base := []sysreg.Workload{
+		wl("basic_write", "three writers on a 3-DN cluster", 30*time.Second,
+			Config{V3: true, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 3, Blocks: 2})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 3, Blocks: 2, Start: 500 * time.Millisecond})
+			}),
+		wl("ibr_interval", "IBR throttling configured, small namespace", 60*time.Second,
+			Config{V3: true, IBRInterval: 15 * time.Second, PreloadBlocks: 8, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 4, Blocks: 1, Gap: 3 * time.Second})
+			}),
+		wl("ibr_storm", "large namespace with heavy report churn", 45*time.Second,
+			Config{V3: true, PreloadBlocks: 1700, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 6, Blocks: 3, Gap: 120 * time.Millisecond, Delete: true})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 6, Blocks: 3, Gap: 140 * time.Millisecond, Delete: true, Start: 300 * time.Millisecond})
+			}),
+		wl("recovery_deadline", "recovery tasks concentrating on one worker", 55*time.Second,
+			Config{V3: true, LeaseRecovery: true, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "aborter1", Files: 6, Blocks: 2, AbortMidWrite: true, Gap: 200 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "aborter2", Files: 6, Blocks: 2, AbortMidWrite: true, Gap: 250 * time.Millisecond, Start: 300 * time.Millisecond})
+			}),
+		wl("delete_churn", "write-then-delete churn stressing deletion batches", 45*time.Second,
+			Config{V3: true, ClientRetries: 2},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 8, Blocks: 2, Delete: true, Gap: 150 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 8, Blocks: 2, Delete: true, Gap: 170 * time.Millisecond, Start: 300 * time.Millisecond})
+			}),
+		wl("ec_base", "a DataNode loss triggering reconstruction", 50*time.Second,
+			Config{V3: true, DataNodes: 4, ClientRetries: 1, PreloadBlocks: 6},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 4, Blocks: 2})
+				victim := c.DN(3)
+				c.eng.After(12*time.Second, func() { c.eng.CrashNode(victim) })
+			}),
+		wl("ec_reconstruct", "many under-replicated blocks queueing reconstruction", 60*time.Second,
+			Config{V3: true, DataNodes: 4, ClientRetries: 1, PreloadBlocks: 20},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 6, Blocks: 2, Gap: 200 * time.Millisecond})
+				victim := c.DN(3)
+				c.eng.After(10*time.Second, func() { c.eng.CrashNode(victim) })
+			}),
+		wl("hb_tight", "tight death threshold with report churn", 50*time.Second,
+			Config{V3: true, DeadAfter: 16 * time.Second, StaleAfter: 8 * time.Second,
+				ClientRetries: 1, PreloadBlocks: 30},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 8, Blocks: 2, Delete: true, Gap: 120 * time.Millisecond})
+				c.SpawnWriter(WriterOpts{Name: "w2", Files: 8, Blocks: 2, Delete: true, Gap: 140 * time.Millisecond, Start: 200 * time.Millisecond})
+			}),
+		wl("event_storm", "event-queue pressure from mass staleness churn", 50*time.Second,
+			Config{V3: true, DataNodes: 4, StaleAfter: 8 * time.Second, ClientRetries: 1, PreloadBlocks: 50},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 6, Blocks: 2, Gap: 150 * time.Millisecond})
+				c.SpawnReader(ReaderOpts{Name: "r1", Ops: 60})
+			}),
+		wl("quiet_baseline", "near-idle cluster (coverage floor)", 25*time.Second,
+			Config{V3: true, PreloadBlocks: 4, ClientRetries: 1},
+			func(c *Cluster) {
+				c.SpawnWriter(WriterOpts{Name: "w1", Files: 1, Blocks: 1})
+			}),
+	}
+	return base
+}
+
+func wname(i int) string {
+	return string(rune('a'+i)) + "writer"
+}
+
+func bugsV2() []sysreg.Bug {
+	return []sysreg.Bug{
+		{
+			ID: "HDFS2-1", JIRA: "HDFS-17661", Title: "Lease recovery",
+			CoreFaults: []faults.ID{PtNNRecoveryScan, PtDNAckIOE},
+			Delays:     1, Exceptions: 2,
+		},
+		{
+			ID: "HDFS2-2", JIRA: "HDFS-17836", Title: "Edit log flushing",
+			CoreFaults: []faults.ID{PtNNEditFlushLoop, PtDNIBRRPCIOE},
+			Delays:     1, Exceptions: 1,
+		},
+		{
+			ID: "HDFS2-3", JIRA: "HDFS-17662", Title: "Block recovery",
+			CoreFaults: []faults.ID{PtDNRecoveryLoop, PtDNRecoveryIOE},
+			Delays:     1, Exceptions: 1, SingleTest: true,
+		},
+		{
+			ID: "HDFS2-4", JIRA: "HDFS-17837", Title: "Write pipeline",
+			CoreFaults: []faults.ID{PtDNReceiveLoop, PtDNAckIOE},
+			Delays:     1, Exceptions: 3,
+		},
+		{
+			ID: "HDFS2-5", JIRA: "HDFS-17660", Title: "Block cache",
+			CoreFaults: []faults.ID{PtDNEvictLoop, PtDNWriteIOE},
+			Delays:     1, Exceptions: 1, Negations: 1,
+		},
+		{
+			ID: "HDFS2-6", JIRA: "HDFS-17780", Title: "IBR",
+			CoreFaults: []faults.ID{PtNNIBRProcessLoop, PtDNIBRRPCIOE},
+			Delays:     1, Exceptions: 1,
+		},
+	}
+}
+
+func bugsV3() []sysreg.Bug {
+	return []sysreg.Bug{
+		{
+			ID: "HDFS3-1", JIRA: "HDFS-17838", Title: "Block deletion",
+			CoreFaults: []faults.ID{PtDNDeletionLoop, PtDNWriteIOE},
+			Delays:     1, Exceptions: 1, Negations: 1,
+		},
+		{
+			ID: "HDFS3-2", JIRA: "HDFS-17782", Title: "Block reconstruction; IBR",
+			CoreFaults: []faults.ID{PtDNReconstructLoop, PtDNReconReadIOE},
+			Delays:     2, Exceptions: 1, Negations: 1,
+		},
+		// Duplicates of HDFS 2 bugs that the V3 suite also rediscovers
+		// (the Table 3/4 footnotes).
+		{
+			ID: "HDFS2-6", JIRA: "HDFS-17780", Title: "IBR (duplicate)",
+			CoreFaults: []faults.ID{PtNNIBRProcessLoop, PtDNIBRRPCIOE},
+			Delays:     1, Exceptions: 1, Duplicate: true,
+		},
+		{
+			ID: "HDFS2-3", JIRA: "HDFS-17662", Title: "Block recovery (duplicate)",
+			CoreFaults: []faults.ID{PtDNRecoveryLoop, PtDNRecoveryIOE},
+			Delays:     1, Exceptions: 1, SingleTest: true, Duplicate: true,
+		},
+	}
+}

@@ -1,0 +1,59 @@
+package kvstore
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Cold instrumented paths corresponding to the filtered point categories;
+// see the matching file in internal/systems/dfs for rationale.
+
+func (c *Cluster) authenticate(p *sim.Proc, token string) error {
+	defer c.rt.Fn(p, "authenticate")()
+	return c.rt.Err(p, PtSecAuthExc, token == "", "authentication failed")
+}
+
+func (c *Cluster) loadCoprocessor(p *sim.Proc, name string) error {
+	defer c.rt.Fn(p, "loadCoprocessor")()
+	return c.rt.Err(p, PtReflExc, name == "", "coprocessor class not found")
+}
+
+func (m *master) initMaster(p *sim.Proc) {
+	defer m.c.rt.Fn(p, "initMaster")()
+	for i := 0; i < 2; i++ {
+		m.c.rt.Loop(p, PtInitLoop)
+	}
+}
+
+func (c *Cluster) favoredEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "favoredEnabled")()
+	return c.rt.Negate(p, PtConfFavored, c.cfg.Favored, false)
+}
+
+func (c *Cluster) isSorted(p *sim.Proc, xs []int) bool {
+	defer c.rt.Fn(p, "isSorted")()
+	return c.rt.Negate(p, PtUtilIsSorted, sort.IntsAreSorted(xs), false)
+}
+
+func (c *Cluster) traceEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "traceEnabled")()
+	return c.rt.Negate(p, PtTraceEnabled, false, false)
+}
+
+// serverMonitor hosts the RS liveness detector used by the master; it is
+// consulted rarely in this reproduction but registered as a negation
+// point.
+func (m *master) serverMonitor(p *sim.Proc, rs string) bool {
+	defer m.c.rt.Fn(p, "serverMonitor")()
+	return m.c.rt.Negate(p, PtRSAlive, !m.c.eng.Crashed(rs), false)
+}
+
+// procWAL models the master's procedure-WAL compaction loop.
+func (m *master) procWAL(p *sim.Proc, entries int) {
+	defer m.c.rt.Fn(p, "procWAL")()
+	for i := 0; i < entries; i++ {
+		m.c.rt.Loop(p, PtProcWALLoop)
+		p.Work(walAppendCost)
+	}
+}

@@ -1,0 +1,117 @@
+package kvstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+func runWorkload(t *testing.T, name string, plan inject.Plan, seed int64) *trace.Run {
+	t.Helper()
+	for _, w := range New().Workloads() {
+		if w.Name != name {
+			continue
+		}
+		rec := trace.NewRun(name, seed)
+		rt := inject.New(plan, rec)
+		eng := sim.NewEngine(sim.Options{Seed: seed})
+		w.Run(&sysreg.RunContext{Engine: eng, RT: rt})
+		res := eng.Run(w.Horizon)
+		eng.Close()
+		rec.Result = res
+		return rec
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+func TestProfilesQuiet(t *testing.T) {
+	noisy := []faults.ID{PtAssignIOE, PtPutIOE, PtClientIOE, PtCloneIOE}
+	for _, w := range New().Workloads() {
+		rec := runWorkload(t, w.Name, inject.Profile(), 7)
+		for _, id := range noisy {
+			if rec.Reached[id] > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			}
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	rec := runWorkload(t, "create_clone_storm", inject.Profile(), 3)
+	for _, id := range []faults.ID{PtDeployLoop, PtOpenLoop, PtWALSyncLoop, PtCanPlace, PtAssignIOE, PtPutLoop} {
+		if !rec.Covered[id] {
+			t.Errorf("create_clone_storm does not cover %s", id)
+		}
+	}
+}
+
+// TestRegionRetryCase reproduces the §8.3.1 mechanics step by step.
+func TestRegionRetryCase(t *testing.T) {
+	// t1: a delayed deployment loop on a loaded cluster times out
+	// assignment RPCs.
+	rec := runWorkload(t, "create_clone_storm",
+		inject.Plan{Kind: inject.Delay, Target: PtDeployLoop, Delay: 4 * time.Second}, 5)
+	if rec.Reached[PtAssignIOE] == 0 {
+		t.Fatalf("deployment delay did not time out assignments (deploy iters=%d)", rec.LoopIters[PtDeployLoop])
+	}
+
+	// t2: injecting the assignment IOE excludes a server; with only three
+	// servers the favored balancer's canPlaceFavoredNodes turns false.
+	rec2 := runWorkload(t, "rs_fault_tolerance",
+		inject.Plan{Kind: inject.Exception, Target: PtAssignIOE}, 5)
+	if rec2.Reached[PtCanPlace] == 0 {
+		t.Fatal("assignment IOE did not trip canPlaceFavoredNodes on the 3-RS cluster")
+	}
+
+	// Foil: with five servers the same injection leaves the balancer
+	// healthy (the condition the compatibility machinery must respect).
+	rec5 := runWorkload(t, "balancer_5rs",
+		inject.Plan{Kind: inject.Exception, Target: PtAssignIOE}, 5)
+	if rec5.Reached[PtCanPlace] != 0 {
+		t.Fatal("balancer negation fired on the 5-RS cluster")
+	}
+
+	// t3: negating the balancer check makes the assignment manager retry
+	// blindly, inflating the deployment loop.
+	prof := runWorkload(t, "balancer_long", inject.Profile(), 5)
+	rec3 := runWorkload(t, "balancer_long",
+		inject.Plan{Kind: inject.Negate, Target: PtCanPlace}, 5)
+	if rec3.LoopIters[PtDeployLoop] <= 2*prof.LoopIters[PtDeployLoop] {
+		t.Fatalf("balancer negation caused no deployment retry storm: %d vs %d",
+			rec3.LoopIters[PtDeployLoop], prof.LoopIters[PtDeployLoop])
+	}
+}
+
+// TestWALReplayCase reproduces the HBASE-1 mechanics.
+func TestWALReplayCase(t *testing.T) {
+	// A delayed replay loop holds the WAL lock, so sync lags and the
+	// reader observes premature end-of-file naturally.
+	rec := runWorkload(t, "wal_replay",
+		inject.Plan{Kind: inject.Delay, Target: PtWALReplayLoop, Delay: 2 * time.Second}, 5)
+	if rec.Reached[PtWALComplete] == 0 {
+		t.Fatalf("replay delay did not surface premature EOF (replay iters=%d)", rec.LoopIters[PtWALReplayLoop])
+	}
+
+	// Negating the completeness check makes the reader retry forever.
+	prof := runWorkload(t, "wal_quiet", inject.Profile(), 5)
+	rec2 := runWorkload(t, "wal_quiet",
+		inject.Plan{Kind: inject.Negate, Target: PtWALComplete}, 5)
+	if rec2.LoopIters[PtWALReplayLoop] <= 2*prof.LoopIters[PtWALReplayLoop] {
+		t.Fatalf("completeness negation caused no replay storm: %d vs %d",
+			rec2.LoopIters[PtWALReplayLoop], prof.LoopIters[PtWALReplayLoop])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "put_heavy", inject.Profile(), 11)
+	b := runWorkload(t, "put_heavy", inject.Profile(), 11)
+	if a.Result.Events != b.Result.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
+	}
+}

@@ -1,0 +1,32 @@
+package objstore
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Cold instrumented paths for the filtered point categories; see the
+// matching file in internal/systems/dfs for rationale.
+
+func (c *Cluster) verifyToken(p *sim.Proc, token string) error {
+	defer c.rt.Fn(p, "verifyToken")()
+	return c.rt.Err(p, PtSecExc, token == "", "token verification failed")
+}
+
+func (s *scm) bootSCM(p *sim.Proc) {
+	defer s.c.rt.Fn(p, "bootSCM")()
+	for i := 0; i < 2; i++ {
+		s.c.rt.Loop(p, PtBootLoop)
+	}
+}
+
+func (c *Cluster) ratisEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "ratisEnabled")()
+	return c.rt.Negate(p, PtConfRatis, true, false)
+}
+
+func (c *Cluster) isSorted(p *sim.Proc, xs []int) bool {
+	defer c.rt.Fn(p, "isSorted")()
+	return c.rt.Negate(p, PtUtilSorted, sort.IntsAreSorted(xs), false)
+}

@@ -1,0 +1,98 @@
+package objstore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+func runWorkload(t *testing.T, name string, plan inject.Plan, seed int64) *trace.Run {
+	t.Helper()
+	for _, w := range New().Workloads() {
+		if w.Name != name {
+			continue
+		}
+		rec := trace.NewRun(name, seed)
+		rt := inject.New(plan, rec)
+		eng := sim.NewEngine(sim.Options{Seed: seed})
+		w.Run(&sysreg.RunContext{Engine: eng, RT: rt})
+		rec.Result = eng.Run(w.Horizon)
+		eng.Close()
+		return rec
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+func TestProfilesQuiet(t *testing.T) {
+	noisy := []faults.ID{PtEventDropIOE, PtPipeCreateIOE, PtReplIOE, PtReportIOE, PtPutIOE}
+	for _, w := range New().Workloads() {
+		rec := runWorkload(t, w.Name, inject.Profile(), 7)
+		for _, id := range noisy {
+			if rec.Reached[id] > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			}
+		}
+	}
+}
+
+// TestQueueFeedback covers OZONE-1: a delayed dispatcher backs up the
+// event queue, the health check trips, and full reports flood the queue.
+func TestQueueFeedback(t *testing.T) {
+	rec := runWorkload(t, "queue_tight",
+		inject.Plan{Kind: inject.Delay, Target: PtDispatchLoop, Delay: 500 * time.Millisecond}, 5)
+	if rec.Reached[PtQueueHealthy] == 0 {
+		t.Fatalf("dispatcher delay did not trip the queue health check (iters=%d)", rec.LoopIters[PtDispatchLoop])
+	}
+	prof := runWorkload(t, "report_churn", inject.Profile(), 5)
+	neg := runWorkload(t, "report_churn",
+		inject.Plan{Kind: inject.Negate, Target: PtQueueHealthy}, 5)
+	if neg.LoopIters[PtDispatchLoop] <= prof.LoopIters[PtDispatchLoop] {
+		t.Fatalf("queue-health negation caused no dispatch storm: %d <= %d",
+			neg.LoopIters[PtDispatchLoop], prof.LoopIters[PtDispatchLoop])
+	}
+}
+
+// TestPipelineFeedback covers OZONE-2: a delayed heartbeat processor makes
+// the pipeline look stale; reconstruction fails while datanodes are busy.
+func TestPipelineFeedback(t *testing.T) {
+	rec := runWorkload(t, "hb_pipeline",
+		inject.Plan{Kind: inject.Delay, Target: PtHBLoop, Delay: 2 * time.Second}, 5)
+	if rec.Reached[PtPipeHealthy] == 0 {
+		t.Fatalf("heartbeat delay did not trip the pipeline health check (iters=%d)", rec.LoopIters[PtHBLoop])
+	}
+	prof := runWorkload(t, "hb_pipeline", inject.Profile(), 5)
+	neg := runWorkload(t, "hb_pipeline",
+		inject.Plan{Kind: inject.Negate, Target: PtPipeHealthy}, 5)
+	if neg.Reached[PtPipeCreateIOE] == 0 && neg.LoopIters[PtPipelineLoop] <= prof.LoopIters[PtPipelineLoop] {
+		t.Fatal("pipeline-health negation caused no reconstruction churn")
+	}
+}
+
+// TestReplicationRetryStorm covers OZONE-3: a delayed replication handler
+// misses command deadlines; the SCM re-issues commands without bound.
+func TestReplicationRetryStorm(t *testing.T) {
+	prof := runWorkload(t, "replication_storm", inject.Profile(), 5)
+	rec := runWorkload(t, "replication_storm",
+		inject.Plan{Kind: inject.Delay, Target: PtReplCmdLoop, Delay: 2 * time.Second}, 5)
+	if rec.Reached[PtReplIOE] == 0 {
+		t.Fatalf("replication delay missed no deadlines (iters=%d, profile=%d)",
+			rec.LoopIters[PtReplCmdLoop], prof.LoopIters[PtReplCmdLoop])
+	}
+	if rec.LoopIters[PtReplCmdLoop] <= prof.LoopIters[PtReplCmdLoop] {
+		t.Fatalf("no retry storm: %d <= %d", rec.LoopIters[PtReplCmdLoop], prof.LoopIters[PtReplCmdLoop])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "report_churn", inject.Profile(), 11)
+	b := runWorkload(t, "report_churn", inject.Profile(), 11)
+	if a.Result.Events != b.Result.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
+	}
+}

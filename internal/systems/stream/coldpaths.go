@@ -1,0 +1,35 @@
+package stream
+
+import "repro/internal/sim"
+
+// Cold instrumented paths for the filtered point categories; see the
+// matching file in internal/systems/dfs for rationale.
+
+func (c *Cluster) loadUDF(p *sim.Proc, name string) error {
+	defer c.rt.Fn(p, "loadUDF")()
+	return c.rt.Err(p, PtReflExc, name == "", "udf class not found")
+}
+
+func (jm *jobManager) initJM(p *sim.Proc) {
+	defer jm.c.rt.Fn(p, "initJM")()
+	for i := 0; i < 2; i++ {
+		jm.c.rt.Loop(p, PtInitLoop)
+	}
+}
+
+func (c *Cluster) haEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "haEnabled")()
+	return c.rt.Negate(p, PtConfHA, false, false)
+}
+
+func (c *Cluster) debugEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "debugEnabled")()
+	return c.rt.Negate(p, PtDbgEnabled, false, false)
+}
+
+// cancelDownstream hosts the sink-cancellation throw point name expected
+// by the analyzer (the live call sits in taskMonitor).
+func (jm *jobManager) cancelDownstream(p *sim.Proc) error {
+	defer jm.c.rt.Fn(p, "cancelDownstream")()
+	return nil
+}

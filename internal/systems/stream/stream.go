@@ -1,0 +1,394 @@
+// Package stream is a Flink-like dataflow engine on the deterministic
+// simulator: a JobManager deploying source->agg->sink pipelines onto task
+// workers, checkpoint barriers with an alignment deadline, task heartbeat
+// monitoring, and a full-restart recovery strategy.
+//
+// It reproduces the two Flink rows of Table 3: the task-worker restart
+// loop (FLINK-1: head task failure cancels the sink, the restart redeploys
+// everything, redeployment loads the workers that caused the failure) and
+// the aggregation/barrier feedback (FLINK-2).
+package stream
+
+import (
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+)
+
+// Injection/monitor points.
+const (
+	PtWorkerLoop  faults.ID = "flink.tm.worker_loop"
+	PtAggLoop     faults.ID = "flink.tm.agg_loop"
+	PtSinkLoop    faults.ID = "flink.tm.sink_loop"
+	PtDeployLoop  faults.ID = "flink.jm.deploy_loop"
+	PtBarrierLoop faults.ID = "flink.jm.barrier_loop"
+	PtEmitLoop    faults.ID = "flink.client.emit_loop"
+	PtInitLoop    faults.ID = "flink.jm.init_loop" // const-bound: filtered
+
+	PtHeadFailIOE    faults.ID = "flink.jm.head_task_fail"
+	PtSinkCancel     faults.ID = "flink.jm.sink_cancel"
+	PtBarrierIOE     faults.ID = "flink.jm.barrier_timeout"
+	PtStateTransFail faults.ID = "flink.tm.state_transition_fail"
+	PtEmitIOE        faults.ID = "flink.client.emit_ioe"
+	PtReflExc        faults.ID = "flink.refl.udf_load_exc" // filtered
+
+	PtTaskHealthy  faults.ID = "flink.jm.task.is_healthy"
+	PtCkptComplete faults.ID = "flink.jm.ckpt.is_complete"
+	PtConfHA       faults.ID = "flink.conf.ha_enabled"   // config-only: filtered
+	PtDbgEnabled   faults.ID = "flink.log.debug_enabled" // const return: filtered
+)
+
+func points() []faults.Point {
+	sys := "Flink"
+	return []faults.Point{
+		{ID: PtWorkerLoop, Kind: faults.Loop, System: sys, Func: "taskWorker", BodySize: 80, HasIO: true, Desc: "per-record task worker loop"},
+		{ID: PtAggLoop, Kind: faults.Loop, System: sys, Func: "aggTask", BodySize: 60, HasIO: false},
+		{ID: PtSinkLoop, Kind: faults.Loop, System: sys, Func: "sinkTask", BodySize: 45, HasIO: true},
+		{ID: PtDeployLoop, Kind: faults.Loop, System: sys, Func: "deployJob", BodySize: 50, HasIO: true},
+		{ID: PtBarrierLoop, Kind: faults.Loop, System: sys, Func: "checkpointCoordinator", BodySize: 40},
+		{ID: PtEmitLoop, Kind: faults.Loop, System: sys, Func: "clientEmit", BodySize: 20, HasIO: true},
+		{ID: PtInitLoop, Kind: faults.Loop, System: sys, Func: "initJM", BodySize: 5, ConstBound: true},
+
+		{ID: PtHeadFailIOE, Kind: faults.Throw, System: sys, Func: "taskMonitor", Desc: "head task declared failed"},
+		{ID: PtSinkCancel, Kind: faults.Throw, System: sys, Func: "cancelDownstream", Desc: "sink task cancellation"},
+		{ID: PtBarrierIOE, Kind: faults.Throw, System: sys, Func: "checkpointCoordinator", Desc: "barrier alignment timeout"},
+		{ID: PtStateTransFail, Kind: faults.Throw, System: sys, Func: "deployJob", Desc: "task state transition failed"},
+		{ID: PtEmitIOE, Kind: faults.Throw, System: sys, Func: "clientEmit", Desc: "emit rejected"},
+		{ID: PtReflExc, Kind: faults.Throw, System: sys, Func: "loadUDF", Category: faults.ExcReflection},
+
+		{ID: PtTaskHealthy, Kind: faults.Negation, System: sys, Func: "taskMonitor", Desc: "task heartbeat health check"},
+		{ID: PtCkptComplete, Kind: faults.Negation, System: sys, Func: "checkpointCoordinator", Desc: "checkpoint completeness check"},
+		{ID: PtConfHA, Kind: faults.Negation, System: sys, Func: "haEnabled", ConfigOnly: true},
+		{ID: PtDbgEnabled, Kind: faults.Negation, System: sys, Func: "debugEnabled", ConstReturn: true},
+	}
+}
+
+// Config shapes a job.
+type Config struct {
+	Workers        int           // task managers (default 2)
+	Records        int           // records per source burst (default 30)
+	Bursts         int           // source bursts (default 6)
+	Checkpoints    bool          // run the checkpoint coordinator
+	BarrierTimeout time.Duration // default 6s
+	TaskTimeout    time.Duration // task heartbeat timeout (default 10s)
+	RestartLimit   int           // max full restarts (default unbounded)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.Records == 0 {
+		c.Records = 30
+	}
+	if c.Bursts == 0 {
+		c.Bursts = 6
+	}
+	if c.BarrierTimeout == 0 {
+		c.BarrierTimeout = 6 * time.Second
+	}
+	if c.TaskTimeout == 0 {
+		c.TaskTimeout = 10 * time.Second
+	}
+	return c
+}
+
+const (
+	recordCost   = 15 * time.Millisecond
+	aggCost      = 10 * time.Millisecond
+	sinkCost     = 8 * time.Millisecond
+	deployCost   = 200 * time.Millisecond
+	ckptEvery    = 2 * time.Second
+	monitorEvery = time.Second
+	restartPause = 500 * time.Millisecond
+)
+
+// Cluster is one simulated Flink deployment running a single job.
+type Cluster struct {
+	cfg Config
+	eng *sim.Engine
+	rt  *inject.Runtime
+
+	jm       *jobManager
+	inputQ   *sim.Mailbox // source input
+	aggQ     *sim.Mailbox
+	sinkQ    *sim.Mailbox
+	sinkDone int
+
+	epoch     int // incremented on every restart; stale tasks exit
+	lastAlive time.Duration
+	processed int // records fully processed since last restart
+	replayLow int // records to replay after restart
+}
+
+// NewCluster builds and starts the job.
+func NewCluster(ctx *sysreg.RunContext, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, eng: ctx.Engine, rt: ctx.RT}
+	c.inputQ = c.eng.NewMailbox("tm0", "input")
+	c.aggQ = c.eng.NewMailbox("tm1", "agg")
+	c.sinkQ = c.eng.NewMailbox("tm1", "sink")
+	c.jm = &jobManager{c: c, node: "jm"}
+	c.jm.start()
+	return c
+}
+
+type jobManager struct {
+	c    *Cluster
+	node string
+}
+
+func (jm *jobManager) start() {
+	jm.c.eng.Spawn(jm.node, "deployJob", func(p *sim.Proc) { jm.deploy(p, 1) })
+	jm.c.eng.Spawn(jm.node, "taskMonitor", jm.taskMonitor)
+	if jm.c.cfg.Checkpoints {
+		jm.c.eng.Spawn(jm.node, "checkpointCoordinator", jm.checkpointCoordinator)
+	}
+}
+
+// deploy (re)starts the pipeline tasks for a new epoch. Every restart
+// replays unacknowledged records into the source -- the feedback that lets
+// restart storms sustain themselves.
+func (jm *jobManager) deploy(p *sim.Proc, epoch int) {
+	defer p.Enter("deployJob")()
+	rt := jm.c.rt
+	c := jm.c
+	c.epoch = epoch
+	tasks := []string{"source", "agg", "sink"}
+	for _, task := range tasks {
+		rt.Loop(p, PtDeployLoop)
+		p.Work(deployCost)
+		// A deployment racing an undead prior epoch fails its state
+		// transition and forces another full restart.
+		if rt.Guard(p, PtStateTransFail, false) {
+			jm.scheduleRestart(p, epoch)
+			return
+		}
+		switch task {
+		case "source":
+			c.eng.Spawn("tm0", "taskWorker", func(tp *sim.Proc) { c.sourceTask(tp, epoch) })
+		case "agg":
+			c.eng.Spawn("tm1", "aggTask", func(tp *sim.Proc) { c.aggTask(tp, epoch) })
+		case "sink":
+			c.eng.Spawn("tm1", "sinkTask", func(tp *sim.Proc) { c.sinkTask(tp, epoch) })
+		}
+	}
+	c.lastAlive = p.Now()
+	// Replay unacknowledged records.
+	if c.replayLow > 0 {
+		for i := 0; i < c.replayLow; i++ {
+			p.Send(c.inputQ, record{epoch: epoch})
+		}
+	}
+}
+
+func (jm *jobManager) scheduleRestart(p *sim.Proc, failedEpoch int) {
+	c := jm.c
+	if c.epoch != failedEpoch {
+		return // a newer epoch is already (re)starting
+	}
+	if c.cfg.RestartLimit > 0 && failedEpoch >= c.cfg.RestartLimit {
+		return
+	}
+	c.epoch = failedEpoch + 1
+	c.replayLow = c.processed/2 + 4 // conservative replay window
+	c.processed = 0
+	next := c.epoch
+	c.eng.After(restartPause, func() {
+		c.eng.Spawn(jm.node, "deployJob", func(np *sim.Proc) { jm.deploy(np, next) })
+	})
+}
+
+// taskMonitor watches task liveness: a silent pipeline head is declared
+// failed, the sink is cancelled, and the job restarts -- FLINK-1.
+func (jm *jobManager) taskMonitor(p *sim.Proc) {
+	defer p.Enter("taskMonitor")()
+	rt := jm.c.rt
+	c := jm.c
+	for {
+		p.Sleep(monitorEvery + time.Duration(p.Rand().Intn(40))*time.Millisecond)
+		healthy := rt.Negate(p, PtTaskHealthy, p.Now()-c.lastAlive <= c.cfg.TaskTimeout, false)
+		if rt.Guard(p, PtHeadFailIOE, !healthy) {
+			if rt.Guard(p, PtSinkCancel, true) {
+				// Cancelling the sink drops its in-flight batch.
+				c.sinkDone -= c.sinkDone / 4
+			}
+			jm.scheduleRestart(p, c.epoch)
+			c.lastAlive = p.Now() // restart grace
+		}
+	}
+}
+
+// checkpointCoordinator runs periodic barrier alignments; a barrier that
+// misses its deadline aborts the checkpoint and restarts the job -- the
+// FLINK-2 feedback.
+func (jm *jobManager) checkpointCoordinator(p *sim.Proc) {
+	defer p.Enter("checkpointCoordinator")()
+	rt := jm.c.rt
+	c := jm.c
+	for {
+		p.Sleep(ckptEvery + time.Duration(p.Rand().Intn(50))*time.Millisecond)
+		rt.Loop(p, PtBarrierLoop)
+		// The barrier aligns when the agg queue drains within the
+		// deadline.
+		start := p.Now()
+		aligned := true
+		for c.aggQ.Len()+c.sinkQ.Len() > 0 {
+			if p.Now()-start > c.cfg.BarrierTimeout {
+				aligned = false
+				break
+			}
+			p.Sleep(100 * time.Millisecond)
+		}
+		complete := rt.Negate(p, PtCkptComplete, aligned, false)
+		if rt.Guard(p, PtBarrierIOE, !complete) {
+			jm.scheduleRestart(p, c.epoch)
+			c.lastAlive = p.Now()
+		}
+	}
+}
+
+type record struct{ epoch int }
+
+// sourceTask forwards input records to the aggregator. Liveness is
+// reported when the task is CAUGHT UP (its input queue drained) or idle;
+// a task grinding through a standing backlog reports nothing and is
+// eventually declared failed -- the head-task health semantics FLINK-1
+// exploits.
+func (c *Cluster) sourceTask(p *sim.Proc, epoch int) {
+	defer p.Enter("taskWorker")()
+	rt := c.rt
+	for {
+		m, ok := p.Recv(c.inputQ, time.Second)
+		if c.epoch != epoch {
+			return
+		}
+		if !ok {
+			c.lastAlive = p.Now() // idle is healthy
+			continue
+		}
+		rt.Loop(p, PtWorkerLoop)
+		p.Work(recordCost)
+		if c.inputQ.Len() == 0 {
+			c.lastAlive = p.Now() // caught up
+		}
+		p.Send(c.aggQ, m)
+	}
+}
+
+// aggTask aggregates and forwards to the sink.
+func (c *Cluster) aggTask(p *sim.Proc, epoch int) {
+	defer p.Enter("aggTask")()
+	rt := c.rt
+	for {
+		m, ok := p.Recv(c.aggQ, -1)
+		if !ok || c.epoch != epoch {
+			return
+		}
+		rt.Loop(p, PtAggLoop)
+		p.Work(aggCost)
+		p.Send(c.sinkQ, m)
+	}
+}
+
+// sinkTask commits results.
+func (c *Cluster) sinkTask(p *sim.Proc, epoch int) {
+	defer p.Enter("sinkTask")()
+	rt := c.rt
+	for {
+		_, ok := p.Recv(c.sinkQ, -1)
+		if !ok || c.epoch != epoch {
+			return
+		}
+		rt.Loop(p, PtSinkLoop)
+		p.Work(sinkCost)
+		c.sinkDone++
+		c.processed++
+	}
+}
+
+// SpawnSource drives record bursts into the pipeline.
+func (c *Cluster) SpawnSource(name string, start time.Duration) {
+	c.eng.Spawn("client-"+name, name, func(p *sim.Proc) {
+		defer p.Enter("clientEmit")()
+		rt := c.rt
+		if start > 0 {
+			p.Sleep(start)
+		}
+		for b := 0; b < c.cfg.Bursts; b++ {
+			for i := 0; i < c.cfg.Records; i++ {
+				rt.Loop(p, PtEmitLoop)
+				if rt.Guard(p, PtEmitIOE, c.inputQ.Len() > 400) {
+					continue // backpressure drop
+				}
+				p.Send(c.inputQ, record{})
+			}
+			p.Sleep(2*time.Second + time.Duration(p.Rand().Intn(100))*time.Millisecond)
+		}
+	})
+}
+
+type sysImpl struct{}
+
+// New returns the Flink-like target system.
+func New() sysreg.System { return sysImpl{} }
+
+func (sysImpl) Name() string             { return "Flink" }
+func (sysImpl) Points() []faults.Point   { return points() }
+func (sysImpl) Nests() []faults.LoopNest { return nil }
+func (sysImpl) SourceDirs() []string     { return []string{"internal/systems/stream"} }
+
+func wl(name, desc string, horizon time.Duration, cfg Config, scenario func(c *Cluster)) sysreg.Workload {
+	return sysreg.Workload{
+		Name: name, Desc: desc, Horizon: horizon,
+		Run: func(ctx *sysreg.RunContext) {
+			c := NewCluster(ctx, cfg)
+			scenario(c)
+		},
+	}
+}
+
+func (sysImpl) Workloads() []sysreg.Workload {
+	return []sysreg.Workload{
+		wl("steady_job", "steady record flow", 30*time.Second, Config{},
+			func(c *Cluster) { c.SpawnSource("s1", 0) }),
+		wl("heavy_records", "record-heavy job loading the head task", 45*time.Second,
+			Config{Records: 55, Bursts: 8},
+			func(c *Cluster) {
+				c.SpawnSource("s1", 0)
+				c.SpawnSource("s2", 900*time.Millisecond)
+			}),
+		wl("restart_soak", "restart-strategy soak (failures replay records)", 60*time.Second,
+			Config{Records: 40, Bursts: 10},
+			func(c *Cluster) { c.SpawnSource("s1", 0) }),
+		wl("checkpointed", "checkpointed job with barrier alignment", 50*time.Second,
+			Config{Checkpoints: true, Records: 40, Bursts: 8},
+			func(c *Cluster) { c.SpawnSource("s1", 0) }),
+		wl("ckpt_tight", "tight barrier deadline under load", 60*time.Second,
+			Config{Checkpoints: true, BarrierTimeout: 3 * time.Second, Records: 60, Bursts: 10},
+			func(c *Cluster) {
+				c.SpawnSource("s1", 0)
+				c.SpawnSource("s2", time.Second)
+			}),
+		wl("quiet_baseline", "near-idle job", 20*time.Second, Config{Records: 5, Bursts: 2},
+			func(c *Cluster) { c.SpawnSource("s1", 0) }),
+	}
+}
+
+func (sysImpl) Bugs() []sysreg.Bug {
+	return []sysreg.Bug{
+		{
+			ID: "FLINK-1", JIRA: "FLINK-38367", Title: "Task worker",
+			CoreFaults: []faults.ID{PtWorkerLoop, PtHeadFailIOE},
+			Delays:     1, Exceptions: 2,
+		},
+		{
+			ID: "FLINK-2", JIRA: "FLINK-38368", Title: "Aggregation task",
+			CoreFaults: []faults.ID{PtAggLoop, PtBarrierIOE},
+			Delays:     1, Exceptions: 2,
+		},
+	}
+}

@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+func runWorkload(t *testing.T, name string, plan inject.Plan, seed int64) *trace.Run {
+	t.Helper()
+	for _, w := range New().Workloads() {
+		if w.Name != name {
+			continue
+		}
+		rec := trace.NewRun(name, seed)
+		rt := inject.New(plan, rec)
+		eng := sim.NewEngine(sim.Options{Seed: seed})
+		w.Run(&sysreg.RunContext{Engine: eng, RT: rt})
+		rec.Result = eng.Run(w.Horizon)
+		eng.Close()
+		return rec
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+func TestProfilesQuiet(t *testing.T) {
+	noisy := []faults.ID{PtHeadFailIOE, PtSinkCancel, PtBarrierIOE, PtStateTransFail, PtEmitIOE}
+	for _, w := range New().Workloads() {
+		rec := runWorkload(t, w.Name, inject.Profile(), 7)
+		for _, id := range noisy {
+			if rec.Reached[id] > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			}
+		}
+	}
+}
+
+func TestWorkerDelayTriggersHeadFailure(t *testing.T) {
+	rec := runWorkload(t, "heavy_records",
+		inject.Plan{Kind: inject.Delay, Target: PtWorkerLoop, Delay: 2 * time.Second}, 5)
+	if rec.Reached[PtHeadFailIOE] == 0 {
+		t.Fatalf("worker delay did not fail the head task (worker iters=%d)", rec.LoopIters[PtWorkerLoop])
+	}
+	if rec.Reached[PtSinkCancel] == 0 {
+		t.Fatal("head failure did not cancel the sink")
+	}
+}
+
+func TestInjectedHeadFailureCausesRestartReplay(t *testing.T) {
+	prof := runWorkload(t, "restart_soak", inject.Profile(), 5)
+	rec := runWorkload(t, "restart_soak",
+		inject.Plan{Kind: inject.Exception, Target: PtHeadFailIOE}, 5)
+	if rec.LoopIters[PtWorkerLoop] <= prof.LoopIters[PtWorkerLoop] {
+		t.Fatalf("no replay growth: %d <= %d", rec.LoopIters[PtWorkerLoop], prof.LoopIters[PtWorkerLoop])
+	}
+	if rec.LoopIters[PtDeployLoop] <= prof.LoopIters[PtDeployLoop] {
+		t.Fatalf("no redeploy: %d <= %d", rec.LoopIters[PtDeployLoop], prof.LoopIters[PtDeployLoop])
+	}
+}
+
+func TestAggDelayTimesOutBarrier(t *testing.T) {
+	rec := runWorkload(t, "ckpt_tight",
+		inject.Plan{Kind: inject.Delay, Target: PtAggLoop, Delay: time.Second}, 5)
+	if rec.Reached[PtBarrierIOE] == 0 {
+		t.Fatalf("agg delay did not time out barriers (agg iters=%d)", rec.LoopIters[PtAggLoop])
+	}
+}
+
+func TestInjectedBarrierFailureRestarts(t *testing.T) {
+	prof := runWorkload(t, "checkpointed", inject.Profile(), 5)
+	rec := runWorkload(t, "checkpointed",
+		inject.Plan{Kind: inject.Exception, Target: PtBarrierIOE}, 5)
+	if rec.LoopIters[PtAggLoop] <= prof.LoopIters[PtAggLoop] {
+		t.Fatalf("no agg replay growth: %d <= %d", rec.LoopIters[PtAggLoop], prof.LoopIters[PtAggLoop])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "heavy_records", inject.Profile(), 11)
+	b := runWorkload(t, "heavy_records", inject.Profile(), 11)
+	if a.Result.Events != b.Result.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
+	}
+}

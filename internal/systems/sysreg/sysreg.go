@@ -1,0 +1,115 @@
+// Package sysreg defines the contract between CSnake and its target
+// systems: a System exposes its instrumented fault points, loop nesting,
+// integration-test workloads, and ground-truth bug labels used by the
+// evaluation (Tables 3 and 4).
+package sysreg
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+)
+
+// RunContext is handed to a workload: the simulator instance to build the
+// cluster on and the injection runtime the instrumented system code calls.
+type RunContext struct {
+	Engine *sim.Engine
+	RT     *inject.Runtime
+}
+
+// Workload is one integration test shipped with a target system. Run sets
+// up the cluster and client processes; the harness then drives the engine
+// until Horizon.
+type Workload struct {
+	Name string
+	Desc string
+	// Horizon is the virtual-time budget of the test.
+	Horizon time.Duration
+	// Run builds the scenario. It must not call Engine.Run itself.
+	Run func(ctx *RunContext)
+}
+
+// Bug is a ground-truth self-sustaining cascading failure seeded in a
+// target system, mirroring one Table 3 row.
+type Bug struct {
+	// ID is the per-system index, e.g. "HDFS2-6".
+	ID string
+	// JIRA is the upstream issue the paper reported (for documentation).
+	JIRA string
+	// Title summarises the delayed task, Table 3 column 2.
+	Title string
+	// CoreFaults must all appear among a detected cycle's faults for the
+	// cycle to be labelled as this bug.
+	CoreFaults []faults.ID
+	// Delays/Exceptions/Negations are the expected cycle composition
+	// (Table 3 "Cycle" column).
+	Delays, Exceptions, Negations int
+	// SingleTest marks bugs whose triggering conditions co-occur in one
+	// workload, i.e. the §8.2 naive strategy can find them ("Alt?").
+	SingleTest bool
+	// Duplicate marks a bug also present in a sibling system variant
+	// (the HDFS 2 bugs rediscovered on HDFS 3); Table 3 skips them and
+	// Table 4 footnotes them.
+	Duplicate bool
+}
+
+// System is a CSnake target.
+type System interface {
+	// Name is the display name used in tables (e.g. "HDFS 2").
+	Name() string
+	// Points lists every instrumented injection/monitor point, before
+	// filtering. The static analyzer cross-checks this inventory.
+	Points() []faults.Point
+	// Nests lists loop nesting relations for the ICFG/CFG edges.
+	Nests() []faults.LoopNest
+	// Workloads lists the integration tests.
+	Workloads() []Workload
+	// Bugs lists the seeded ground-truth cascading failures.
+	Bugs() []Bug
+	// SourceDirs names the Go package directories (relative to the repo
+	// root) holding this system's instrumented source, for the static
+	// analyzer.
+	SourceDirs() []string
+}
+
+// Space builds the filtered fault space of a system.
+func Space(s System) *faults.Space {
+	return faults.NewSpace(s.Points(), s.Nests())
+}
+
+var (
+	regMu  sync.Mutex
+	regged = map[string]System{}
+)
+
+// Register adds a system to the global registry (called from system
+// package init or test setup).
+func Register(s System) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	regged[s.Name()] = s
+}
+
+// All returns the registered systems sorted by name.
+func All() []System {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]System, 0, len(regged))
+	for _, s := range regged {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Lookup finds a registered system by name.
+func Lookup(name string) (System, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := regged[name]
+	return s, ok
+}

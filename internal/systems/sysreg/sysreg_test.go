@@ -1,0 +1,65 @@
+package sysreg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+)
+
+type fakeSys struct{ name string }
+
+func (f fakeSys) Name() string { return f.name }
+func (f fakeSys) Points() []faults.Point {
+	return []faults.Point{
+		{ID: "x.loop", Kind: faults.Loop},
+		{ID: "x.sec", Kind: faults.Throw, Category: faults.ExcSecurity},
+	}
+}
+func (f fakeSys) Nests() []faults.LoopNest { return nil }
+func (f fakeSys) Workloads() []Workload {
+	return []Workload{{Name: "w", Horizon: time.Second}}
+}
+func (f fakeSys) Bugs() []Bug          { return nil }
+func (f fakeSys) SourceDirs() []string { return nil }
+
+func TestSpaceAppliesFilters(t *testing.T) {
+	sp := Space(fakeSys{name: "X"})
+	if sp.Size() != 1 {
+		t.Fatalf("size = %d, want 1 (security exception filtered)", sp.Size())
+	}
+	if _, ok := sp.Lookup("x.sec"); ok {
+		t.Fatal("filtered point still in space")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register(fakeSys{name: "Bsys"})
+	Register(fakeSys{name: "Asys"})
+	all := All()
+	var names []string
+	for _, s := range all {
+		names = append(names, s.Name())
+	}
+	// Sorted by name, both present.
+	foundA, foundB := false, false
+	for i, n := range names {
+		if n == "Asys" {
+			foundA = true
+			for j := i + 1; j < len(names); j++ {
+				if names[j] == "Bsys" {
+					foundB = true
+				}
+			}
+		}
+	}
+	if !foundA || !foundB {
+		t.Fatalf("registry order/content wrong: %v", names)
+	}
+	if _, ok := Lookup("Asys"); !ok {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup invented a system")
+	}
+}

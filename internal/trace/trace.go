@@ -1,0 +1,231 @@
+// Package trace defines the execution traces CSnake records during profile
+// and injection runs (§4.3): which throw points were reached, which error
+// detectors observed errors, per-loop iteration counts, point coverage, and
+// per-occurrence local state (branch trace + 2-level call stack) for the
+// local compatibility check (§6.2).
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// OccCap bounds how many per-fault occurrence states a run keeps. The
+// compatibility check only needs representative local traces, and capping
+// keeps retry storms from exhausting memory.
+const OccCap = 8
+
+// Occurrence captures the local state at one fault activation: the two
+// innermost call-stack frames and the branch trace of the fault-happening
+// loop iteration (or enclosing function when the fault is not in a loop).
+type Occurrence struct {
+	Stack    []string
+	Branches []sim.BranchEval
+}
+
+// Run is the trace of one simulated execution of one workload.
+type Run struct {
+	Test string
+	Seed int64
+
+	// Reached counts natural activations per exception/negation point:
+	// the throw statement executed, or the detector returned its error
+	// value by itself. Injected activations are excluded (they are the
+	// cause under study, not an effect).
+	Reached map[faults.ID]int
+	// LoopIters counts loop iterations per loop point.
+	LoopIters map[faults.ID]int
+	// Covered marks every point whose hook executed at all, regardless of
+	// outcome. Coverage drives workload selection (§5.2 phase one).
+	Covered map[faults.ID]bool
+	// Occ holds up to OccCap occurrence states per naturally-activated
+	// fault.
+	Occ map[faults.ID][]Occurrence
+	// LoopSite holds one call-stack-only state per executed loop (first
+	// iteration observed), used when a delay fault participates in the
+	// compatibility check: the paper compares only calling context for
+	// delays (§6.2's conservative any-iteration rule).
+	LoopSite map[faults.ID]Occurrence
+
+	// InjFired reports whether the planned injection actually triggered.
+	InjFired bool
+	// InjSite is the local state at the injection site when it fired.
+	InjSite Occurrence
+
+	// Result summarises the sim run; Wall is the real (host) time spent,
+	// used by the §8.5 overhead experiment.
+	Result sim.RunResult
+	Wall   time.Duration
+}
+
+// NewRun returns an empty run trace.
+func NewRun(test string, seed int64) *Run {
+	return &Run{
+		Test:      test,
+		Seed:      seed,
+		Reached:   make(map[faults.ID]int),
+		LoopIters: make(map[faults.ID]int),
+		Covered:   make(map[faults.ID]bool),
+		Occ:       make(map[faults.ID][]Occurrence),
+		LoopSite:  make(map[faults.ID]Occurrence),
+	}
+}
+
+// Cover marks a point as covered.
+func (r *Run) Cover(id faults.ID) { r.Covered[id] = true }
+
+// Activate records a natural fault activation with its local state.
+func (r *Run) Activate(id faults.ID, occ Occurrence) {
+	r.Reached[id]++
+	if len(r.Occ[id]) < OccCap {
+		r.Occ[id] = append(r.Occ[id], occ)
+	}
+}
+
+// LoopIter records one loop iteration.
+func (r *Run) LoopIter(id faults.ID) { r.LoopIters[id]++ }
+
+// SeeLoop records the loop's calling context once per run.
+func (r *Run) SeeLoop(id faults.ID, occ Occurrence) {
+	if _, ok := r.LoopSite[id]; !ok {
+		r.LoopSite[id] = occ
+	}
+}
+
+// ActivatedIDs returns the ids of all naturally-activated faults, sorted.
+func (r *Run) ActivatedIDs() []faults.ID {
+	out := make([]faults.ID, 0, len(r.Reached))
+	for id := range r.Reached {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CoveredIDs returns all covered point ids, sorted.
+func (r *Run) CoveredIDs() []faults.ID {
+	out := make([]faults.ID, 0, len(r.Covered))
+	for id := range r.Covered {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Set is the bundle of repeated runs for one (plan, workload) pair: the
+// paper executes each profile and injection configuration five times to
+// absorb nondeterminism (§4.3).
+type Set struct {
+	Runs []*Run
+}
+
+// Add appends a run to the set.
+func (s *Set) Add(r *Run) { s.Runs = append(s.Runs, r) }
+
+// Len returns the number of runs.
+func (s *Set) Len() int { return len(s.Runs) }
+
+// ActivationRate returns in how many runs the fault id naturally activated.
+func (s *Set) ActivationRate(id faults.ID) int {
+	n := 0
+	for _, r := range s.Runs {
+		if r.Reached[id] > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// IterSamples returns the per-run iteration counts for loop id.
+func (s *Set) IterSamples(id faults.ID) []float64 {
+	out := make([]float64, len(s.Runs))
+	for i, r := range s.Runs {
+		out[i] = float64(r.LoopIters[id])
+	}
+	return out
+}
+
+// ActivatedAnywhere returns ids activated in at least one run, sorted.
+func (s *Set) ActivatedAnywhere() []faults.ID {
+	seen := make(map[faults.ID]bool)
+	for _, r := range s.Runs {
+		for id := range r.Reached {
+			seen[id] = true
+		}
+	}
+	out := make([]faults.ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoopIDs returns every loop id that iterated in at least one run, sorted.
+func (s *Set) LoopIDs() []faults.ID {
+	seen := make(map[faults.ID]bool)
+	for _, r := range s.Runs {
+		for id := range r.LoopIters {
+			seen[id] = true
+		}
+	}
+	out := make([]faults.ID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Occurrences returns up to OccCap occurrence states for id pooled across
+// the set's runs.
+func (s *Set) Occurrences(id faults.ID) []Occurrence {
+	var out []Occurrence
+	for _, r := range s.Runs {
+		for _, o := range r.Occ[id] {
+			if len(out) >= OccCap {
+				return out
+			}
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// LoopSites returns the recorded calling contexts for loop id across the
+// set's runs (at most one per run).
+func (s *Set) LoopSites(id faults.ID) []Occurrence {
+	var out []Occurrence
+	for _, r := range s.Runs {
+		if occ, ok := r.LoopSite[id]; ok {
+			out = append(out, occ)
+		}
+	}
+	return out
+}
+
+// InjSites returns the injection-site states of runs where the injection
+// fired.
+func (s *Set) InjSites() []Occurrence {
+	var out []Occurrence
+	for _, r := range s.Runs {
+		if r.InjFired {
+			out = append(out, r.InjSite)
+		}
+	}
+	return out
+}
+
+// Coverage returns the union of covered points across runs.
+func (s *Set) Coverage() map[faults.ID]bool {
+	out := make(map[faults.ID]bool)
+	for _, r := range s.Runs {
+		for id := range r.Covered {
+			out[id] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+func TestRunAccounting(t *testing.T) {
+	r := NewRun("t1", 7)
+	r.Cover("f.a")
+	r.Activate("f.a", Occurrence{Stack: []string{"x"}})
+	r.Activate("f.a", Occurrence{Stack: []string{"y"}})
+	r.LoopIter("l.1")
+	r.LoopIter("l.1")
+	r.SeeLoop("l.1", Occurrence{Stack: []string{"fn"}})
+	r.SeeLoop("l.1", Occurrence{Stack: []string{"other"}}) // ignored: first wins
+
+	if r.Reached["f.a"] != 2 {
+		t.Errorf("Reached = %d", r.Reached["f.a"])
+	}
+	if r.LoopIters["l.1"] != 2 {
+		t.Errorf("LoopIters = %d", r.LoopIters["l.1"])
+	}
+	if got := r.LoopSite["l.1"].Stack[0]; got != "fn" {
+		t.Errorf("LoopSite = %q, want first occurrence kept", got)
+	}
+	if ids := r.ActivatedIDs(); len(ids) != 1 || ids[0] != "f.a" {
+		t.Errorf("ActivatedIDs = %v", ids)
+	}
+	// Coverage is recorded by the hooks explicitly; Activate/LoopIter do
+	// not imply it.
+	if ids := r.CoveredIDs(); len(ids) != 1 || ids[0] != "f.a" {
+		t.Errorf("CoveredIDs = %v", ids)
+	}
+}
+
+func TestSetAggregation(t *testing.T) {
+	set := &Set{}
+	for i := 0; i < 4; i++ {
+		r := NewRun("t", int64(i))
+		if i < 3 {
+			r.Activate("f.a", Occurrence{})
+		}
+		r.LoopIters["l"] = 10 + i
+		if i == 0 {
+			r.InjFired = true
+			r.InjSite = Occurrence{Stack: []string{"site"}}
+		}
+		set.Add(r)
+	}
+	if set.Len() != 4 {
+		t.Fatalf("len = %d", set.Len())
+	}
+	if got := set.ActivationRate("f.a"); got != 3 {
+		t.Errorf("ActivationRate = %d", got)
+	}
+	samples := set.IterSamples("l")
+	if len(samples) != 4 || samples[0] != 10 || samples[3] != 13 {
+		t.Errorf("IterSamples = %v", samples)
+	}
+	if got := set.ActivatedAnywhere(); len(got) != 1 || got[0] != "f.a" {
+		t.Errorf("ActivatedAnywhere = %v", got)
+	}
+	if got := set.InjSites(); len(got) != 1 || got[0].Stack[0] != "site" {
+		t.Errorf("InjSites = %v", got)
+	}
+	if got := set.LoopIDs(); len(got) != 1 || got[0] != "l" {
+		t.Errorf("LoopIDs = %v", got)
+	}
+}
+
+func TestOccurrenceCapPooled(t *testing.T) {
+	set := &Set{}
+	for i := 0; i < 3; i++ {
+		r := NewRun("t", int64(i))
+		for j := 0; j < OccCap; j++ {
+			r.Activate("f.a", Occurrence{Stack: []string{"s"}})
+		}
+		set.Add(r)
+	}
+	if got := len(set.Occurrences("f.a")); got != OccCap {
+		t.Errorf("pooled occurrences = %d, want cap %d", got, OccCap)
+	}
+}
+
+func TestCoverageUnion(t *testing.T) {
+	set := &Set{}
+	a := NewRun("t", 1)
+	a.Cover("f.a")
+	b := NewRun("t", 2)
+	b.Cover("f.b")
+	set.Add(a)
+	set.Add(b)
+	cov := set.Coverage()
+	if !cov["f.a"] || !cov["f.b"] {
+		t.Fatalf("coverage union = %v", cov)
+	}
+	var _ faults.ID = "typecheck"
+}
