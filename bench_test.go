@@ -9,6 +9,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -77,10 +78,35 @@ func BenchmarkTable3_CampaignHBase(b *testing.B) { benchCampaign(b, kvstore.New(
 func BenchmarkTable3_CampaignFlink(b *testing.B) { benchCampaign(b, stream.New()) }
 func BenchmarkTable3_CampaignOZone(b *testing.B) { benchCampaign(b, objstore.New()) }
 
+// --- E2b: serial vs parallel campaign execution (Campaign API) ---
+
+func benchCampaignParallel(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		rep, err := csnake.NewCampaign(stream.New(),
+			csnake.WithConfig(lightConfig(42)),
+			csnake.WithParallelism(parallelism),
+		).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Runs) == 0 {
+			b.Fatal("empty campaign")
+		}
+		b.ReportMetric(float64(rep.Sims), "sims")
+		b.ReportMetric(float64(len(rep.Edges)), "edges")
+	}
+}
+
+func BenchmarkCampaign_Serial(b *testing.B)   { benchCampaignParallel(b, 1) }
+func BenchmarkCampaign_Parallel(b *testing.B) { benchCampaignParallel(b, runtime.NumCPU()) }
+
 // --- E3: Table 4 (cycle clustering, unlimited vs one-delay search) ---
 
 func BenchmarkTable4_CycleClustering(b *testing.B) {
-	art := report.RunCampaign(kvstore.New(), lightConfig(42))
+	art := report.RunCampaign(kvstore.New(), csnake.WithConfig(lightConfig(42)))
+	if art.Err != nil {
+		b.Fatal(art.Err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row := report.Table4(art)

@@ -1,8 +1,8 @@
 // Command analyze runs CSnake's static analyzer over the target systems
 // and prints the Table 2 inventory (injection/monitor points and test
-// counts per system).
+// counts per system). Systems are resolved through the sysreg registry.
 //
-// Usage: analyze [-root DIR]
+// Usage: analyze [-root DIR] [-system NAME]
 package main
 
 import (
@@ -10,20 +10,30 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"repro/internal/report"
-	"repro/internal/systems/dfs"
-	"repro/internal/systems/kvstore"
-	"repro/internal/systems/objstore"
-	"repro/internal/systems/stream"
 	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/dfs"
+	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/objstore"
+	_ "repro/internal/systems/stream"
 )
 
 func main() {
 	root := flag.String("root", ".", "repository root containing the instrumented sources")
+	system := flag.String("system", "", "restrict to one registered system (canonical name or alias)")
 	flag.Parse()
 
-	systems := []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	systems := sysreg.All()
+	if *system != "" {
+		sys, ok := sysreg.Lookup(*system)
+		if !ok {
+			log.Fatalf("unknown system %q (known: %s)", *system, strings.Join(sysreg.Aliases(), ", "))
+		}
+		systems = []sysreg.System{sys}
+	}
 	rows, err := report.Table2(*root, systems)
 	if err != nil {
 		log.Fatalf("analyze: %v", err)

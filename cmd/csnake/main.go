@@ -3,67 +3,103 @@
 // self-sustaining cascading failures -- against one target system and
 // prints the detected cycles.
 //
-// Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-fast]
+// Target systems are resolved through the sysreg registry (each system
+// package self-registers in init()); -system accepts a canonical name or
+// alias, and -list prints everything registered.
+//
+// Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-parallel N] [-fast] [-progress] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/core/beam"
 	"repro/internal/core/csnake"
-	"repro/internal/harness"
-	"repro/internal/systems/dfs"
-	"repro/internal/systems/kvstore"
-	"repro/internal/systems/objstore"
-	"repro/internal/systems/stream"
+	"repro/internal/faults"
 	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/dfs"
+	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/objstore"
+	_ "repro/internal/systems/stream"
 )
 
-func systemByName(name string) (sysreg.System, bool) {
-	switch name {
-	case "hdfs2", "HDFS 2":
-		return dfs.NewV2(), true
-	case "hdfs3", "HDFS 3":
-		return dfs.NewV3(), true
-	case "hbase", "HBase":
-		return kvstore.New(), true
-	case "flink", "Flink":
-		return stream.New(), true
-	case "ozone", "OZone":
-		return objstore.New(), true
-	}
-	return nil, false
+// progress streams campaign events to stderr.
+type progress struct {
+	csnake.NopObserver
+	experiments int
+}
+
+func (p *progress) CampaignStarted(system string, size, budget int) {
+	fmt.Fprintf(os.Stderr, "campaign %s: |F|=%d budget=%d\n", system, size, budget)
+}
+
+func (p *progress) ProfileCached(test string, sims int) {
+	fmt.Fprintf(os.Stderr, "  profiled %s (%d runs)\n", test, sims)
+}
+
+func (p *progress) ExperimentExecuted(f faults.ID, test string, edges, intf int) {
+	p.experiments++
+	fmt.Fprintf(os.Stderr, "  [%4d] inject %s into %s: %d edges, %d interfered\n",
+		p.experiments, f, test, edges, intf)
+}
+
+func (p *progress) CycleFound(c beam.Cycle) {
+	fmt.Fprintf(os.Stderr, "  cycle: %s\n", c)
 }
 
 func main() {
-	name := flag.String("system", "hdfs2", "target system: hdfs2|hdfs3|hbase|flink|ozone")
+	name := flag.String("system", "hdfs2", "target system (see -list)")
 	seed := flag.Int64("seed", 42, "campaign seed")
 	reps := flag.Int("reps", 0, "seeds per run configuration (0 = paper default 5)")
 	budget := flag.Int("budget", 0, "budget factor x|F| (0 = default)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for simulation runs (results are identical for any value)")
 	fast := flag.Bool("fast", false, "light configuration (3 reps, 3 delay magnitudes)")
+	verbose := flag.Bool("progress", false, "stream campaign progress to stderr")
+	list := flag.Bool("list", false, "list registered systems and exit")
 	flag.Parse()
 
-	sys, ok := systemByName(*name)
+	if *list {
+		for _, n := range sysreg.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	sys, ok := sysreg.Lookup(*name)
 	if !ok {
-		log.Fatalf("unknown system %q", *name)
+		log.Fatalf("unknown system %q (known: %s)", *name, strings.Join(sysreg.Aliases(), ", "))
 	}
-	cfg := csnake.DefaultConfig(*seed)
+
+	// -fast composes through options: it narrows reps and the magnitude
+	// sweep without clobbering BaseSeed or the FCA configuration.
+	opts := []csnake.Option{
+		csnake.WithSeed(*seed),
+		csnake.WithParallelism(*parallel),
+	}
 	if *fast {
-		cfg.Harness = harness.Config{Reps: 3, DelayMagnitudes: []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second}}
+		opts = append(opts,
+			csnake.WithReps(3),
+			csnake.WithDelayMagnitudes(500*time.Millisecond, 2*time.Second, 8*time.Second))
 	}
-	if *reps > 0 {
-		cfg.Harness.Reps = *reps
-	}
-	if *budget > 0 {
-		cfg.BudgetFactor = *budget
+	opts = append(opts, csnake.WithReps(*reps), csnake.WithBudgetFactor(*budget))
+	if *verbose {
+		opts = append(opts, csnake.WithObserver(&progress{}))
 	}
 
 	start := time.Now()
-	rep := csnake.Run(sys, cfg)
-	fmt.Printf("system=%s |F|=%d experiments=%d sims=%d edges=%d cycles=%d clusters=%d wall=%v\n",
-		rep.System, rep.Space.Size(), len(rep.Runs), rep.Sims, len(rep.Edges), len(rep.Cycles), len(rep.CycleClusters), time.Since(start).Round(time.Millisecond))
+	rep, err := csnake.NewCampaign(sys, opts...).Run()
+	if err != nil {
+		log.Fatalf("campaign: %v", err)
+	}
+	fmt.Printf("system=%s |F|=%d experiments=%d sims=%d edges=%d cycles=%d clusters=%d parallel=%d wall=%v\n",
+		rep.System, rep.Space.Size(), len(rep.Runs), rep.Sims, len(rep.Edges), len(rep.Cycles), len(rep.CycleClusters), *parallel, time.Since(start).Round(time.Millisecond))
 
 	labeled := csnake.Label(rep, sys.Bugs())
 	for _, lc := range labeled {

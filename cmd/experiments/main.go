@@ -7,7 +7,9 @@
 //	experiments -overhead             §8.5 instrumentation overhead
 //
 // By default the light (fast) execution configuration is used; pass
-// -paper for the full 5-repetition, 7-magnitude settings.
+// -paper for the full 5-repetition, 7-magnitude settings. Target systems
+// come from the sysreg registry; -system restricts to one of them by
+// canonical name or alias.
 package main
 
 import (
@@ -15,32 +17,42 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core/csnake"
-	"repro/internal/harness"
 	"repro/internal/report"
-	"repro/internal/systems/dfs"
-	"repro/internal/systems/kvstore"
-	"repro/internal/systems/objstore"
-	"repro/internal/systems/stream"
 	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/dfs"
+	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/objstore"
+	_ "repro/internal/systems/stream"
 )
 
-func allSystems() []sysreg.System {
-	return []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+// campaignProgress narrates experiment execution on stderr.
+type campaignProgress struct {
+	csnake.NopObserver
 }
 
-func campaignConfig(seed int64, paper bool) csnake.Config {
-	cfg := csnake.DefaultConfig(seed)
-	if !paper {
-		cfg.Harness = harness.Config{
-			Reps:            3,
-			DelayMagnitudes: []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second},
-		}
+func (campaignProgress) CampaignStarted(system string, size, budget int) {
+	fmt.Fprintf(os.Stderr, "campaign: %s (|F|=%d, budget=%d)...\n", system, size, budget)
+}
+
+func campaignOpts(seed int64, paper bool, parallel int) []csnake.Option {
+	opts := []csnake.Option{
+		csnake.WithSeed(seed),
+		csnake.WithParallelism(parallel),
+		csnake.WithObserver(campaignProgress{}),
 	}
-	return cfg
+	if !paper {
+		opts = append(opts,
+			csnake.WithReps(3),
+			csnake.WithDelayMagnitudes(500*time.Millisecond, 2*time.Second, 8*time.Second))
+	}
+	return opts
 }
 
 func main() {
@@ -49,39 +61,17 @@ func main() {
 	overhead := flag.Bool("overhead", false, "measure instrumentation overhead (§8.5)")
 	seed := flag.Int64("seed", 42, "campaign seed")
 	paper := flag.Bool("paper", false, "paper-faithful execution settings (slower)")
-	system := flag.String("system", "", "restrict to one system (hdfs2|hdfs3|hbase|flink|ozone)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for simulation runs")
+	system := flag.String("system", "", "restrict to one registered system (canonical name or alias)")
 	flag.Parse()
 
-	systems := allSystems()
+	systems := sysreg.All()
 	if *system != "" {
-		systems = nil
-		for _, s := range allSystems() {
-			switch *system {
-			case "hdfs2":
-				if s.Name() == "HDFS 2" {
-					systems = append(systems, s)
-				}
-			case "hdfs3":
-				if s.Name() == "HDFS 3" {
-					systems = append(systems, s)
-				}
-			case "hbase":
-				if s.Name() == "HBase" {
-					systems = append(systems, s)
-				}
-			case "flink":
-				if s.Name() == "Flink" {
-					systems = append(systems, s)
-				}
-			case "ozone":
-				if s.Name() == "OZone" {
-					systems = append(systems, s)
-				}
-			}
+		sys, ok := sysreg.Lookup(*system)
+		if !ok {
+			log.Fatalf("unknown system %q (known: %s)", *system, strings.Join(sysreg.Aliases(), ", "))
 		}
-		if len(systems) == 0 {
-			log.Fatalf("unknown system %q", *system)
-		}
+		systems = []sysreg.System{sys}
 	}
 
 	switch {
@@ -96,15 +86,20 @@ func main() {
 	case *table == 3:
 		var rows []report.Table3Row
 		for _, sys := range systems {
-			fmt.Fprintf(os.Stderr, "campaign: %s...\n", sys.Name())
-			art := report.RunCampaign(sys, campaignConfig(*seed, *paper))
+			art := report.RunCampaign(sys, campaignOpts(*seed, *paper, *parallel)...)
+			if art.Err != nil {
+				log.Fatalf("campaign %s: %v", sys.Name(), art.Err)
+			}
 			fmt.Fprintf(os.Stderr, "  %s\n", report.Summary(art))
 
-			naive := baselines.Naive(sys, baselines.NaiveConfig{BaseSeed: *seed})
+			naive := baselines.Naive(sys, baselines.NaiveConfig{BaseSeed: *seed, Parallelism: *parallel})
 
-			rndCfg := campaignConfig(*seed+1, *paper)
-			rndCfg.Protocol = csnake.ProtocolRandom
-			rndRep := csnake.Run(sys, rndCfg)
+			rndOpts := append(campaignOpts(*seed+1, *paper, *parallel),
+				csnake.WithProtocol(csnake.ProtocolRandom))
+			rndRep, err := csnake.NewCampaign(sys, rndOpts...).Run()
+			if err != nil {
+				log.Fatal(err)
+			}
 			rndDetected := map[string]bool{}
 			for _, id := range csnake.DetectedBugs(rndRep, sys.Bugs()) {
 				rndDetected[id] = true
@@ -117,8 +112,10 @@ func main() {
 	case *table == 4:
 		var rows []report.Table4Row
 		for _, sys := range systems {
-			fmt.Fprintf(os.Stderr, "campaign: %s...\n", sys.Name())
-			art := report.RunCampaign(sys, campaignConfig(*seed, *paper))
+			art := report.RunCampaign(sys, campaignOpts(*seed, *paper, *parallel)...)
+			if art.Err != nil {
+				log.Fatalf("campaign %s: %v", sys.Name(), art.Err)
+			}
 			rows = append(rows, report.Table4(art))
 		}
 		fmt.Println("Table 4: cycles, clusters, true positives -- unlimited (one-delay) beam search")
@@ -127,7 +124,7 @@ func main() {
 	case *fuzz:
 		fmt.Println("Blackbox nemesis fuzzing comparison (Jepsen/Blockade analogue, §8.2.1)")
 		for _, sys := range systems {
-			res := baselines.Fuzz(sys, baselines.FuzzConfig{BaseSeed: *seed})
+			res := baselines.Fuzz(sys, baselines.FuzzConfig{BaseSeed: *seed, Parallelism: *parallel})
 			fmt.Printf("%-10s runs=%d generic-anomalies=%d cascading-failures-identified=%d\n",
 				sys.Name(), res.Runs, res.GenericAnomalies, len(res.BugsDetected))
 		}

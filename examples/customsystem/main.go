@@ -1,6 +1,8 @@
 // customsystem shows how to bring your own target system to CSnake: write
 // the system against the simulator with injection hooks, declare its
-// point inventory and workloads, and hand it to a campaign. Here the
+// point inventory and workloads, register it with sysreg in init() (so
+// any binary importing the package can resolve it by name), and run a
+// campaign against it through the functional-options builder. Here the
 // system is a deliberately tiny job queue with one seeded feedback bug: a
 // job that fails is re-enqueued at the FRONT of the queue, so a slow
 // worker turns one deadline miss into a permanent retry storm.
@@ -10,11 +12,11 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/core/csnake"
 	"repro/internal/faults"
-	"repro/internal/harness"
 	"repro/internal/inject"
 	"repro/internal/sim"
 	"repro/internal/systems/sysreg"
@@ -85,14 +87,25 @@ func (tinySystem) Bugs() []sysreg.Bug {
 	}}
 }
 
+// Self-registration: any binary importing this package can now resolve
+// the system through sysreg.Lookup("TinyQueue") or "tinyqueue".
+func init() {
+	sysreg.Register("TinyQueue", func() sysreg.System { return tinySystem{} }, "tinyqueue")
+}
+
 func main() {
-	sys := tinySystem{}
-	cfg := csnake.DefaultConfig(7)
-	cfg.Harness = harness.Config{
-		Reps:            3,
-		DelayMagnitudes: []time.Duration{200 * time.Millisecond, time.Second},
+	sys, ok := sysreg.Lookup("tinyqueue")
+	if !ok {
+		log.Fatal("tinyqueue not registered")
 	}
-	rep := csnake.Run(sys, cfg)
+	rep, err := csnake.NewCampaign(sys,
+		csnake.WithSeed(7),
+		csnake.WithReps(3),
+		csnake.WithDelayMagnitudes(200*time.Millisecond, time.Second),
+	).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("fault space %d, edges %d, cycles %d\n", rep.Space.Size(), len(rep.Edges), len(rep.Cycles))
 	for _, cy := range rep.Cycles {
 		fmt.Printf("  cycle: %s\n", cy)

@@ -6,36 +6,51 @@
 // The campaign pipeline is exactly Figure 3 of the paper: profile runs ->
 // 3PA-scheduled fault injection -> fault causality analysis -> local
 // compatibility check -> parallel beam search -> clustered cycle report.
+//
+// The target system comes from the sysreg registry (the kvstore package
+// self-registers under "HBase"/"hbase" in init(), hence the blank
+// import), and the campaign is configured through functional options.
 package main
 
 import (
 	"fmt"
+	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/core/csnake"
-	"repro/internal/harness"
-	"repro/internal/systems/kvstore"
+	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/kvstore"
 )
 
 func main() {
-	sys := kvstore.New()
-
-	cfg := csnake.DefaultConfig(42)
-	// Light settings so the quickstart finishes in seconds; drop these
-	// two lines for the paper-faithful 5 repetitions x 7 magnitudes.
-	cfg.Harness = harness.Config{
-		Reps:            3,
-		DelayMagnitudes: []time.Duration{500 * time.Millisecond, 2 * time.Second, 8 * time.Second},
+	sys, ok := sysreg.Lookup("hbase")
+	if !ok {
+		log.Fatal("hbase not registered")
 	}
 
 	start := time.Now()
-	rep := csnake.Run(sys, cfg)
+	rep, err := csnake.NewCampaign(sys,
+		csnake.WithSeed(42),
+		// Light settings so the quickstart finishes in seconds; drop these
+		// two options for the paper-faithful 5 repetitions x 7 magnitudes.
+		csnake.WithReps(3),
+		csnake.WithDelayMagnitudes(500*time.Millisecond, 2*time.Second, 8*time.Second),
+		// Fan simulation runs out across all cores; the result is
+		// bit-identical to a serial campaign.
+		csnake.WithParallelism(runtime.NumCPU()),
+	).Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("system      : %s\n", rep.System)
 	fmt.Printf("fault space : %d injectable points\n", rep.Space.Size())
-	fmt.Printf("experiments : %d (budget %dx|F|)\n", len(rep.Runs), cfg.BudgetFactor)
+	fmt.Printf("experiments : %d\n", len(rep.Runs))
 	fmt.Printf("causal edges: %d\n", len(rep.Edges))
 	fmt.Printf("cycles      : %d raw, %d clusters\n", len(rep.Cycles), len(rep.CycleClusters))
+	fmt.Printf("simulations : %d\n", rep.Sims)
 	fmt.Printf("wall time   : %v\n\n", time.Since(start).Round(time.Millisecond))
 
 	labeled := csnake.Label(rep, sys.Bugs())

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/harness"
 	"repro/internal/inject"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -24,6 +25,10 @@ type NaiveConfig struct {
 	BaseSeed        int64
 	PValue          float64
 	MinIncrease     float64
+	// Parallelism fans the per-fault experiments of a workload out across
+	// a worker pool; results are identical for any value (each run owns an
+	// independent engine, and findings are emitted in fault-space order).
+	Parallelism int
 }
 
 func (c *NaiveConfig) defaults() {
@@ -74,22 +79,25 @@ func Naive(sys sysreg.System, cfg NaiveConfig) []NaiveFinding {
 	for _, w := range sys.Workloads() {
 		profile := runSet(sys, w, inject.Profile(), cfg.Reps, cfg.BaseSeed+11)
 		cov := profile.Coverage()
-		for _, pt := range space.Points {
+		found := make([]bool, len(space.Points))
+		harness.FanOut(cfg.Parallelism, len(space.Points), func(i int) {
+			pt := space.Points[i]
 			if !cov[pt.ID] {
-				continue
+				return
 			}
 			if pt.Kind == faults.Loop {
-				if naiveDelaySelf(sys, w, pt.ID, profile, cfg) {
-					out = append(out, NaiveFinding{Fault: pt.ID, Test: w.Name})
-				}
-				continue
+				found[i] = naiveDelaySelf(sys, w, pt.ID, profile, cfg)
+				return
 			}
 			if profile.ActivationRate(pt.ID) > 0 {
-				continue // not counterfactual
+				return // not counterfactual
 			}
 			set := runSet(sys, w, inject.PlanFor(pt, 0), cfg.Reps, cfg.BaseSeed+101)
-			if set.ActivationRate(pt.ID) >= (cfg.Reps+1)/2 {
-				out = append(out, NaiveFinding{Fault: pt.ID, Test: w.Name})
+			found[i] = set.ActivationRate(pt.ID) >= (cfg.Reps+1)/2
+		})
+		for i, hit := range found {
+			if hit {
+				out = append(out, NaiveFinding{Fault: space.Points[i].ID, Test: w.Name})
 			}
 		}
 	}
@@ -143,6 +151,9 @@ func DetectedByNaive(findings []NaiveFinding, bugs []sysreg.Bug) []string {
 type FuzzConfig struct {
 	RunsPerWorkload int
 	BaseSeed        int64
+	// Parallelism fans the nemesis runs of a workload out across a worker
+	// pool; counters are merged in run order.
+	Parallelism int
 }
 
 // FuzzResult summarises one nemesis campaign.
@@ -167,7 +178,8 @@ func Fuzz(sys sysreg.System, cfg FuzzConfig) FuzzResult {
 	}
 	res := FuzzResult{}
 	for _, w := range sys.Workloads() {
-		for r := 0; r < cfg.RunsPerWorkload; r++ {
+		anomalous := make([]bool, cfg.RunsPerWorkload)
+		harness.FanOut(cfg.Parallelism, cfg.RunsPerWorkload, func(r int) {
 			seed := cfg.BaseSeed + int64(r*977)
 			rec := trace.NewRun(w.Name, seed)
 			rt := inject.New(inject.Profile(), rec)
@@ -195,8 +207,11 @@ func Fuzz(sys sysreg.System, cfg FuzzConfig) FuzzResult {
 			})
 			eng.Run(h)
 			eng.Close()
-			res.Runs++
-			if totalActivations(rec) > healCount+2 {
+			anomalous[r] = totalActivations(rec) > healCount+2
+		})
+		res.Runs += cfg.RunsPerWorkload
+		for _, a := range anomalous {
+			if a {
 				res.GenericAnomalies++
 			}
 		}

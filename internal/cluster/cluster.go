@@ -48,24 +48,40 @@ func (m *IDF) Weight(f faults.ID) float64 {
 }
 
 // Vectorize maps an interference set to its L2-normalised IDF vector
-// (§A.1 eq. 4). The zero set maps to the empty vector.
+// (§A.1 eq. 4). The zero set maps to the empty vector. Accumulation runs
+// in sorted key order: float addition is not associative, and map-order
+// summation would make scores (and everything downstream of them --
+// clustering, beam ranking, the reported cycle set) jitter from run to
+// run.
 func (m *IDF) Vectorize(intf []faults.ID) Vector {
 	v := make(Vector, len(intf))
 	for _, f := range intf {
 		v[f] = m.Weight(f)
 	}
+	keys := sortedIDs(v)
 	norm := 0.0
-	for _, w := range v {
-		norm += w * w
+	for _, f := range keys {
+		norm += v[f] * v[f]
 	}
 	if norm == 0 {
 		return Vector{}
 	}
 	norm = math.Sqrt(norm)
-	for f, w := range v {
-		v[f] = w / norm
+	for _, f := range keys {
+		v[f] /= norm
 	}
 	return v
+}
+
+// sortedIDs returns a vector's keys in sorted order, for deterministic
+// float accumulation.
+func sortedIDs(v Vector) []faults.ID {
+	out := make([]faults.ID, 0, len(v))
+	for f := range v {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // CosineDistance returns 1 - cos(a, b), in [0, 1] for non-negative
@@ -79,13 +95,16 @@ func CosineDistance(a, b Vector) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 1
 	}
+	// Sorted-key accumulation keeps the result a pure function of the
+	// vectors (map-order float summation differs in the last ulp between
+	// runs, enough to flip near-tie clustering decisions downstream).
 	dot, na, nb := 0.0, 0.0, 0.0
-	for f, w := range a {
-		dot += w * b[f]
-		na += w * w
+	for _, f := range sortedIDs(a) {
+		dot += a[f] * b[f]
+		na += a[f] * a[f]
 	}
-	for _, w := range b {
-		nb += w * w
+	for _, f := range sortedIDs(b) {
+		nb += b[f] * b[f]
 	}
 	if na == 0 || nb == 0 {
 		return 1

@@ -116,9 +116,11 @@ func (c Cycle) String() string {
 // Signature returns a rotation-invariant identity so the same cycle found
 // from different starting edges deduplicates.
 func (c Cycle) Signature() string {
+	// Plain concatenation: this runs once per candidate chain inside the
+	// search hot path, where fmt's reflection is measurable.
 	parts := make([]string, len(c.Edges))
 	for i, e := range c.Edges {
-		parts[i] = fmt.Sprintf("%s-%v-%s", e.From, e.Kind, e.Test)
+		parts[i] = string(e.From) + "-" + e.Kind.String() + "-" + e.Test
 	}
 	return minRotation(parts)
 }

@@ -198,14 +198,29 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		return c
 	}
 
+	// bestEntry caches the winning candidate per signature: the cycle
+	// normalized to its canonical edge-index rotation, plus that rotation
+	// for cheap integer comparisons.
+	type bestEntry struct {
+		cy  Cycle
+		idx []int
+	}
 	var (
-		mu     sync.Mutex
-		seen   = map[string]bool{}
-		cycles []Cycle
+		mu   sync.Mutex
+		best = map[string]*bestEntry{}
 	)
+	// addCycle merges candidates per rotation-invariant signature with a
+	// deterministic preference (lowest score, then smallest canonical
+	// edge-index rotation): distinct chains can share a signature, and
+	// first-arrival dedup would let goroutine scheduling pick the
+	// surviving representative -- the search must be a pure function of
+	// its input. Comparing index rotations instead of rendered edge keys
+	// keeps the duplicate-arrival path (every rotation of every cycle)
+	// free of string building.
 	addCycle := func(c *ichain) {
-		cy := Cycle{Edges: make([]fca.Edge, len(c.idx)), Score: m.meanScore(c)}
-		for i, k := range c.idx {
+		can := canonicalRotation(c.idx)
+		cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: m.meanScore(c)}
+		for i, k := range can {
 			cy.Edges[i] = edges[k]
 		}
 		if oneNestFamily(cy, opt.NestGroups) {
@@ -213,9 +228,9 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		}
 		sig := cy.Signature()
 		mu.Lock()
-		if !seen[sig] {
-			seen[sig] = true
-			cycles = append(cycles, cy)
+		if e, ok := best[sig]; !ok || cy.Score < e.cy.Score ||
+			(cy.Score == e.cy.Score && lessIdx(can, e.idx)) {
+			best[sig] = &bestEntry{cy: cy, idx: can}
 		}
 		mu.Unlock()
 	}
@@ -247,6 +262,10 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		queue = next
 	}
 
+	cycles := make([]Cycle, 0, len(best))
+	for _, e := range best {
+		cycles = append(cycles, e.cy)
+	}
 	sort.Slice(cycles, func(i, j int) bool {
 		if cycles[i].Score != cycles[j].Score {
 			return cycles[i].Score < cycles[j].Score
@@ -254,6 +273,30 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		return cycles[i].Signature() < cycles[j].Signature()
 	})
 	return cycles
+}
+
+// canonicalRotation returns the lexicographically-smallest rotation of a
+// chain's edge-index sequence: every rotation of a cycle normalizes to
+// the same representative, and the order is total over distinct edge
+// sequences (indices are unique within a chain).
+func canonicalRotation(idx []int) []int {
+	bestR := 0
+	for r := 1; r < len(idx); r++ {
+		for i := 0; i < len(idx); i++ {
+			a, b := idx[(r+i)%len(idx)], idx[(bestR+i)%len(idx)]
+			if a != b {
+				if a < b {
+					bestR = r
+				}
+				break
+			}
+		}
+	}
+	out := make([]int, len(idx))
+	for i := range idx {
+		out[i] = idx[(bestR+i)%len(idx)]
+	}
+	return out
 }
 
 // oneNestFamily reports whether every fault touched by the cycle belongs

@@ -1,0 +1,264 @@
+// Campaign is the first-class handle on one CSnake detection campaign:
+// a builder constructed from functional options, driving a (possibly
+// parallel) harness.Driver, observable through an event stream, and
+// cancellable through a context. The one-shot Run/RunWithDriver
+// functions remain as thin wrappers for callers that do not need any of
+// that.
+package csnake
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"repro/internal/core/alloc"
+	"repro/internal/core/beam"
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/systems/sysreg"
+)
+
+// Observer receives campaign progress events. It extends the driver-level
+// harness.Observer with campaign lifecycle events; embed NopObserver to
+// implement only the events of interest. With WithParallelism(n > 1) the
+// driver-level events may be delivered from pool goroutines (one at a
+// time, but not from the caller's goroutine).
+type Observer interface {
+	harness.Observer
+	// CampaignStarted fires once, after the fault space is built: size is
+	// |F| and budget the total experiment budget.
+	CampaignStarted(system string, size, budget int)
+	// CycleFound fires for every raw self-sustaining cycle the beam
+	// search reports, in score order.
+	CycleFound(c beam.Cycle)
+	// CampaignFinished fires once with the complete report (it does not
+	// fire when the campaign is cancelled).
+	CampaignFinished(rep *Report)
+}
+
+// NopObserver implements Observer with no-ops, for embedding.
+type NopObserver struct{}
+
+func (NopObserver) ProfileCached(string, int)                      {}
+func (NopObserver) ExperimentExecuted(faults.ID, string, int, int) {}
+func (NopObserver) EdgeDiscovered(fca.Edge)                        {}
+func (NopObserver) CampaignStarted(string, int, int)               {}
+func (NopObserver) CycleFound(beam.Cycle)                          {}
+func (NopObserver) CampaignFinished(*Report)                       {}
+
+// Campaign is a configured, reusable campaign description. Build one with
+// NewCampaign and execute it with Run or RunWithDriver; each execution
+// creates a fresh driver, so a Campaign value can be run repeatedly.
+type Campaign struct {
+	sys sysreg.System
+	cfg Config
+	par int
+	obs Observer
+	ctx context.Context
+}
+
+// Option mutates a Campaign under construction.
+type Option func(*Campaign)
+
+// NewCampaign builds a campaign against sys. Without options it is
+// equivalent to Run(sys, DefaultConfig(42)): paper-faithful parameters,
+// serial execution, no observer, background context.
+func NewCampaign(sys sysreg.System, opts ...Option) *Campaign {
+	c := &Campaign{
+		sys: sys,
+		cfg: DefaultConfig(42),
+		par: 1,
+		ctx: context.Background(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WithConfig replaces the whole Config (applied before later options, so
+// it composes with WithReps etc. regardless of order only when first). A
+// positive cfg.Harness.Parallelism is adopted as the campaign's
+// parallelism, so legacy Config-based callers get the worker pool too.
+func WithConfig(cfg Config) Option {
+	return func(c *Campaign) {
+		c.cfg = cfg
+		if cfg.Harness.Parallelism > 0 {
+			c.par = cfg.Harness.Parallelism
+		}
+	}
+}
+
+// WithSeed sets the campaign seed driving all random choices.
+func WithSeed(seed int64) Option { return func(c *Campaign) { c.cfg.Seed = seed } }
+
+// WithReps sets the number of seeds per run configuration; n <= 0 keeps
+// the current value.
+func WithReps(n int) Option {
+	return func(c *Campaign) {
+		if n > 0 {
+			c.cfg.Harness.Reps = n
+		}
+	}
+}
+
+// WithDelayMagnitudes sets the delay-injection magnitude sweep; an empty
+// list keeps the current value.
+func WithDelayMagnitudes(mags ...time.Duration) Option {
+	return func(c *Campaign) {
+		if len(mags) > 0 {
+			c.cfg.Harness.DelayMagnitudes = append([]time.Duration(nil), mags...)
+		}
+	}
+}
+
+// WithBaseSeed sets the harness base seed offsetting all run seeds.
+func WithBaseSeed(s int64) Option { return func(c *Campaign) { c.cfg.Harness.BaseSeed = s } }
+
+// WithFCA sets the fault-causality-analysis configuration.
+func WithFCA(cfg fca.Config) Option { return func(c *Campaign) { c.cfg.Harness.FCA = cfg } }
+
+// WithBudgetFactor scales |F| into the experiment budget; n <= 0 keeps
+// the current value.
+func WithBudgetFactor(n int) Option {
+	return func(c *Campaign) {
+		if n > 0 {
+			c.cfg.BudgetFactor = n
+		}
+	}
+}
+
+// WithClusterThreshold sets the causally-equivalent-fault merge cutoff.
+func WithClusterThreshold(t float64) Option {
+	return func(c *Campaign) { c.cfg.ClusterThreshold = t }
+}
+
+// WithBeam sets the cycle-search options.
+func WithBeam(opt beam.Options) Option { return func(c *Campaign) { c.cfg.Beam = opt } }
+
+// WithProtocol selects the allocation protocol (3PA or the §8.2 random
+// baseline).
+func WithProtocol(p ProtocolKind) Option { return func(c *Campaign) { c.cfg.Protocol = p } }
+
+// WithParallelism bounds how many simulated runs execute concurrently.
+// Results are bit-identical for every value; n <= 1 means serial.
+func WithParallelism(n int) Option {
+	return func(c *Campaign) {
+		if n < 1 {
+			n = 1
+		}
+		c.par = n
+	}
+}
+
+// WithObserver installs a campaign observer (nil disables events).
+func WithObserver(o Observer) Option { return func(c *Campaign) { c.obs = o } }
+
+// WithContext attaches a cancellation context: once it is cancelled the
+// campaign stops launching simulations and Run returns ctx.Err() along
+// with whatever partial results exist.
+func WithContext(ctx context.Context) Option {
+	return func(c *Campaign) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// Config returns the resolved campaign configuration.
+func (c *Campaign) Config() Config { return c.cfg }
+
+// Parallelism returns the resolved worker-pool width.
+func (c *Campaign) Parallelism() int { return c.par }
+
+// System returns the campaign's target system.
+func (c *Campaign) System() sysreg.System { return c.sys }
+
+// Run executes the campaign: profile runs, budgeted fault injection, FCA,
+// and the beam search. On cancellation it returns the partial report and
+// the context error.
+func (c *Campaign) Run() (*Report, error) {
+	rep, _, err := c.RunWithDriver()
+	return rep, err
+}
+
+// RunWithDriver is Run, additionally returning the harness driver so
+// callers (the report tables) can inspect edge provenance.
+func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
+	cfg := c.cfg
+	space := sysreg.Space(c.sys)
+	hcfg := cfg.Harness
+	hcfg.Parallelism = c.par
+	driver := harness.New(c.sys, space, hcfg)
+	driver.Bind(c.ctx)
+	if c.obs != nil {
+		driver.Observe(c.obs)
+	}
+
+	budgetFactor := cfg.BudgetFactor
+	if budgetFactor == 0 {
+		budgetFactor = 4
+	}
+	if c.obs != nil {
+		c.obs.CampaignStarted(c.sys.Name(), space.Size(), budgetFactor*space.Size())
+	}
+
+	rep := &Report{System: c.sys.Name(), Space: space}
+	finish := func() (*Report, *harness.Driver, error) {
+		rep.Edges = driver.Edges()
+		rep.Sims = driver.SimCount()
+		return rep, driver, c.ctx.Err()
+	}
+
+	driver.ProfileAll()
+	if c.ctx.Err() != nil {
+		return finish()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Protocol {
+	case ProtocolRandom:
+		rep.Runs = alloc.Random(space, cfg.BudgetFactor, rng, driver)
+	default:
+		proto := &alloc.Protocol{
+			Space:            space,
+			BudgetFactor:     cfg.BudgetFactor,
+			ClusterThreshold: cfg.ClusterThreshold,
+			Rng:              rng,
+		}
+		rep.Alloc = proto.Run(driver)
+		rep.Runs = rep.Alloc.Runs
+	}
+	if c.ctx.Err() != nil {
+		return finish()
+	}
+
+	rep.Edges = driver.Edges()
+	rep.Sims = driver.SimCount()
+
+	scoreOf := func(f faults.ID) float64 {
+		if rep.Alloc != nil {
+			return rep.Alloc.SimScoreOf(f)
+		}
+		return 1
+	}
+	if cfg.Beam.NestGroups == nil {
+		cfg.Beam.NestGroups = NestGroups(space)
+	}
+	rep.Cycles = beam.Search(rep.Edges, scoreOf, cfg.Beam)
+	rep.CycleClusters = beam.ClusterCycles(rep.Cycles, func(f faults.ID) (int, bool) {
+		if rep.Alloc == nil {
+			return 0, false
+		}
+		gi, ok := rep.Alloc.ClusterOf[f]
+		return gi, ok
+	})
+	if c.obs != nil {
+		for _, cy := range rep.Cycles {
+			c.obs.CycleFound(cy)
+		}
+		c.obs.CampaignFinished(rep)
+	}
+	return rep, driver, nil
+}

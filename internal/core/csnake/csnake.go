@@ -3,14 +3,17 @@
 // driving under the 3PA budget protocol, fault causality analysis, and the
 // compatibility-checked parallel beam search -- into a single Campaign.
 //
-// A minimal use looks like:
+// A minimal use resolves a registered system and runs a campaign:
 //
-//	report := csnake.Run(dfs.NewV2(), csnake.DefaultConfig(42))
+//	sys, _ := sysreg.Lookup("hdfs2") // blank-import repro/internal/systems/dfs
+//	report, err := csnake.NewCampaign(sys,
+//		csnake.WithSeed(42),
+//		csnake.WithParallelism(runtime.NumCPU()),
+//	).Run()
 //	for _, cc := range report.CycleClusters { fmt.Println(cc.Cycles[0]) }
 package csnake
 
 import (
-	"math/rand"
 	"sort"
 
 	"repro/internal/core/alloc"
@@ -81,7 +84,8 @@ type Report struct {
 	Sims int
 }
 
-// Run executes a full campaign against sys.
+// Run executes a full campaign against sys with a fixed Config: it is
+// the one-shot wrapper over the Campaign builder, serial and unobserved.
 func Run(sys sysreg.System, cfg Config) *Report {
 	rep, _ := RunWithDriver(sys, cfg)
 	return rep
@@ -90,47 +94,7 @@ func Run(sys sysreg.System, cfg Config) *Report {
 // RunWithDriver is Run, additionally returning the harness driver so
 // callers (the report tables) can inspect edge provenance.
 func RunWithDriver(sys sysreg.System, cfg Config) (*Report, *harness.Driver) {
-	space := sysreg.Space(sys)
-	driver := harness.New(sys, space, cfg.Harness)
-	driver.ProfileAll()
-
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	rep := &Report{System: sys.Name(), Space: space}
-
-	switch cfg.Protocol {
-	case ProtocolRandom:
-		rep.Runs = alloc.Random(space, cfg.BudgetFactor, rng, driver)
-	default:
-		proto := &alloc.Protocol{
-			Space:            space,
-			BudgetFactor:     cfg.BudgetFactor,
-			ClusterThreshold: cfg.ClusterThreshold,
-			Rng:              rng,
-		}
-		rep.Alloc = proto.Run(driver)
-		rep.Runs = rep.Alloc.Runs
-	}
-
-	rep.Edges = driver.Edges()
-	rep.Sims = driver.Sims
-
-	scoreOf := func(f faults.ID) float64 {
-		if rep.Alloc != nil {
-			return rep.Alloc.SimScoreOf(f)
-		}
-		return 1
-	}
-	if cfg.Beam.NestGroups == nil {
-		cfg.Beam.NestGroups = NestGroups(space)
-	}
-	rep.Cycles = beam.Search(rep.Edges, scoreOf, cfg.Beam)
-	rep.CycleClusters = beam.ClusterCycles(rep.Cycles, func(f faults.ID) (int, bool) {
-		if rep.Alloc == nil {
-			return 0, false
-		}
-		gi, ok := rep.Alloc.ClusterOf[f]
-		return gi, ok
-	})
+	rep, driver, _ := NewCampaign(sys, WithConfig(cfg)).RunWithDriver()
 	return rep, driver
 }
 

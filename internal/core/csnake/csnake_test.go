@@ -103,7 +103,7 @@ func TestRandomProtocolRuns(t *testing.T) {
 	}
 	cfg := lightConfig(7)
 	cfg.Protocol = ProtocolRandom
-	rep := Run(stream.New(), cfg)
+	rep := Run(kvstore.New(), cfg)
 	if rep.Alloc != nil {
 		t.Fatal("random protocol must not produce a 3PA result")
 	}

@@ -3,11 +3,25 @@
 // repeats each configuration across seeds, caches profile runs and
 // coverage, applies fault causality analysis, and accumulates the causal
 // edge set consumed by the bug detector.
+//
+// The driver's internal state is mutex-guarded, and when
+// Config.Parallelism > 1 the seeded simulation runs of a run set (and the
+// magnitude sweep of a delay experiment) fan out across a bounded worker
+// pool; every run owns an independent sim.Engine, and results are merged
+// in deterministic (plan, seed-index) order, so a parallel campaign is
+// bit-identical to a serial one. Profile/TestsFor/read accessors may be
+// called from any goroutine, but Execute calls must be issued serially
+// (as the allocation protocols do): concurrent Execute calls would
+// interleave edge appends between mark boundaries and corrupt the
+// Marks/EdgesUpTo experiment-to-edge attribution.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/alloc"
@@ -32,6 +46,10 @@ type Config struct {
 	BaseSeed int64
 	// FCA configures the counterfactual criteria.
 	FCA fca.Config
+	// Parallelism bounds how many simulated runs execute concurrently;
+	// 0 or 1 means strictly serial execution. Results are independent of
+	// the value (deterministic merge order).
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's execution parameters.
@@ -54,6 +72,34 @@ func (c *Config) defaults() {
 	if c.FCA.PValue == 0 {
 		c.FCA = fca.DefaultConfig()
 	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
+}
+
+// Observer receives driver-level progress events. The driver serializes
+// the calls (no two events are delivered concurrently), but when
+// Parallelism > 1 events from overlapping profile runs may arrive in any
+// relative order.
+type Observer interface {
+	// ProfileCached fires once per workload, after its profile run set is
+	// computed and cached; sims is the number of seeded runs it took.
+	ProfileCached(test string, sims int)
+	// ExperimentExecuted fires after each injection experiment with the
+	// number of causal edges and interfered faults it discovered. It is
+	// not emitted for experiments skipped after context cancellation,
+	// even though their (empty) run records and marks still exist.
+	ExperimentExecuted(fault faults.ID, test string, edges, interference int)
+	// EdgeDiscovered fires for every dynamic causal edge FCA accepts.
+	EdgeDiscovered(e fca.Edge)
+}
+
+// profileEntry caches one workload's profile run set and coverage map.
+// The once gate means concurrent lookups compute the set exactly once.
+type profileEntry struct {
+	once sync.Once
+	set  *trace.Set
+	cov  map[faults.ID]bool
 }
 
 // Driver executes runs for one system. It implements alloc.Executor, so a
@@ -63,16 +109,26 @@ type Driver struct {
 	sys   sysreg.System
 	space *faults.Space
 	cfg   Config
+	ctx   context.Context
 
 	workloads map[string]sysreg.Workload
 	order     []string
 
-	profiles map[string]*trace.Set
+	// sem bounds concurrently-executing simulation runs (nil when serial).
+	sem chan struct{}
+
+	// mu guards edges, marks, and the profiles map (the entries gate
+	// themselves via sync.Once).
+	mu       sync.Mutex
+	profiles map[string]*profileEntry
 	edges    []fca.Edge
 	marks    []int
 
-	// Sims counts simulated executions, for reporting.
-	Sims int
+	// emitMu serializes observer callbacks.
+	emitMu sync.Mutex
+	obs    Observer
+
+	sims atomic.Int64
 }
 
 // New builds a driver over sys.
@@ -82,8 +138,12 @@ func New(sys sysreg.System, space *faults.Space, cfg Config) *Driver {
 		sys:       sys,
 		space:     space,
 		cfg:       cfg,
+		ctx:       context.Background(),
 		workloads: make(map[string]sysreg.Workload),
-		profiles:  make(map[string]*trace.Set),
+		profiles:  make(map[string]*profileEntry),
+	}
+	if cfg.Parallelism > 1 {
+		d.sem = make(chan struct{}, cfg.Parallelism)
 	}
 	for _, w := range sys.Workloads() {
 		d.workloads[w.Name] = w
@@ -92,15 +152,124 @@ func New(sys sysreg.System, space *faults.Space, cfg Config) *Driver {
 	return d
 }
 
+// Bind attaches a cancellation context: once ctx is cancelled the driver
+// stops launching simulation runs and every Execute/Profile call returns
+// promptly (with incomplete results).
+func (d *Driver) Bind(ctx context.Context) {
+	if ctx != nil {
+		d.ctx = ctx
+	}
+}
+
+// Observe installs a progress observer (nil disables events).
+func (d *Driver) Observe(o Observer) {
+	d.emitMu.Lock()
+	d.obs = o
+	d.emitMu.Unlock()
+}
+
 // Space returns the system's filtered fault space.
 func (d *Driver) Space() *faults.Space { return d.space }
 
 // Workloads returns the workload names in declaration order.
 func (d *Driver) Workloads() []string { return append([]string(nil), d.order...) }
 
+// SimCount returns the number of simulated executions performed so far.
+func (d *Driver) SimCount() int { return int(d.sims.Load()) }
+
+// cancelled reports whether the bound context is done.
+func (d *Driver) cancelled() bool { return d.ctx.Err() != nil }
+
+func (d *Driver) emitProfile(test string, sims int) {
+	d.emitMu.Lock()
+	defer d.emitMu.Unlock()
+	if d.obs != nil {
+		d.obs.ProfileCached(test, sims)
+	}
+}
+
+func (d *Driver) emitExperiment(f faults.ID, test string, edges, intf int) {
+	d.emitMu.Lock()
+	defer d.emitMu.Unlock()
+	if d.obs != nil {
+		d.obs.ExperimentExecuted(f, test, edges, intf)
+	}
+}
+
+func (d *Driver) emitEdges(edges []fca.Edge) {
+	d.emitMu.Lock()
+	defer d.emitMu.Unlock()
+	if d.obs != nil {
+		for _, e := range edges {
+			d.obs.EdgeDiscovered(e)
+		}
+	}
+}
+
+// FanOut runs fn(0), ..., fn(n-1) across at most parallelism goroutines
+// and waits for all of them; parallelism <= 1 runs them inline in index
+// order. The baselines share this pool shape with the driver.
+func FanOut(parallelism, n int, fn func(int)) {
+	if parallelism <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// each spawns one goroutine per index (bounded by the run-level
+// semaphore acquired in runOnce) when the driver is parallel, or runs
+// inline when serial. Unlike FanOut it may nest: outer levels (workloads)
+// hold no pool token while inner levels (seeded runs) execute.
+func (d *Driver) each(n int, fn func(int)) {
+	if d.sem == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // runOnce executes a single simulated run of workload w under plan.
 // When record is false the trace recorder is disabled (overhead baseline).
+// Returns nil (without simulating) once the bound context is cancelled.
 func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record bool) *trace.Run {
+	if d.sem != nil {
+		d.sem <- struct{}{}
+		defer func() { <-d.sem }()
+	}
+	if d.cancelled() {
+		return nil
+	}
 	var rec *trace.Run
 	if record {
 		rec = trace.NewRun(w.Name, seed)
@@ -112,7 +281,7 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	w.Run(ctx)
 	res := eng.Run(w.Horizon)
 	eng.Close()
-	d.Sims++
+	d.sims.Add(1)
 	if rec != nil {
 		rec.Result = res
 		rec.Wall = time.Since(start)
@@ -120,14 +289,61 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	return rec
 }
 
+// runSets executes cfg.Reps seeded runs for every plan, fanning the
+// (plan, rep) grid across the worker pool, and merges the results in
+// deterministic (plan, seed-index) order.
+func (d *Driver) runSets(w sysreg.Workload, plans []inject.Plan, salts []int64) []*trace.Set {
+	reps := d.cfg.Reps
+	runs := make([]*trace.Run, len(plans)*reps)
+	d.each(len(runs), func(j int) {
+		pi, ri := j/reps, j%reps
+		seed := d.cfg.BaseSeed + salts[pi]*1_000_003 + int64(ri)
+		runs[j] = d.runOnce(w, plans[pi], seed, true)
+	})
+	sets := make([]*trace.Set, len(plans))
+	for pi := range plans {
+		set := &trace.Set{}
+		for ri := 0; ri < reps; ri++ {
+			if r := runs[pi*reps+ri]; r != nil {
+				set.Add(r)
+			}
+		}
+		sets[pi] = set
+	}
+	return sets
+}
+
 // runSet executes cfg.Reps seeded runs of (w, plan).
 func (d *Driver) runSet(w sysreg.Workload, plan inject.Plan, salt int64) *trace.Set {
-	set := &trace.Set{}
-	for i := 0; i < d.cfg.Reps; i++ {
-		seed := d.cfg.BaseSeed + salt*1_000_003 + int64(i)
-		set.Add(d.runOnce(w, plan, seed, true))
+	return d.runSets(w, []inject.Plan{plan}, []int64{salt})[0]
+}
+
+// entry returns the cache slot of a workload's profile, creating it on
+// first use; it panics for unknown workloads.
+func (d *Driver) entry(test string) *profileEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if e, ok := d.profiles[test]; ok {
+		return e
 	}
-	return set
+	if _, ok := d.workloads[test]; !ok {
+		panic(fmt.Sprintf("harness: unknown workload %q", test))
+	}
+	e := &profileEntry{}
+	d.profiles[test] = e
+	return e
+}
+
+// profile computes (once) and returns the cached profile entry.
+func (d *Driver) profile(test string) *profileEntry {
+	e := d.entry(test)
+	e.once.Do(func() {
+		w := d.workloads[test]
+		e.set = d.runSet(w, inject.Profile(), saltOf(test, ""))
+		e.cov = e.set.Coverage()
+		d.emitProfile(test, len(e.set.Runs))
+	})
+	return e
 }
 
 // Profile returns (running and caching on first use) the profile run set
@@ -135,30 +351,25 @@ func (d *Driver) runSet(w sysreg.Workload, plan inject.Plan, salt int64) *trace.
 // against. Five seeds (cfg.Reps) absorb scheduling nondeterminism, exactly
 // as in §4.3.
 func (d *Driver) Profile(test string) *trace.Set {
-	if set, ok := d.profiles[test]; ok {
-		return set
-	}
-	w, ok := d.workloads[test]
-	if !ok {
-		panic(fmt.Sprintf("harness: unknown workload %q", test))
-	}
-	set := d.runSet(w, inject.Profile(), saltOf(test, ""))
-	d.profiles[test] = set
-	return set
+	return d.profile(test).set
 }
 
 // ProfileAll forces profile runs of every workload (coverage map
-// construction).
+// construction), fanning the workloads out across the pool when the
+// driver is parallel.
 func (d *Driver) ProfileAll() {
-	for _, name := range d.order {
-		d.Profile(name)
-	}
+	d.each(len(d.order), func(i int) {
+		d.profile(d.order[i])
+	})
 }
 
 // OverheadSample measures one profile execution with monitoring on and
 // off, returning the wall-clock times (§8.5).
 func (d *Driver) OverheadSample(test string, seed int64) (instrumented, bare time.Duration) {
-	w := d.workloads[test]
+	w, ok := d.workloads[test]
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown workload %q", test))
+	}
 	start := time.Now()
 	d.runOnce(w, inject.Profile(), seed, true)
 	instrumented = time.Since(start)
@@ -170,12 +381,16 @@ func (d *Driver) OverheadSample(test string, seed int64) (instrumented, bare tim
 
 // TestsFor implements alloc.Executor: the workloads whose profile runs
 // cover f, with their total coverage as the phase-one ranking key.
+// Coverage lookups go through the shared, lock-protected profile cache:
+// profiling on demand stays (a cold cache still fills deterministically,
+// in workload-declaration order when serial), but repeated allocation
+// queries never re-run simulations or recompute coverage maps.
 func (d *Driver) TestsFor(f faults.ID) []alloc.TestInfo {
 	var out []alloc.TestInfo
 	for _, name := range d.order {
-		cov := d.Profile(name).Coverage()
-		if cov[f] {
-			out = append(out, alloc.TestInfo{Name: name, Coverage: len(cov)})
+		e := d.profile(name)
+		if e.cov[f] {
+			out = append(out, alloc.TestInfo{Name: name, Coverage: len(e.cov)})
 		}
 	}
 	return out
@@ -185,7 +400,9 @@ func (d *Driver) TestsFor(f faults.ID) []alloc.TestInfo {
 // experiment for fault f under the named workload -- Reps seeds, and for
 // delay faults the whole magnitude sweep -- applies FCA against the
 // workload's profile set, accumulates the discovered edges, and returns
-// the additional fault ids triggered.
+// the additional fault ids triggered. The (magnitude x rep) grid executes
+// on the worker pool; FCA itself runs serially in magnitude order, so the
+// edge stream is deterministic.
 func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	pt, ok := d.space.Lookup(f)
 	if !ok {
@@ -197,12 +414,38 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	}
 	profile := d.Profile(test)
 
+	var plans []inject.Plan
+	var salts []int64
+	if pt.Kind == faults.Loop {
+		for mi, mag := range d.cfg.DelayMagnitudes {
+			plans = append(plans, inject.PlanFor(pt, mag))
+			salts = append(salts, saltOf(test, string(f))+int64(mi+1))
+		}
+	} else {
+		plans = append(plans, inject.PlanFor(pt, 0))
+		salts = append(salts, saltOf(test, string(f)))
+	}
+	sets := d.runSets(w, plans, salts)
+
+	if d.cancelled() {
+		// Partial run sets would make FCA nondeterministic; record an
+		// empty experiment so mark indices stay aligned with run records.
+		d.mu.Lock()
+		d.marks = append(d.marks, len(d.edges))
+		d.mu.Unlock()
+		return nil
+	}
+
 	intfSet := make(map[faults.ID]bool)
 	var intf []faults.ID
-	collect := func(plan inject.Plan, salt int64) {
-		injected := d.runSet(w, plan, salt)
-		edges, add := fca.Analyze(d.space, plan, test, profile, injected, d.cfg.FCA)
+	newEdges := 0
+	for i, plan := range plans {
+		edges, add := fca.Analyze(d.space, plan, test, profile, sets[i], d.cfg.FCA)
+		d.mu.Lock()
 		d.edges = append(d.edges, edges...)
+		d.mu.Unlock()
+		d.emitEdges(edges)
+		newEdges += len(edges)
 		for _, id := range add {
 			if !intfSet[id] {
 				intfSet[id] = true
@@ -210,17 +453,11 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 			}
 		}
 	}
-
-	if pt.Kind == faults.Loop {
-		for mi, mag := range d.cfg.DelayMagnitudes {
-			plan := inject.PlanFor(pt, mag)
-			collect(plan, saltOf(test, string(f))+int64(mi+1))
-		}
-	} else {
-		collect(inject.PlanFor(pt, 0), saltOf(test, string(f)))
-	}
 	sort.Slice(intf, func(i, j int) bool { return intf[i] < intf[j] })
+	d.mu.Lock()
 	d.marks = append(d.marks, len(d.edges))
+	d.mu.Unlock()
+	d.emitExperiment(f, test, newEdges, len(intf))
 	return intf
 }
 
@@ -228,12 +465,18 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 // in call order. Combined with the allocation's run records this
 // attributes every edge to the experiment (and hence 3PA phase) that
 // discovered it.
-func (d *Driver) Marks() []int { return append([]int(nil), d.marks...) }
+func (d *Driver) Marks() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]int(nil), d.marks...)
+}
 
 // EdgesUpTo returns the dynamic edges discovered by the first n Execute
 // calls plus the static loop edges, deduplicated.
 func (d *Driver) EdgesUpTo(n int) []fca.Edge {
+	d.mu.Lock()
 	if n >= len(d.marks) {
+		d.mu.Unlock()
 		return d.Edges()
 	}
 	cut := 0
@@ -241,6 +484,7 @@ func (d *Driver) EdgesUpTo(n int) []fca.Edge {
 		cut = d.marks[n-1]
 	}
 	all := append([]fca.Edge(nil), d.edges[:cut]...)
+	d.mu.Unlock()
 	all = append(all, fca.StaticLoopEdges(d.space)...)
 	return fca.Dedup(all)
 }
@@ -248,7 +492,9 @@ func (d *Driver) EdgesUpTo(n int) []fca.Edge {
 // Edges returns the deduplicated causal edge set discovered so far,
 // including the static ICFG/CFG loop edges.
 func (d *Driver) Edges() []fca.Edge {
+	d.mu.Lock()
 	all := append([]fca.Edge(nil), d.edges...)
+	d.mu.Unlock()
 	all = append(all, fca.StaticLoopEdges(d.space)...)
 	return fca.Dedup(all)
 }

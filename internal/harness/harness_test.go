@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -10,22 +12,28 @@ import (
 
 func lightDriver(t *testing.T) *Driver {
 	t.Helper()
+	return lightDriverParallel(t, 1)
+}
+
+func lightDriverParallel(t *testing.T, parallelism int) *Driver {
+	t.Helper()
 	sys := dfs.NewV2()
 	return New(sys, sysreg.Space(sys), Config{
 		Reps:            2,
 		DelayMagnitudes: []time.Duration{2 * time.Second},
+		Parallelism:     parallelism,
 	})
 }
 
 func TestProfileIsCached(t *testing.T) {
 	d := lightDriver(t)
 	a := d.Profile("basic_write")
-	sims := d.Sims
+	sims := d.SimCount()
 	b := d.Profile("basic_write")
 	if a != b {
 		t.Fatal("profile set not cached")
 	}
-	if d.Sims != sims {
+	if d.SimCount() != sims {
 		t.Fatal("cached profile re-ran simulations")
 	}
 }
@@ -53,6 +61,23 @@ func TestTestsForUsesCoverage(t *testing.T) {
 	}
 }
 
+// TestTestsForUsesSharedCoverageCache pins the satellite fix: repeated
+// coverage lookups mid-allocation must neither re-run profile simulations
+// nor recompute anything -- once the cache is warm the sim counter stays
+// put.
+func TestTestsForUsesSharedCoverageCache(t *testing.T) {
+	d := lightDriver(t)
+	first := d.TestsFor(dfs.PtDNIBRRPCIOE)
+	warm := d.SimCount()
+	second := d.TestsFor(dfs.PtDNIBRRPCIOE)
+	if d.SimCount() != warm {
+		t.Fatalf("TestsFor re-ran simulations: %d -> %d", warm, d.SimCount())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("coverage lookup unstable: %v vs %v", first, second)
+	}
+}
+
 func TestExecuteAccumulatesEdgesAndMarks(t *testing.T) {
 	d := lightDriver(t)
 	d.Execute(dfs.PtNNIBRProcessLoop, "ibr_storm")
@@ -72,6 +97,47 @@ func TestExecuteAccumulatesEdgesAndMarks(t *testing.T) {
 	}
 }
 
+// TestParallelExecuteMatchesSerial checks the driver's core guarantee:
+// fanning the (magnitude x rep) grid across a pool changes nothing about
+// the discovered edges or interference sets.
+func TestParallelExecuteMatchesSerial(t *testing.T) {
+	serial := lightDriverParallel(t, 1)
+	parallel := lightDriverParallel(t, 8)
+	for _, d := range []*Driver{serial, parallel} {
+		d.Execute(dfs.PtNNIBRProcessLoop, "ibr_storm")
+		d.Execute(dfs.PtDNIBRRPCIOE, "ibr_interval")
+	}
+	if !reflect.DeepEqual(serial.Edges(), parallel.Edges()) {
+		t.Fatalf("edge sets diverge:\nserial:   %v\nparallel: %v", serial.Edges(), parallel.Edges())
+	}
+	if !reflect.DeepEqual(serial.Marks(), parallel.Marks()) {
+		t.Fatalf("marks diverge: %v vs %v", serial.Marks(), parallel.Marks())
+	}
+	if serial.SimCount() != parallel.SimCount() {
+		t.Fatalf("sim counts diverge: %d vs %d", serial.SimCount(), parallel.SimCount())
+	}
+}
+
+// TestCancelledDriverStopsSimulating checks that a cancelled context makes
+// Execute a cheap no-op that still keeps mark bookkeeping aligned.
+func TestCancelledDriverStopsSimulating(t *testing.T) {
+	d := lightDriver(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	d.Bind(ctx)
+	d.Execute(dfs.PtNNIBRProcessLoop, "ibr_storm")
+	sims := d.SimCount()
+	cancel()
+	if got := d.Execute(dfs.PtDNIBRRPCIOE, "ibr_interval"); got != nil {
+		t.Fatalf("cancelled Execute returned interference %v", got)
+	}
+	if d.SimCount() != sims {
+		t.Fatalf("cancelled Execute ran %d simulations", d.SimCount()-sims)
+	}
+	if marks := d.Marks(); len(marks) != 2 {
+		t.Fatalf("marks not aligned with Execute calls: %v", marks)
+	}
+}
+
 func TestOverheadSampleMeasuresBothModes(t *testing.T) {
 	d := lightDriver(t)
 	inst, bare := d.OverheadSample("quiet_baseline", 3)
@@ -88,4 +154,16 @@ func TestUnknownWorkloadPanics(t *testing.T) {
 		}
 	}()
 	d.Profile("nope")
+}
+
+func TestFanOutCoversAllIndices(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 16} {
+		hits := make([]int, 40)
+		FanOut(par, len(hits), func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelism %d: index %d ran %d times", par, i, h)
+			}
+		}
+	}
 }

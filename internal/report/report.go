@@ -79,13 +79,18 @@ type CampaignArtifacts struct {
 	// Driver gives access to edge provenance for phase attribution.
 	Driver *harness.Driver
 	Config csnake.Config
+	// Err is the campaign's termination error (context cancellation).
+	Err error
 }
 
 // RunCampaign executes the standard campaign for a system and keeps the
-// artefacts needed by the tables.
-func RunCampaign(sys sysreg.System, cfg csnake.Config) *CampaignArtifacts {
-	rep, driver := csnake.RunWithDriver(sys, cfg)
-	return &CampaignArtifacts{System: sys, Report: rep, Driver: driver, Config: cfg}
+// artefacts needed by the tables. Options are forwarded to the Campaign
+// builder, so callers compose execution settings (parallelism, observer,
+// light reps) the same way everywhere.
+func RunCampaign(sys sysreg.System, opts ...csnake.Option) *CampaignArtifacts {
+	c := csnake.NewCampaign(sys, opts...)
+	rep, driver, err := c.RunWithDriver()
+	return &CampaignArtifacts{System: sys, Report: rep, Driver: driver, Config: c.Config(), Err: err}
 }
 
 // Table3 classifies each ground-truth bug of the campaign's system.

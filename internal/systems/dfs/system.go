@@ -19,6 +19,11 @@ func NewV2() sysreg.System { return &sysImpl{name: "HDFS 2", v3: false} }
 // NewV3 returns the HDFS 3 target system (async events + reconstruction).
 func NewV3() sysreg.System { return &sysImpl{name: "HDFS 3", v3: true} }
 
+func init() {
+	sysreg.Register("HDFS 2", NewV2, "hdfs2")
+	sysreg.Register("HDFS 3", NewV3, "hdfs3")
+}
+
 func (s *sysImpl) Name() string             { return s.name }
 func (s *sysImpl) Points() []faults.Point   { return points(s.v3) }
 func (s *sysImpl) Nests() []faults.LoopNest { return nests() }

@@ -12,6 +12,8 @@ type sysImpl struct{}
 // New returns the HBase-like target system.
 func New() sysreg.System { return sysImpl{} }
 
+func init() { sysreg.Register("HBase", New, "hbase") }
+
 func (sysImpl) Name() string             { return "HBase" }
 func (sysImpl) Points() []faults.Point   { return points() }
 func (sysImpl) Nests() []faults.LoopNest { return nil }

@@ -522,6 +522,8 @@ type sysImpl struct{}
 // New returns the OZone-like target system.
 func New() sysreg.System { return sysImpl{} }
 
+func init() { sysreg.Register("OZone", New, "ozone") }
+
 func (sysImpl) Name() string             { return "OZone" }
 func (sysImpl) Points() []faults.Point   { return points() }
 func (sysImpl) Nests() []faults.LoopNest { return nil }

@@ -336,6 +336,8 @@ type sysImpl struct{}
 // New returns the Flink-like target system.
 func New() sysreg.System { return sysImpl{} }
 
+func init() { sysreg.Register("Flink", New, "flink") }
+
 func (sysImpl) Name() string             { return "Flink" }
 func (sysImpl) Points() []faults.Point   { return points() }
 func (sysImpl) Nests() []faults.LoopNest { return nil }

@@ -81,35 +81,94 @@ func Space(s System) *faults.Space {
 	return faults.NewSpace(s.Points(), s.Nests())
 }
 
-var (
-	regMu  sync.Mutex
-	regged = map[string]System{}
-)
+// Factory constructs a fresh System instance. Registration stores
+// factories rather than instances so that package init stays cheap and
+// every Lookup hands out an independent value.
+type Factory func() System
 
-// Register adds a system to the global registry (called from system
-// package init or test setup).
-func Register(s System) {
-	regMu.Lock()
-	defer regMu.Unlock()
-	regged[s.Name()] = s
+type entry struct {
+	name    string
+	factory Factory
 }
 
-// All returns the registered systems sorted by name.
-func All() []System {
+var (
+	regMu   sync.Mutex
+	regged  = map[string]*entry{} // canonical name -> entry
+	aliases = map[string]string{} // alias (and canonical name) -> canonical name
+)
+
+// Register adds a system factory to the global registry under its
+// canonical display name plus any CLI aliases (e.g. "HDFS 2" with alias
+// "hdfs2"). System packages call this from init(); re-registering a name
+// replaces the previous entry.
+func Register(name string, factory Factory, names ...string) {
 	regMu.Lock()
 	defer regMu.Unlock()
-	out := make([]System, 0, len(regged))
-	for _, s := range regged {
-		out = append(out, s)
+	regged[name] = &entry{name: name, factory: factory}
+	aliases[name] = name
+	for _, a := range names {
+		aliases[a] = name
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+}
+
+// All constructs one instance of every registered system, sorted by
+// canonical name.
+func All() []System {
+	regMu.Lock()
+	factories := make([]Factory, 0, len(regged))
+	names := make([]string, 0, len(regged))
+	for n := range regged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		factories = append(factories, regged[n].factory)
+	}
+	regMu.Unlock()
+	out := make([]System, 0, len(factories))
+	for _, f := range factories {
+		out = append(out, f())
+	}
 	return out
 }
 
-// Lookup finds a registered system by name.
-func Lookup(name string) (System, bool) {
+// Names returns the sorted canonical names of all registered systems.
+func Names() []string {
 	regMu.Lock()
 	defer regMu.Unlock()
-	s, ok := regged[name]
-	return s, ok
+	out := make([]string, 0, len(regged))
+	for n := range regged {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Aliases returns every name Lookup accepts (canonical names and
+// aliases), sorted.
+func Aliases() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(aliases))
+	for a := range aliases {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup constructs the system registered under a canonical name or
+// alias.
+func Lookup(name string) (System, bool) {
+	regMu.Lock()
+	canon, ok := aliases[name]
+	var f Factory
+	if ok {
+		f = regged[canon].factory
+	}
+	regMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return f(), true
 }

@@ -34,8 +34,8 @@ func TestSpaceAppliesFilters(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
-	Register(fakeSys{name: "Bsys"})
-	Register(fakeSys{name: "Asys"})
+	Register("Bsys", func() System { return fakeSys{name: "Bsys"} })
+	Register("Asys", func() System { return fakeSys{name: "Asys"} }, "asys")
 	all := All()
 	var names []string
 	for _, s := range all {
@@ -57,9 +57,38 @@ func TestRegistry(t *testing.T) {
 		t.Fatalf("registry order/content wrong: %v", names)
 	}
 	if _, ok := Lookup("Asys"); !ok {
-		t.Fatal("Lookup failed")
+		t.Fatal("Lookup by canonical name failed")
+	}
+	sys, ok := Lookup("asys")
+	if !ok || sys.Name() != "Asys" {
+		t.Fatalf("Lookup by alias: ok=%v sys=%v", ok, sys)
 	}
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("Lookup invented a system")
+	}
+	wantNames := map[string]bool{"Asys": true, "Bsys": true}
+	for _, n := range Names() {
+		delete(wantNames, n)
+	}
+	if len(wantNames) != 0 {
+		t.Fatalf("Names() missing %v", wantNames)
+	}
+	gotAlias := false
+	for _, a := range Aliases() {
+		if a == "asys" {
+			gotAlias = true
+		}
+	}
+	if !gotAlias {
+		t.Fatalf("Aliases() missing alias: %v", Aliases())
+	}
+}
+
+func TestLookupReturnsFreshInstances(t *testing.T) {
+	Register("Fresh", func() System { return &fakeSys{name: "Fresh"} })
+	a, _ := Lookup("Fresh")
+	b, _ := Lookup("Fresh")
+	if a.(*fakeSys) == b.(*fakeSys) {
+		t.Fatal("Lookup returned a shared instance")
 	}
 }
