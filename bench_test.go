@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/core/compat"
 	"repro/internal/core/csnake"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/inject"
@@ -212,10 +214,66 @@ func BenchmarkFCA_Analyze(b *testing.B) {
 }
 
 func BenchmarkBeamSearch(b *testing.B) {
+	// The intended workflow: the campaign (or a loaded file) holds a
+	// prebuilt interned graph and every search matches on its integer
+	// index -- zero state-key strings are built per search.
+	g := graph.FromEdges(syntheticEdges(120))
+	g.Index() // prebuild, as the campaign's first search would
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		beam.SearchGraph(g, nil, beam.Options{MaxLen: 6})
+	}
+}
+
+func BenchmarkBeamSearchFromSlice(b *testing.B) {
+	// Legacy entry point: interning the flat slice is part of each call.
 	edges := syntheticEdges(120)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		beam.Search(edges, nil, beam.Options{MaxLen: 6})
+	}
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	edges := syntheticEdges(120)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graph.FromEdges(edges)
+		g.Index()
+	}
+}
+
+func BenchmarkGraphPrefixSnapshot(b *testing.B) {
+	edges := syntheticEdges(512)
+	g := graph.New()
+	for i, e := range edges {
+		g.Add(e)
+		if (i+1)%8 == 0 {
+			g.Mark()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mid-campaign snapshot: the allocPhase/Table 3 access pattern.
+		p := g.Prefix(32)
+		if p.Len() == 0 {
+			b.Fatal("empty prefix")
+		}
+	}
+}
+
+func BenchmarkGraphJSONRoundTrip(b *testing.B) {
+	g := graph.FromEdges(syntheticEdges(256))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g2 := graph.New()
+		if err := json.Unmarshal(data, g2); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -7,7 +7,16 @@
 // package self-registers in init()); -system accepts a canonical name or
 // alias, and -list prints everything registered.
 //
-// Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-parallel N] [-fast] [-progress] [-list]
+// The causal graph a campaign accumulates is a first-class artifact:
+// -edges-out persists it (fault ids, edges with occurrence evidence,
+// SimScores, and loop-nest families) as JSON, and -edges-in loads one or
+// more persisted graphs, stitches them into a single graph, and re-runs
+// the beam search offline -- no simulations, identical cycles. Combining
+// the two merges graphs from several campaigns into one file.
+//
+// Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-parallel N]
+//
+//	[-fast] [-progress] [-list] [-edges-out FILE] [-edges-in FILE,...]
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 
 	"repro/internal/core/beam"
 	"repro/internal/core/csnake"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/systems/sysreg"
 
@@ -63,12 +73,19 @@ func main() {
 	fast := flag.Bool("fast", false, "light configuration (3 reps, 3 delay magnitudes)")
 	verbose := flag.Bool("progress", false, "stream campaign progress to stderr")
 	list := flag.Bool("list", false, "list registered systems and exit")
+	edgesOut := flag.String("edges-out", "", "write the campaign's causal graph (or the -edges-in merge) as JSON")
+	edgesIn := flag.String("edges-in", "", "comma-separated persisted graphs: skip the campaign, stitch them, and re-search")
 	flag.Parse()
 
 	if *list {
 		for _, n := range sysreg.Names() {
 			fmt.Println(n)
 		}
+		return
+	}
+
+	if *edgesIn != "" {
+		researchGraphs(strings.Split(*edgesIn, ","), *edgesOut)
 		return
 	}
 
@@ -98,6 +115,13 @@ func main() {
 	if err != nil {
 		log.Fatalf("campaign: %v", err)
 	}
+	if *edgesOut != "" {
+		if err := rep.Graph.WriteFile(*edgesOut); err != nil {
+			log.Fatalf("edges-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote causal graph (%d edges, %d faults) to %s\n",
+			rep.Graph.Len(), rep.Graph.NumFaults(), *edgesOut)
+	}
 	fmt.Printf("system=%s |F|=%d experiments=%d sims=%d edges=%d cycles=%d clusters=%d parallel=%d wall=%v\n",
 		rep.System, rep.Space.Size(), len(rep.Runs), rep.Sims, len(rep.Edges), len(rep.Cycles), len(rep.CycleClusters), *parallel, time.Since(start).Round(time.Millisecond))
 
@@ -111,4 +135,49 @@ func main() {
 		fmt.Printf("  [%s] score=%.2f %s\n", tag, best.Score, best)
 	}
 	fmt.Printf("detected ground-truth bugs: %v\n", csnake.DetectedBugs(rep, sys.Bugs()))
+}
+
+// researchGraphs loads persisted causal graphs, stitches them into one,
+// optionally persists the merge, and re-runs the beam search using the
+// SimScores and loop-nest families that rode along in the files.
+func researchGraphs(paths []string, out string) {
+	merged := graph.New()
+	for _, p := range paths {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		g, err := graph.ReadFile(p)
+		if err != nil {
+			log.Fatalf("edges-in: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s: system=%s edges=%d faults=%d\n",
+			p, g.System(), g.Len(), g.NumFaults())
+		merged.Merge(g)
+	}
+	if out != "" {
+		if err := merged.WriteFile(out); err != nil {
+			log.Fatalf("edges-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote merged graph (%d edges, %d faults) to %s\n",
+			merged.Len(), merged.NumFaults(), out)
+	}
+	start := time.Now()
+	cycles := beam.SearchGraph(merged, nil, beam.Options{})
+	// Group equivalent cycles by the fault sets involved (no cluster
+	// assignment is persisted, so faults distinguish themselves) and show
+	// each group's best representative, like the campaign path does.
+	clusters := beam.ClusterCycles(cycles, func(faults.ID) (int, bool) { return 0, false })
+	fmt.Printf("system=%s edges=%d faults=%d keys=%d cycles=%d clusters=%d wall=%v\n",
+		merged.System(), merged.Len(), merged.NumFaults(), merged.NumKeys(),
+		len(cycles), len(clusters), time.Since(start).Round(time.Millisecond))
+	const maxShown = 25
+	for i, cc := range clusters {
+		if i == maxShown {
+			fmt.Printf("  ... and %d more clusters\n", len(clusters)-maxShown)
+			break
+		}
+		best := cc.Cycles[0]
+		fmt.Printf("  [%d cycles] score=%.2f %s\n", len(cc.Cycles), best.Score, best)
+	}
 }

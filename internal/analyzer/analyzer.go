@@ -166,12 +166,32 @@ func (inv *Inventory) walk(fset *token.FileSet, fn string, node ast.Node, inFor 
 	ast.Inspect(node, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.ForStmt:
+			// Init evaluates once, before the loop: it inherits the
+			// enclosing flag. Cond and Post execute on every iteration,
+			// so hooks there repeat exactly like body hooks.
+			if x.Init != nil {
+				inv.walk(fset, fn, x.Init, inFor)
+			}
+			for _, clause := range []ast.Node{x.Cond, x.Post} {
+				if clause != nil {
+					inv.walk(fset, fn, clause, true)
+				}
+			}
 			if x.Body != nil {
 				inv.walk(fset, fn, x.Body, true)
 			}
-			// Init/Cond/Post still walked without the loop flag.
 			return false
 		case *ast.RangeStmt:
+			// The ranged-over expression X evaluates once; Key/Value
+			// index expressions are assigned on every iteration.
+			if x.X != nil {
+				inv.walk(fset, fn, x.X, inFor)
+			}
+			for _, clause := range []ast.Node{x.Key, x.Value} {
+				if clause != nil {
+					inv.walk(fset, fn, clause, true)
+				}
+			}
 			if x.Body != nil {
 				inv.walk(fset, fn, x.Body, true)
 			}

@@ -1,10 +1,12 @@
 package analyzer
 
 import (
+	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/systems/dfs"
 	"repro/internal/systems/kvstore"
 	"repro/internal/systems/objstore"
@@ -87,5 +89,65 @@ func TestConstResolution(t *testing.T) {
 func TestAnalyzeMissingDir(t *testing.T) {
 	if _, err := Analyze(repoRoot(t), []string{"internal/does/not/exist"}); err == nil {
 		t.Fatal("want error for missing directory")
+	}
+}
+
+// TestWalkVisitsForClauseSubtrees is the regression test for the walk
+// fix: hook calls placed in a for statement's Init/Cond/Post clauses and
+// in a range statement's ranged-over expression used to be skipped
+// entirely (the walker returned false after visiting only the body).
+// They must be discovered -- without the loop flag, which is reserved for
+// hooks in the repeated body.
+func TestWalkVisitsForClauseSubtrees(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fixture
+
+const (
+	PtInit   = "fix.init"
+	PtCond   = "fix.cond"
+	PtPost   = "fix.post"
+	PtRangeX = "fix.rangex"
+	PtBody   = "fix.body"
+)
+
+func run(rt *RT) {
+	for i := rt.Negate(nil, PtInit); rt.Negate(nil, PtCond); rt.Negate(nil, PtPost) {
+		rt.Loop(nil, PtBody)
+	}
+	for range rt.Items(rt.Negate(nil, PtRangeX)) {
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Analyze(dir, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[faults.ID]bool{}
+	gotInFor := map[faults.ID]bool{}
+	for _, s := range inv.Sites {
+		got[s.ID] = true
+		if s.InFor {
+			gotInFor[s.ID] = true
+		}
+	}
+	for _, id := range []faults.ID{"fix.init", "fix.cond", "fix.post", "fix.rangex"} {
+		if !got[id] {
+			t.Errorf("hook %s in a for/range clause was not discovered", id)
+		}
+	}
+	// Init and the ranged-over expression evaluate once: no loop flag.
+	for _, id := range []faults.ID{"fix.init", "fix.rangex"} {
+		if gotInFor[id] {
+			t.Errorf("once-evaluated clause hook %s must not carry the loop flag", id)
+		}
+	}
+	// Cond and Post execute on every iteration: they repeat like the body.
+	for _, id := range []faults.ID{"fix.cond", "fix.post", "fix.body"} {
+		if !gotInFor[id] {
+			t.Errorf("per-iteration hook %s must carry the loop flag", id)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 )
 
@@ -69,7 +70,7 @@ func (c Cycle) Faults() []faults.ID {
 	var out []faults.ID
 	seen := make(map[faults.ID]bool)
 	for _, e := range c.Edges {
-		if e.Kind == faults.ICFG || e.Kind == faults.CFG {
+		if e.Kind.Static() {
 			continue // static connectors are not injections
 		}
 		if !seen[e.From] {
@@ -85,7 +86,7 @@ func (c Cycle) Faults() []faults.ID {
 func (c Cycle) Composition() (delays, exceptions, negations int) {
 	seen := make(map[faults.ID]bool)
 	for _, e := range c.Edges {
-		if e.Kind == faults.ICFG || e.Kind == faults.CFG || seen[e.From] {
+		if e.Kind.Static() || seen[e.From] {
 			continue
 		}
 		seen[e.From] = true
@@ -143,21 +144,39 @@ func minRotation(parts []string) string {
 	return best
 }
 
-// Search runs the parallel beam search over all causal edges. simScoreOf
-// maps an injected fault to its cluster's SimScore (§5.2); use a constant
-// function when scores are unavailable.
-//
-// The implementation (engine.go) preprocesses edges into canonical state
-// keys and a From-fault index: Algorithm 1's match() then costs a sorted
-// set intersection instead of re-deriving state strings, and chains are
+// Search runs the parallel beam search over a flat causal edge slice: a
+// convenience wrapper that interns the edges into a graph.Graph (merging
+// duplicate edges by construction) and delegates to SearchGraph.
+// simScoreOf maps an injected fault to its cluster's SimScore (§5.2); nil
+// means a constant score.
+func Search(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+	if len(edges) == 0 {
+		return nil
+	}
+	return SearchGraph(graph.FromEdges(edges), simScoreOf, opt)
+}
+
+// SearchGraph runs the parallel beam search over a prebuilt interned
+// causal graph: the fast path. The graph's columnar index carries dense
+// fault ids and the interned state-key id sets computed once at edge
+// insertion, so Algorithm 1's match() costs a sorted integer-set
+// intersection and a search builds zero state-key strings. Chains are
 // index vectors that never repeat an edge (a repeated edge only
 // re-traverses an already-reported sub-cycle).
-func Search(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+//
+// A nil simScoreOf falls back to the graph's SimScore annotations (or the
+// constant 1 when none were recorded), and an unset opt.NestGroups falls
+// back to the graph's persisted loop-nest families -- a graph reloaded
+// from disk re-searches exactly like the originating campaign.
+func SearchGraph(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
 	opt.defaults()
 	if simScoreOf == nil {
-		simScoreOf = func(faults.ID) float64 { return 1 }
+		simScoreOf = g.ScoreFunc()
 	}
-	return searchFast(edges, simScoreOf, opt)
+	if opt.NestGroups == nil {
+		opt.NestGroups = g.NestGroups()
+	}
+	return searchFast(g, simScoreOf, opt)
 }
 
 // CycleCluster groups equivalent reported cycles: cycles whose injected

@@ -2,91 +2,40 @@ package beam
 
 import (
 	"sort"
-	"strings"
 	"sync"
 
-	"repro/internal/core/compat"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 )
 
-// matcher is the preprocessed search index: per-edge canonical state keys
-// (computed once, instead of rebuilding strings on every match), plus a
-// From-fault index so expansion only scans plausible successors.
+// matcher is the search engine's view of a prebuilt graph: the columnar
+// index (dense fault ids and interned state-key id sets, computed once at
+// graph insertion), the materialized edges for cycle output, and the
+// per-edge scores. Matching costs integer comparisons only -- no state
+// key is ever built or hashed during a search.
 type matcher struct {
-	edges  []fca.Edge
-	byFrom map[faults.ID][]int
-
-	fromStack [][]string // sorted stack-only keys of FromState
-	fromFull  [][]string // sorted stack|branch keys of FromState
-	toStack   [][]string
-	toFull    [][]string
-	fromDelay []bool
-	toDelay   []bool
-	scores    []float64 // SimScore of the injected fault (From)
-	connector []bool    // ICFG/CFG edges (not injections)
+	ix     *graph.Index
+	edges  []fca.Edge // materialized once, for cycle output
+	scores []float64  // SimScore of the injected fault (From)
 }
 
-func newMatcher(edges []fca.Edge, simScoreOf func(faults.ID) float64) *matcher {
+func newMatcher(g *graph.Graph, simScoreOf func(faults.ID) float64) *matcher {
+	ix := g.Index()
 	m := &matcher{
-		edges:     edges,
-		byFrom:    make(map[faults.ID][]int),
-		fromStack: make([][]string, len(edges)),
-		fromFull:  make([][]string, len(edges)),
-		toStack:   make([][]string, len(edges)),
-		toFull:    make([][]string, len(edges)),
-		fromDelay: make([]bool, len(edges)),
-		toDelay:   make([]bool, len(edges)),
-		scores:    make([]float64, len(edges)),
-		connector: make([]bool, len(edges)),
+		ix:     ix,
+		edges:  ix.Edges,
+		scores: make([]float64, ix.N),
 	}
-	for i, e := range edges {
-		m.byFrom[e.From] = append(m.byFrom[e.From], i)
-		m.fromStack[i], m.fromFull[i] = stateKeys(e.FromState)
-		m.toStack[i], m.toFull[i] = stateKeys(e.ToState)
-		m.fromDelay[i] = e.FromState.DelayFault
-		m.toDelay[i] = e.ToState.DelayFault
-		m.scores[i] = simScoreOf(e.From)
-		m.connector[i] = e.Kind == faults.ICFG || e.Kind == faults.CFG
+	for i := 0; i < ix.N; i++ {
+		m.scores[i] = simScoreOf(ix.FaultOf[ix.From[i]])
 	}
 	return m
 }
 
-// stateKeys canonicalises a compat.State into sorted stack-only and
-// stack+branch key sets.
-func stateKeys(s compat.State) (stack, full []string) {
-	ss := make(map[string]bool, len(s.Occ))
-	fs := make(map[string]bool, len(s.Occ))
-	for _, o := range s.Occ {
-		sk := strings.Join(o.Stack, ">")
-		ss[sk] = true
-		var b strings.Builder
-		b.WriteString(sk)
-		b.WriteByte('|')
-		for _, be := range o.Branches {
-			b.WriteString(be.ID)
-			if be.Taken {
-				b.WriteString("=T;")
-			} else {
-				b.WriteString("=F;")
-			}
-		}
-		fs[b.String()] = true
-	}
-	return sortedKeys(ss), sortedKeys(fs)
-}
-
-func sortedKeys(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// intersects reports whether two sorted string sets share an element.
-func intersects(a, b []string) bool {
+// intersects reports whether two sorted interned-key-id sets share an
+// element.
+func intersects(a, b []int32) bool {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -101,43 +50,42 @@ func intersects(a, b []string) bool {
 	return false
 }
 
-// matchIdx implements Algorithm 1's match over preprocessed edges i -> j.
+// matchIdx implements Algorithm 1's match over indexed edges i -> j.
 func (m *matcher) matchIdx(i, j int) bool {
-	e1, e2 := &m.edges[i], &m.edges[j]
-	if e1.To != e2.From || e1.ToClass != e2.FromClass {
+	ix := m.ix
+	if ix.To[i] != ix.From[j] || ix.ToClass[i] != ix.FromClass[j] {
 		return false
 	}
 	// Connector sequencing per §6.1: an ICFG (child->parent) edge may be
 	// followed by a CFG (parent->sibling) edge or by a dynamic edge; two
 	// like connectors in a row only walk the static nest without any
 	// dynamic evidence.
-	if e1.Kind == faults.ICFG && e2.Kind == faults.ICFG {
+	if ix.Kind[i] == faults.ICFG && ix.Kind[j] == faults.ICFG {
 		return false
 	}
-	if e1.Kind == faults.CFG && (e2.Kind == faults.CFG || e2.Kind == faults.ICFG) {
+	if ix.Kind[i] == faults.CFG && (ix.Kind[j] == faults.CFG || ix.Kind[j] == faults.ICFG) {
 		return false
 	}
-	switch e2.Kind {
+	switch ix.Kind[j] {
 	case faults.ED, faults.SD, faults.ICFG, faults.CFG:
-		if e1.ToClass != faults.ClassDelay {
+		if ix.ToClass[i] != faults.ClassDelay {
 			return false
 		}
 	case faults.EI, faults.SI:
-		if e1.ToClass == faults.ClassDelay {
+		if ix.ToClass[i] == faults.ClassDelay {
 			return false
 		}
 	}
 	// Local compatibility: missing evidence passes; delay faults compare
 	// stacks only.
-	toS, toF := m.toStack[i], m.toFull[i]
-	fromS, fromF := m.fromStack[j], m.fromFull[j]
+	toS, fromS := ix.ToStack[i], ix.FromStack[j]
 	if len(toS) == 0 || len(fromS) == 0 {
 		return true
 	}
-	if m.toDelay[i] || m.fromDelay[j] {
+	if ix.ToDelay[i] || ix.FromDelay[j] {
 		return intersects(toS, fromS)
 	}
-	return intersects(toF, fromF)
+	return intersects(ix.ToFull[i], ix.FromFull[j])
 }
 
 // ichain is the compact chain representation: indices into the edge slice.
@@ -170,28 +118,31 @@ func (c *ichain) contains(j int) bool {
 // countsDelay reports whether appending edge j adds a NEW distinct delay
 // injection.
 func (m *matcher) countsDelay(c *ichain, j int) bool {
-	if m.connector[j] || m.edges[j].FromClass != faults.ClassDelay {
+	ix := m.ix
+	if ix.Connector[j] || ix.FromClass[j] != faults.ClassDelay {
 		return false
 	}
-	from := m.edges[j].From
+	from := ix.From[j]
 	for _, k := range c.idx {
-		if !m.connector[k] && m.edges[k].From == from {
+		if !ix.Connector[k] && ix.From[k] == from {
 			return false
 		}
 	}
 	return true
 }
 
-// searchFast is the optimized parallel beam search engine behind Search.
-func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
-	m := newMatcher(edges, simScoreOf)
+// searchFast is the optimized parallel beam search engine behind Search
+// and SearchGraph.
+func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+	m := newMatcher(g, simScoreOf)
+	ix := m.ix
 
 	mkChain := func(i int) ichain {
 		c := ichain{idx: []int{i}}
-		if !m.connector[i] {
+		if !ix.Connector[i] {
 			c.injs = 1
 			c.score = m.scores[i]
-			if m.edges[i].FromClass == faults.ClassDelay {
+			if ix.FromClass[i] == faults.ClassDelay {
 				c.delayInj = 1
 			}
 		}
@@ -221,7 +172,7 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		can := canonicalRotation(c.idx)
 		cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: m.meanScore(c)}
 		for i, k := range can {
-			cy.Edges[i] = edges[k]
+			cy.Edges[i] = m.edges[k]
 		}
 		if oneNestFamily(cy, opt.NestGroups) {
 			return
@@ -235,8 +186,8 @@ func searchFast(edges []fca.Edge, simScoreOf func(faults.ID) float64, opt Option
 		mu.Unlock()
 	}
 
-	queue := make([]ichain, 0, len(edges))
-	for i := range edges {
+	queue := make([]ichain, 0, ix.N)
+	for i := 0; i < ix.N; i++ {
 		c := mkChain(i)
 		if opt.MaxDelayInjections >= 0 && int(c.delayInj) > opt.MaxDelayInjections {
 			continue
@@ -333,6 +284,7 @@ func lessIdx(a, b []int) bool {
 }
 
 func (m *matcher) expand(queue []ichain, opt Options, addCycle func(*ichain)) []ichain {
+	ix := m.ix
 	shards := opt.Workers
 	if shards > len(queue) {
 		shards = len(queue)
@@ -350,7 +302,8 @@ func (m *matcher) expand(queue []ichain, opt Options, addCycle func(*ichain)) []
 			for qi := w; qi < len(queue); qi += shards {
 				c := &queue[qi]
 				last := c.idx[len(c.idx)-1]
-				for _, j := range m.byFrom[m.edges[last].To] {
+				for _, j32 := range ix.ByFrom[ix.To[last]] {
+					j := int(j32)
 					if c.contains(j) || !m.matchIdx(last, j) {
 						continue
 					}
@@ -367,7 +320,7 @@ func (m *matcher) expand(queue []ichain, opt Options, addCycle func(*ichain)) []
 						injs:     c.injs,
 						delayInj: nd,
 					}
-					if !m.connector[j] {
+					if !ix.Connector[j] {
 						nc.injs++
 						nc.score += m.scores[j]
 					}

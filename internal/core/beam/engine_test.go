@@ -1,25 +1,36 @@
 package beam
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/core/compat"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/trace"
 )
 
+// mkMatcher builds the search matcher over a graph interned from a flat
+// edge slice, as Search does.
+func mkMatcher(edges []fca.Edge, simScoreOf func(faults.ID) float64) *matcher {
+	if simScoreOf == nil {
+		simScoreOf = func(faults.ID) float64 { return 1 }
+	}
+	return newMatcher(graph.FromEdges(edges), simScoreOf)
+}
+
 func TestIntersects(t *testing.T) {
 	cases := []struct {
-		a, b []string
+		a, b []int32
 		want bool
 	}{
 		{nil, nil, false},
-		{[]string{"a"}, nil, false},
-		{[]string{"a", "c"}, []string{"b", "c"}, true},
-		{[]string{"a", "b"}, []string{"c", "d"}, false},
-		{[]string{"x"}, []string{"x"}, true},
+		{[]int32{1}, nil, false},
+		{[]int32{1, 3}, []int32{2, 3}, true},
+		{[]int32{1, 2}, []int32{3, 4}, false},
+		{[]int32{7}, []int32{7}, true},
 	}
 	for _, c := range cases {
 		if got := intersects(c.a, c.b); got != c.want {
@@ -30,12 +41,17 @@ func TestIntersects(t *testing.T) {
 
 func TestIntersectsCommutativeProperty(t *testing.T) {
 	f := func(a, b []uint8) bool {
-		mk := func(xs []uint8) []string {
-			m := map[string]bool{}
+		mk := func(xs []uint8) []int32 {
+			m := map[int32]bool{}
 			for _, x := range xs {
-				m[string(rune('a'+x%16))] = true
+				m[int32(x%16)] = true
 			}
-			return sortedKeys(m)
+			out := make([]int32, 0, len(m))
+			for k := range m {
+				out = append(out, k)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
 		}
 		sa, sb := mk(a), mk(b)
 		return intersects(sa, sb) == intersects(sb, sa)
@@ -45,17 +61,21 @@ func TestIntersectsCommutativeProperty(t *testing.T) {
 	}
 }
 
-func TestStateKeysDelayVsFull(t *testing.T) {
+// TestInternedKeysDeduplicated pins the insertion-time interning: two
+// occurrences with the same stack (and empty branch trace) collapse to a
+// single interned key in both the stack-only and full key sets.
+func TestInternedKeysDeduplicated(t *testing.T) {
 	s := compat.State{Occ: []trace.Occurrence{
 		{Stack: []string{"f", "g"}, Branches: nil},
 		{Stack: []string{"f", "g"}},
 	}}
-	stack, full := stateKeys(s)
-	if len(stack) != 1 {
-		t.Fatalf("stack keys = %v, want deduplicated", stack)
+	e := fca.Edge{From: "a", To: "b", Kind: faults.EI, Test: "t", ToState: s}
+	m := mkMatcher([]fca.Edge{e}, nil)
+	if got := m.ix.ToStack[0]; len(got) != 1 {
+		t.Fatalf("stack key set = %v, want deduplicated to 1", got)
 	}
-	if len(full) != 1 {
-		t.Fatalf("full keys = %v", full)
+	if got := m.ix.ToFull[0]; len(got) != 1 {
+		t.Fatalf("full key set = %v, want deduplicated to 1", got)
 	}
 }
 
@@ -65,23 +85,40 @@ func TestConnectorSequencingRules(t *testing.T) {
 			FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
 			FromState: compat.State{DelayFault: true}, ToState: compat.State{DelayFault: true}}
 	}
-	m := newMatcher([]fca.Edge{
-		mk("a", "b", faults.ICFG), // 0
-		mk("b", "c", faults.ICFG), // 1
-		mk("b", "c", faults.CFG),  // 2
-		mk("c", "d", faults.CFG),  // 3
-		mk("c", "d", faults.SD),   // 4
-	}, func(faults.ID) float64 { return 1 })
-	if m.matchIdx(0, 1) {
+	// Static connectors sort after the dynamic edge in graph order; keep
+	// the index mapping explicit by looking edges up by kind+endpoints.
+	edges := []fca.Edge{
+		mk("a", "b", faults.ICFG),
+		mk("b", "c", faults.ICFG),
+		mk("b", "c", faults.CFG),
+		mk("c", "d", faults.CFG),
+		mk("c", "d", faults.SD),
+	}
+	m := mkMatcher(edges, nil)
+	find := func(from faults.ID, kind faults.EdgeKind) int {
+		for i := range m.edges {
+			if m.edges[i].From == from && m.edges[i].Kind == kind {
+				return i
+			}
+		}
+		t.Fatalf("edge %s/%v not found", from, kind)
+		return -1
+	}
+	ab := find("a", faults.ICFG)
+	bcI := find("b", faults.ICFG)
+	bcC := find("b", faults.CFG)
+	cdC := find("c", faults.CFG)
+	cdS := find("c", faults.SD)
+	if m.matchIdx(ab, bcI) {
 		t.Error("ICFG -> ICFG must not chain")
 	}
-	if !m.matchIdx(0, 2) {
+	if !m.matchIdx(ab, bcC) {
 		t.Error("ICFG -> CFG must chain (pattern 2b)")
 	}
-	if m.matchIdx(2, 3) {
+	if m.matchIdx(bcC, cdC) {
 		t.Error("CFG -> CFG must not chain")
 	}
-	if !m.matchIdx(2, 4) {
+	if !m.matchIdx(bcC, cdS) {
 		t.Error("CFG -> dynamic S+(D) must chain")
 	}
 }
@@ -111,12 +148,38 @@ func TestCountsDelayDistinct(t *testing.T) {
 		{From: "l1", To: "y", Kind: faults.ED, FromClass: faults.ClassDelay, ToClass: faults.ClassException},
 		{From: "l2", To: "z", Kind: faults.SD, FromClass: faults.ClassDelay, ToClass: faults.ClassDelay},
 	}
-	m := newMatcher(edges, func(faults.ID) float64 { return 1 })
+	m := mkMatcher(edges, nil)
 	c := &ichain{idx: []int{0}}
 	if m.countsDelay(c, 1) {
 		t.Error("same delay fault must not count twice")
 	}
 	if !m.countsDelay(c, 2) {
 		t.Error("a new delay fault must count")
+	}
+}
+
+// TestSearchGraphMatchesSearch pins the wrapper equivalence: searching a
+// prebuilt graph and searching the flat slice it was interned from yield
+// identical cycles.
+func TestSearchGraphMatchesSearch(t *testing.T) {
+	st := func(stack ...string) compat.State {
+		return compat.State{Occ: []trace.Occurrence{{Stack: stack}}}
+	}
+	edges := []fca.Edge{
+		{From: "a", To: "b", Kind: faults.EI, Test: "t1", FromState: st("x"), ToState: st("y")},
+		{From: "b", To: "a", Kind: faults.EI, Test: "t2", FromState: st("y"), ToState: st("x")},
+		{From: "b", To: "c", Kind: faults.EI, Test: "t3", FromState: st("y"), ToState: st("z")},
+		{From: "c", To: "a", Kind: faults.EI, Test: "t4", FromState: st("z"), ToState: st("x")},
+	}
+	g := graph.FromEdges(edges)
+	viaGraph := SearchGraph(g, nil, Options{})
+	viaSlice := Search(edges, nil, Options{})
+	if len(viaGraph) != len(viaSlice) {
+		t.Fatalf("cycle counts diverge: %d vs %d", len(viaGraph), len(viaSlice))
+	}
+	for i := range viaGraph {
+		if viaGraph[i].Signature() != viaSlice[i].Signature() || viaGraph[i].Score != viaSlice[i].Score {
+			t.Fatalf("cycle %d diverges: %v vs %v", i, viaGraph[i], viaSlice[i])
+		}
 	}
 }

@@ -205,9 +205,31 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 	}
 
 	rep := &Report{System: c.sys.Name(), Space: space}
-	finish := func() (*Report, *harness.Driver, error) {
-		rep.Edges = driver.Edges()
+	// Resolve the effective nest families once: the in-process beam
+	// search, the graph annotations, and hence any offline re-search all
+	// use the same map (including a caller-supplied override).
+	if cfg.Beam.NestGroups == nil {
+		cfg.Beam.NestGroups = NestGroups(space)
+	}
+	// capture snapshots the driver's causal graph and annotates it with
+	// everything a detached re-search needs: per-fault SimScores (when the
+	// 3PA clustering produced any) and the loop-nest families. A graph
+	// persisted from the report therefore re-searches identically offline.
+	capture := func() {
+		rep.Graph = driver.Graph()
+		for f, gi := range cfg.Beam.NestGroups {
+			rep.Graph.SetNestGroup(f, gi)
+		}
+		if rep.Alloc != nil {
+			for _, f := range space.IDs() {
+				rep.Graph.SetScore(f, rep.Alloc.SimScoreOf(f))
+			}
+		}
+		rep.Edges = rep.Graph.Edges()
 		rep.Sims = driver.SimCount()
+	}
+	finish := func() (*Report, *harness.Driver, error) {
+		capture()
 		return rep, driver, c.ctx.Err()
 	}
 
@@ -234,8 +256,7 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 		return finish()
 	}
 
-	rep.Edges = driver.Edges()
-	rep.Sims = driver.SimCount()
+	capture()
 
 	scoreOf := func(f faults.ID) float64 {
 		if rep.Alloc != nil {
@@ -243,10 +264,7 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 		}
 		return 1
 	}
-	if cfg.Beam.NestGroups == nil {
-		cfg.Beam.NestGroups = NestGroups(space)
-	}
-	rep.Cycles = beam.Search(rep.Edges, scoreOf, cfg.Beam)
+	rep.Cycles = beam.SearchGraph(rep.Graph, scoreOf, cfg.Beam)
 	rep.CycleClusters = beam.ClusterCycles(rep.Cycles, func(f faults.ID) (int, bool) {
 		if rep.Alloc == nil {
 			return 0, false

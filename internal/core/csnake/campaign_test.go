@@ -2,6 +2,7 @@ package csnake
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"reflect"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/core/beam"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/systems/sysreg"
@@ -347,5 +349,76 @@ func TestLegacyRunMatchesCampaign(t *testing.T) {
 	}
 	if !reflect.DeepEqual(legacy.Edges, viaBuilder.Edges) || legacy.Sims != viaBuilder.Sims {
 		t.Fatal("legacy Run diverges from Campaign with the same config")
+	}
+}
+
+// TestGraphRoundTripResearch pins the persistence acceptance criterion:
+// a campaign's causal graph serialized to JSON, loaded back, and
+// re-searched with the persisted SimScores and nest families yields
+// exactly the in-process cycle signatures (and scores).
+func TestGraphRoundTripResearch(t *testing.T) {
+	rep, err := NewCampaign(tinySystem{}, tinyOpts()...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph == nil {
+		t.Fatal("report carries no graph")
+	}
+	if len(rep.Cycles) == 0 {
+		t.Fatal("tiny campaign found no cycles; round trip untestable")
+	}
+	data, err := json.Marshal(rep.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := graph.New()
+	if err := json.Unmarshal(data, loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.System() != rep.System {
+		t.Fatalf("system = %q, want %q", loaded.System(), rep.System)
+	}
+	// nil score fn and NestGroups: the offline search must reconstruct
+	// both from the persisted annotations alone.
+	offline := beam.SearchGraph(loaded, nil, beam.Options{})
+	if len(offline) != len(rep.Cycles) {
+		t.Fatalf("offline cycles = %d, in-process = %d", len(offline), len(rep.Cycles))
+	}
+	for i := range offline {
+		if offline[i].Signature() != rep.Cycles[i].Signature() {
+			t.Fatalf("cycle %d signature diverges:\noffline:    %s\nin-process: %s",
+				i, offline[i].Signature(), rep.Cycles[i].Signature())
+		}
+		if offline[i].Score != rep.Cycles[i].Score {
+			t.Fatalf("cycle %d score diverges: %v vs %v", i, offline[i].Score, rep.Cycles[i].Score)
+		}
+	}
+}
+
+// TestReportGraphMatchesEdges: the materialized edge slice and the graph
+// must stay two views of the same artifact.
+func TestReportGraphMatchesEdges(t *testing.T) {
+	rep, err := NewCampaign(tinySystem{}, tinyOpts()...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Edges, rep.Graph.Edges()) {
+		t.Fatal("Report.Edges diverges from Report.Graph.Edges()")
+	}
+}
+
+// TestCustomNestGroupsPersistToGraph: a caller-supplied Beam.NestGroups
+// override must be what the persisted graph carries, so the offline
+// re-search filters with the same families as the in-process one.
+func TestCustomNestGroupsPersistToGraph(t *testing.T) {
+	custom := map[faults.ID]int{tinyWorkLoop: 7}
+	rep, err := NewCampaign(tinySystem{},
+		append(tinyOpts(), WithBeam(beam.Options{NestGroups: custom}))...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Graph.NestGroups()
+	if got[tinyWorkLoop] != 7 {
+		t.Fatalf("persisted nest groups = %v, want the caller's override", got)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core/alloc"
 	"repro/internal/core/beam"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/systems/sysreg"
@@ -74,7 +75,11 @@ type Report struct {
 	Alloc *alloc.Result
 	// Runs is the executed schedule (either protocol).
 	Runs []alloc.RunRecord
-	// Edges is the deduplicated causal edge set.
+	// Graph is the interned causal graph: deduplicated by construction,
+	// annotated with per-fault SimScores and loop-nest families, and
+	// serializable for cross-campaign stitching (JSON round trip).
+	Graph *graph.Graph
+	// Edges is the deduplicated causal edge set (materialized from Graph).
 	Edges []fca.Edge
 	// Cycles are the raw reported self-sustaining cascading failures.
 	Cycles []beam.Cycle

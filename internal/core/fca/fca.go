@@ -202,6 +202,12 @@ func StaticLoopEdges(space *faults.Space) []Edge {
 // Dedup removes duplicate edges (same endpoints, kind, and test), keeping
 // the first occurrence, whose states absorb the later ones' occurrence
 // evidence.
+//
+// The pipeline no longer calls this: the harness accumulates edges into
+// an internal/core/graph.Graph, which deduplicates incrementally at
+// insertion with exactly these semantics. Dedup remains as the executable
+// reference specification (the graph tests assert equivalence against it)
+// and for callers holding flat edge slices.
 func Dedup(edges []Edge) []Edge {
 	seen := make(map[string]int)
 	var out []Edge

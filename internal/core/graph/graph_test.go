@@ -1,0 +1,405 @@
+package graph_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/compat"
+	"repro/internal/core/fca"
+	"repro/internal/core/graph"
+	"repro/internal/faults"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func occ(stack ...string) trace.Occurrence { return trace.Occurrence{Stack: stack} }
+
+func occB(stack []string, branches ...sim.BranchEval) trace.Occurrence {
+	return trace.Occurrence{Stack: stack, Branches: branches}
+}
+
+func dynEdge(from, to faults.ID, kind faults.EdgeKind, test string, fromOcc, toOcc []trace.Occurrence) fca.Edge {
+	return fca.Edge{
+		From: from, To: to, Kind: kind,
+		FromClass: faults.ClassException, ToClass: faults.ClassException,
+		Test:      test,
+		FromState: compat.State{Occ: fromOcc},
+		ToState:   compat.State{Occ: toOcc},
+	}
+}
+
+// randomEdges generates a raw edge stream with plenty of duplicate
+// identities and varied evidence, as an FCA run would produce.
+func randomEdges(rng *rand.Rand, n int) []fca.Edge {
+	kinds := []faults.EdgeKind{faults.EI, faults.SI, faults.ED, faults.SD}
+	var out []fca.Edge
+	for i := 0; i < n; i++ {
+		e := fca.Edge{
+			From: faults.ID(fmt.Sprintf("f.%d", rng.Intn(8))),
+			To:   faults.ID(fmt.Sprintf("f.%d", rng.Intn(8))),
+			Kind: kinds[rng.Intn(len(kinds))],
+			Test: fmt.Sprintf("t%d", rng.Intn(3)),
+		}
+		e.FromClass = faults.FaultClass(rng.Intn(3))
+		e.ToClass = faults.FaultClass(rng.Intn(3))
+		for j := rng.Intn(4); j > 0; j-- {
+			o := occ(fmt.Sprintf("fn%d", rng.Intn(5)), fmt.Sprintf("fn%d", rng.Intn(5)))
+			if rng.Intn(2) == 0 {
+				o.Branches = []sim.BranchEval{{ID: fmt.Sprintf("b%d", rng.Intn(4)), Taken: rng.Intn(2) == 0}}
+			}
+			e.FromState.Occ = append(e.FromState.Occ, o)
+		}
+		for j := rng.Intn(4); j > 0; j-- {
+			e.ToState.Occ = append(e.ToState.Occ, occ(fmt.Sprintf("g%d", rng.Intn(5))))
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestIncrementalDedupMatchesLegacy pins the tentpole equivalence: a
+// graph built by incremental insertion materializes exactly what the
+// legacy batch fca.Dedup produced -- same unique edges, same order, same
+// capped evidence merge.
+func TestIncrementalDedupMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		edges := randomEdges(rng, 5+rng.Intn(120))
+		want := fca.Dedup(edges)
+		got := graph.FromEdges(edges).Edges()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: graph dedup diverges from fca.Dedup\ngot:  %+v\nwant: %+v", round, got, want)
+		}
+	}
+}
+
+// TestDedupEvidenceCap pins the OccCap merge rule: the first insertion's
+// evidence is kept whole and later duplicates top it up to the cap.
+func TestDedupEvidenceCap(t *testing.T) {
+	var first []trace.Occurrence
+	for i := 0; i < trace.OccCap-1; i++ {
+		first = append(first, occ(fmt.Sprintf("s%d", i)))
+	}
+	e1 := dynEdge("a", "b", faults.EI, "t", first, nil)
+	e2 := dynEdge("a", "b", faults.EI, "t",
+		[]trace.Occurrence{occ("extra1"), occ("extra2"), occ("extra3")}, nil)
+	g := graph.FromEdges([]fca.Edge{e1, e2})
+	if g.Len() != 1 {
+		t.Fatalf("unique edges = %d, want 1", g.Len())
+	}
+	merged := g.Edges()[0].FromState.Occ
+	if len(merged) != trace.OccCap {
+		t.Fatalf("merged evidence = %d occurrences, want capped at %d", len(merged), trace.OccCap)
+	}
+	if merged[trace.OccCap-1].Stack[0] != "extra1" {
+		t.Fatalf("merge order wrong: %v", merged[trace.OccCap-1])
+	}
+}
+
+// TestPrefixMatchesRawRededup checks prefix snapshots against the seed
+// semantics: Prefix(n).Edges() must equal Dedup(raw prefix ++ static).
+func TestPrefixMatchesRawRededup(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	raw := randomEdges(rng, 60)
+	static := []fca.Edge{
+		{From: "l.child", To: "l.parent", Kind: faults.ICFG,
+			FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+			FromState: compat.State{DelayFault: true}, ToState: compat.State{DelayFault: true}},
+	}
+	g := graph.New()
+	g.AddStatic(static)
+	var marks []int
+	for i, e := range raw {
+		g.Add(e)
+		if (i+1)%7 == 0 {
+			g.Mark()
+			marks = append(marks, i+1)
+		}
+	}
+	g.Mark()
+	for n := 0; n <= len(marks)+1; n++ {
+		cut := 0
+		if n > 0 && n <= len(marks) {
+			cut = marks[n-1]
+		} else if n > len(marks) {
+			cut = len(raw)
+		}
+		want := fca.Dedup(append(append([]fca.Edge(nil), raw[:cut]...), static...))
+		got := g.Prefix(n).Edges()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("Prefix(%d) diverges from raw re-dedup at cut %d:\ngot %d edges, want %d", n, cut, len(got), len(want))
+		}
+	}
+}
+
+// TestPrefixIsImmutableUnderGrowth: a snapshot taken mid-stream must not
+// see edges or evidence added afterwards.
+func TestPrefixIsImmutableUnderGrowth(t *testing.T) {
+	g := graph.New()
+	g.Add(dynEdge("a", "b", faults.EI, "t", []trace.Occurrence{occ("s1")}, nil))
+	g.Mark()
+	snap := g.Prefix(1)
+	before := snap.Edges()
+	// Same identity: merges evidence into the parent's record. New
+	// identity: appends. Neither may leak into the snapshot.
+	g.Add(dynEdge("a", "b", faults.EI, "t", []trace.Occurrence{occ("s2")}, nil))
+	g.Add(dynEdge("b", "c", faults.EI, "t", nil, nil))
+	g.Mark()
+	after := snap.Edges()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("snapshot changed under parent growth:\nbefore: %+v\nafter:  %+v", before, after)
+	}
+	if len(after) != 1 || len(after[0].FromState.Occ) != 1 {
+		t.Fatalf("snapshot = %+v, want the single pre-snapshot edge with one occurrence", after)
+	}
+	if got := g.Edges(); len(got) != 2 || len(got[0].FromState.Occ) != 2 {
+		t.Fatalf("parent = %+v, want 2 edges with merged evidence", got)
+	}
+}
+
+func TestSealedSnapshotRejectsMutation(t *testing.T) {
+	g := graph.New()
+	g.Add(dynEdge("a", "b", faults.EI, "t", nil, nil))
+	snap := g.Snapshot()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on a sealed snapshot must panic")
+		}
+	}()
+	snap.Add(dynEdge("b", "c", faults.EI, "t", nil, nil))
+}
+
+// TestJSONGolden pins the wire format: schema changes must be deliberate
+// (bump graph.Version and regenerate).
+func TestJSONGolden(t *testing.T) {
+	g := graph.New()
+	g.SetSystem("demo")
+	g.Add(dynEdge("d.a", "d.b", faults.EI, "t1",
+		[]trace.Occurrence{occB([]string{"f", "g"}, sim.BranchEval{ID: "br1", Taken: true})},
+		[]trace.Occurrence{occ("h")}))
+	g.AddStatic([]fca.Edge{{
+		From: "d.child", To: "d.parent", Kind: faults.ICFG,
+		FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+		FromState: compat.State{DelayFault: true}, ToState: compat.State{DelayFault: true},
+	}})
+	g.SetScore("d.a", 0.25)
+	g.SetNestGroup("d.child", 3)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"version":1,"system":"demo",` +
+		`"faults":["d.a","d.b","d.child","d.parent"],"tests":["t1",""],` +
+		`"edges":[{"f":0,"t":1,"k":2,"fc":0,"tc":0,"w":0,` +
+		`"fo":[{"s":["f","g"],"b":[{"i":"br1","t":true}]}],"to":[{"s":["h"]}]}],` +
+		`"static":[{"f":2,"t":3,"k":4,"fc":2,"tc":2,"w":1,"fd":true,"td":true}],` +
+		`"scores":{"0":0.25},"nests":{"2":3}}`
+	if string(data) != golden {
+		t.Fatalf("wire format drifted:\ngot:  %s\nwant: %s", data, golden)
+	}
+}
+
+// TestJSONRoundTrip: a loaded graph materializes the same edges, scores,
+// nests, and system tag, and re-serializes byte-identically.
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	g := graph.FromEdges(randomEdges(rng, 80))
+	g.SetSystem("rt")
+	g.AddStatic([]fca.Edge{{
+		From: "f.0", To: "f.1", Kind: faults.CFG,
+		FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+		FromState: compat.State{DelayFault: true}, ToState: compat.State{DelayFault: true},
+	}})
+	g.SetScore("f.0", 0.5)
+	g.SetScore("f.3", 0.125)
+	g.SetNestGroup("f.1", 1)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	if err := json.Unmarshal(data, g2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("edges diverge after round trip")
+	}
+	if g2.System() != "rt" || g2.Score("f.0") != 0.5 || g2.Score("f.3") != 0.125 || g2.Score("f.2") != 1 {
+		t.Fatalf("annotations lost: system=%q scores=%v/%v/%v", g2.System(), g2.Score("f.0"), g2.Score("f.3"), g2.Score("f.2"))
+	}
+	if !reflect.DeepEqual(g2.NestGroups(), map[faults.ID]int{"f.1": 1}) {
+		t.Fatalf("nests = %v", g2.NestGroups())
+	}
+	data2, err := json.Marshal(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("re-serialization not byte-identical")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	for name, doc := range map[string]string{
+		"bad version":        `{"version":99,"faults":[],"tests":[],"edges":[]}`,
+		"fault out of range": `{"version":1,"faults":["a"],"tests":["t"],"edges":[{"f":0,"t":5,"k":2,"fc":0,"tc":0,"w":0}]}`,
+		"static in dynamic":  `{"version":1,"faults":["a","b"],"tests":[""],"edges":[{"f":0,"t":1,"k":4,"fc":2,"tc":2,"w":0}]}`,
+		"kind out of range":  `{"version":1,"faults":["a","b"],"tests":["t"],"edges":[{"f":0,"t":1,"k":99,"fc":0,"tc":0,"w":0}]}`,
+		"class out of range": `{"version":1,"faults":["a","b"],"tests":["t"],"edges":[{"f":0,"t":1,"k":2,"fc":7,"tc":0,"w":0}]}`,
+		"garbage score key":  `{"version":1,"faults":["a","b"],"tests":["t"],"edges":[{"f":0,"t":1,"k":2,"fc":0,"tc":0,"w":0}],"scores":{"0junk":0.5}}`,
+	} {
+		g := graph.New()
+		if err := json.Unmarshal([]byte(doc), g); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+// TestMergeStitchesGraphs: merging two campaign graphs unions their
+// edges (merging duplicate identities' evidence) and carries annotations.
+func TestMergeStitchesGraphs(t *testing.T) {
+	a := graph.New()
+	a.SetSystem("sysA")
+	a.Add(dynEdge("x", "y", faults.EI, "t1", []trace.Occurrence{occ("s1")}, nil))
+	a.SetScore("x", 0.5)
+	b := graph.New()
+	b.SetSystem("sysB")
+	b.Add(dynEdge("x", "y", faults.EI, "t1", []trace.Occurrence{occ("s2")}, nil)) // same identity
+	b.Add(dynEdge("y", "x", faults.EI, "t2", nil, nil))
+	b.SetScore("y", 0.25)
+
+	m := graph.New()
+	m.Merge(a)
+	m.Merge(b)
+	if m.Len() != 2 {
+		t.Fatalf("merged edges = %d, want 2", m.Len())
+	}
+	xy := m.Edges()[0]
+	if len(xy.FromState.Occ) != 2 {
+		t.Fatalf("evidence not merged across graphs: %+v", xy.FromState)
+	}
+	if m.Score("x") != 0.5 || m.Score("y") != 0.25 {
+		t.Fatalf("scores = %v, %v", m.Score("x"), m.Score("y"))
+	}
+	if m.System() != "sysA+sysB" {
+		t.Fatalf("system = %q", m.System())
+	}
+}
+
+// TestMergeOffsetsNestGroups: nest families from different campaigns must
+// not collapse into one family just because both used small group ids.
+func TestMergeOffsetsNestGroups(t *testing.T) {
+	a := graph.New()
+	a.Add(dynEdge("a1", "a2", faults.SD, "t", nil, nil))
+	a.SetNestGroup("a1", 0)
+	a.SetNestGroup("a2", 0)
+	b := graph.New()
+	b.Add(dynEdge("b1", "b2", faults.SD, "t", nil, nil))
+	b.SetNestGroup("b1", 0)
+	b.SetNestGroup("b2", 0)
+	m := graph.New()
+	m.Merge(a)
+	m.Merge(b)
+	groups := m.NestGroups()
+	if groups["a1"] == groups["b1"] {
+		t.Fatalf("families collided after merge: %v", groups)
+	}
+	if groups["a1"] != groups["a2"] || groups["b1"] != groups["b2"] {
+		t.Fatalf("families split after merge: %v", groups)
+	}
+}
+
+func TestIndexAdjacencyAndInterning(t *testing.T) {
+	edges := []fca.Edge{
+		dynEdge("a", "b", faults.EI, "t1", []trace.Occurrence{occ("s"), occ("s")}, nil),
+		dynEdge("a", "c", faults.EI, "t1", nil, nil),
+		dynEdge("b", "a", faults.EI, "t2", nil, nil),
+	}
+	g := graph.FromEdges(edges)
+	ix := g.Index()
+	if ix.N != 3 {
+		t.Fatalf("N = %d", ix.N)
+	}
+	if len(ix.ByFrom[ix.From[0]]) != 2 {
+		t.Fatalf("adjacency of 'a' = %v, want 2 departures", ix.ByFrom[ix.From[0]])
+	}
+	if len(ix.FromStack[0]) != 1 || len(ix.FromFull[0]) != 1 {
+		t.Fatalf("duplicate occurrences must intern to one key: %v / %v", ix.FromStack[0], ix.FromFull[0])
+	}
+	if g.Index() != ix {
+		t.Fatal("index not cached")
+	}
+}
+
+// TestPrefixMarksExcludeLaterExperiments: a Prefix(n) snapshot reports
+// exactly n experiment boundaries, even when later experiments found no
+// edges and therefore share the cut value.
+func TestPrefixMarksExcludeLaterExperiments(t *testing.T) {
+	g := graph.New()
+	g.Add(dynEdge("a", "b", faults.EI, "t", nil, nil))
+	g.Mark() // experiment 1: 1 edge
+	g.Mark() // experiment 2: no edges (same cut)
+	g.Add(dynEdge("b", "c", faults.EI, "t", nil, nil))
+	g.Mark() // experiment 3
+	for n := 0; n <= 3; n++ {
+		if got := len(g.Prefix(n).Marks()); got != n {
+			t.Errorf("Prefix(%d).Marks() has %d entries, want %d", n, got, n)
+		}
+	}
+	if got := len(g.Snapshot().Marks()); got != 3 {
+		t.Errorf("Snapshot().Marks() has %d entries, want 3", got)
+	}
+}
+
+// TestPrefixNegativeYieldsStaticOnly pins the documented n <= 0 contract
+// (the legacy EdgesUpTo accepted any non-positive n).
+func TestPrefixNegativeYieldsStaticOnly(t *testing.T) {
+	g := graph.New()
+	g.AddStatic([]fca.Edge{{
+		From: "l.c", To: "l.p", Kind: faults.ICFG,
+		FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+	}})
+	g.Add(dynEdge("a", "b", faults.EI, "t", nil, nil))
+	g.Mark()
+	for _, n := range []int{-3, -1, 0} {
+		p := g.Prefix(n)
+		if p.Len() != 1 || len(p.Marks()) != 0 {
+			t.Errorf("Prefix(%d): edges=%d marks=%d, want static-only with no marks", n, p.Len(), len(p.Marks()))
+		}
+	}
+}
+
+// TestMergeRemapsSharedNestFamilies: stitching two campaigns of the SAME
+// system must keep each physical loop nest in one family -- families
+// bridged by a commonly-annotated fault remap onto the target's id
+// instead of being offset apart.
+func TestMergeRemapsSharedNestFamilies(t *testing.T) {
+	a := graph.New()
+	a.Add(dynEdge("n.p", "n.c", faults.SD, "t1", nil, nil))
+	a.SetNestGroup("n.p", 0)
+	a.SetNestGroup("n.c", 0)
+	b := graph.New()
+	// Same system, second campaign: shares n.p, additionally saw n.c2.
+	b.Add(dynEdge("n.p", "n.c2", faults.SD, "t2", nil, nil))
+	b.SetNestGroup("n.p", 5) // arbitrary local id for the same physical nest
+	b.SetNestGroup("n.c2", 5)
+	m := graph.New()
+	m.Merge(a)
+	m.Merge(b)
+	groups := m.NestGroups()
+	if groups["n.p"] != groups["n.c"] || groups["n.p"] != groups["n.c2"] {
+		t.Fatalf("shared nest split across families after merge: %v", groups)
+	}
+}
+
+// TestPrefixZeroOnUnmarkedGraph: n <= 0 yields static-only even when the
+// graph carries no experiment marks at all (FromEdges, loaded files).
+func TestPrefixZeroOnUnmarkedGraph(t *testing.T) {
+	g := graph.FromEdges([]fca.Edge{dynEdge("a", "b", faults.EI, "t", nil, nil)})
+	if got := g.Prefix(0).Len(); got != 0 {
+		t.Fatalf("Prefix(0) on unmarked graph has %d edges, want 0 (static only)", got)
+	}
+}

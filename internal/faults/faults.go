@@ -177,6 +177,10 @@ const (
 	CFG
 )
 
+// Static reports whether the kind is one of the statically-derived loop
+// connectors (ICFG/CFG): edges that carry no test or injection evidence.
+func (k EdgeKind) Static() bool { return k == ICFG || k == CFG }
+
 func (k EdgeKind) String() string {
 	switch k {
 	case ED:

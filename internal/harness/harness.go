@@ -2,7 +2,8 @@
 // and injection runs of (fault, workload) pairs against a target system,
 // repeats each configuration across seeds, caches profile runs and
 // coverage, applies fault causality analysis, and accumulates the causal
-// edge set consumed by the bug detector.
+// edges into an interned graph.Graph -- deduplicated by construction and
+// sliceable into per-experiment prefixes -- consumed by the bug detector.
 //
 // The driver's internal state is mutex-guarded, and when
 // Config.Parallelism > 1 the seeded simulation runs of a run set (and the
@@ -12,8 +13,8 @@
 // bit-identical to a serial one. Profile/TestsFor/read accessors may be
 // called from any goroutine, but Execute calls must be issued serially
 // (as the allocation protocols do): concurrent Execute calls would
-// interleave edge appends between mark boundaries and corrupt the
-// Marks/EdgesUpTo experiment-to-edge attribution.
+// interleave edge insertions between mark boundaries and corrupt the
+// Marks/GraphUpTo experiment-to-edge attribution.
 package harness
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"repro/internal/core/alloc"
 	"repro/internal/core/fca"
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 	"repro/internal/inject"
 	"repro/internal/sim"
@@ -117,12 +119,16 @@ type Driver struct {
 	// sem bounds concurrently-executing simulation runs (nil when serial).
 	sem chan struct{}
 
-	// mu guards edges, marks, and the profiles map (the entries gate
+	// mu guards the edge graph and the profiles map (the entries gate
 	// themselves via sync.Once).
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
-	edges    []fca.Edge
-	marks    []int
+	// g accumulates the interned causal graph: static ICFG/CFG loop edges
+	// are pre-inserted at construction (they order after every dynamic
+	// edge when materialized), dynamic edges insert as FCA discovers them
+	// (deduplicating by construction), and Mark records experiment
+	// boundaries for prefix snapshots.
+	g *graph.Graph
 
 	// emitMu serializes observer callbacks.
 	emitMu sync.Mutex
@@ -141,7 +147,10 @@ func New(sys sysreg.System, space *faults.Space, cfg Config) *Driver {
 		ctx:       context.Background(),
 		workloads: make(map[string]sysreg.Workload),
 		profiles:  make(map[string]*profileEntry),
+		g:         graph.New(),
 	}
+	d.g.SetSystem(sys.Name())
+	d.g.AddStatic(fca.StaticLoopEdges(space))
 	if cfg.Parallelism > 1 {
 		d.sem = make(chan struct{}, cfg.Parallelism)
 	}
@@ -431,7 +440,7 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 		// Partial run sets would make FCA nondeterministic; record an
 		// empty experiment so mark indices stay aligned with run records.
 		d.mu.Lock()
-		d.marks = append(d.marks, len(d.edges))
+		d.g.Mark()
 		d.mu.Unlock()
 		return nil
 	}
@@ -442,7 +451,7 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	for i, plan := range plans {
 		edges, add := fca.Analyze(d.space, plan, test, profile, sets[i], d.cfg.FCA)
 		d.mu.Lock()
-		d.edges = append(d.edges, edges...)
+		d.g.AddAll(edges)
 		d.mu.Unlock()
 		d.emitEdges(edges)
 		newEdges += len(edges)
@@ -455,61 +464,70 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	}
 	sort.Slice(intf, func(i, j int) bool { return intf[i] < intf[j] })
 	d.mu.Lock()
-	d.marks = append(d.marks, len(d.edges))
+	d.g.Mark()
 	d.mu.Unlock()
 	d.emitExperiment(f, test, newEdges, len(intf))
 	return intf
 }
 
-// Marks returns the cumulative dynamic-edge count after each Execute call,
-// in call order. Combined with the allocation's run records this
+// Marks returns the cumulative raw dynamic-edge count after each Execute
+// call, in call order. Combined with the allocation's run records this
 // attributes every edge to the experiment (and hence 3PA phase) that
 // discovered it.
 func (d *Driver) Marks() []int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]int(nil), d.marks...)
+	return d.g.Marks()
+}
+
+// Graph returns a sealed snapshot of the full causal graph accumulated so
+// far (dynamic edges plus the static ICFG/CFG loop edges): the indexed,
+// serializable artifact the beam search, report tables, and cross-
+// campaign stitching consume.
+func (d *Driver) Graph() *graph.Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.g.Snapshot()
+}
+
+// GraphUpTo returns a sealed prefix snapshot covering the first n Execute
+// calls plus the static loop edges; n >= the number of experiments yields
+// the full graph. Snapshots reuse the interned edge records -- no raw
+// stream is replayed and no state keys are recomputed.
+func (d *Driver) GraphUpTo(n int) *graph.Graph {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.g.Prefix(n)
 }
 
 // EdgesUpTo returns the dynamic edges discovered by the first n Execute
-// calls plus the static loop edges, deduplicated.
+// calls plus the static loop edges, deduplicated (materialized from the
+// graph prefix snapshot; identical to the legacy copy-and-rededup result).
 func (d *Driver) EdgesUpTo(n int) []fca.Edge {
-	d.mu.Lock()
-	if n >= len(d.marks) {
-		d.mu.Unlock()
-		return d.Edges()
-	}
-	cut := 0
-	if n > 0 {
-		cut = d.marks[n-1]
-	}
-	all := append([]fca.Edge(nil), d.edges[:cut]...)
-	d.mu.Unlock()
-	all = append(all, fca.StaticLoopEdges(d.space)...)
-	return fca.Dedup(all)
+	return d.GraphUpTo(n).Edges()
 }
 
 // Edges returns the deduplicated causal edge set discovered so far,
 // including the static ICFG/CFG loop edges.
 func (d *Driver) Edges() []fca.Edge {
-	d.mu.Lock()
-	all := append([]fca.Edge(nil), d.edges...)
-	d.mu.Unlock()
-	all = append(all, fca.StaticLoopEdges(d.space)...)
-	return fca.Dedup(all)
+	return d.Graph().Edges()
 }
 
-// saltOf derives a stable per-(test,fault) seed salt.
+// saltOf derives a stable per-(test,fault) seed salt. The FNV-1a hash
+// accumulates in uint64 and reduces from there: the previous int64
+// accumulate-negate-mod dance mapped a hash of math.MinInt64 back onto
+// itself (negation overflow), producing a negative salt. Note that
+// uint64(h) % p differs from the old |h| % p whenever the hash's top bit
+// is set (roughly half of all inputs), so all run seeds -- and hence the
+// exact edge sets of campaigns replayed from before this change -- moved;
+// within any one build, campaigns remain fully reproducible.
 func saltOf(test, fault string) int64 {
-	h := int64(1469598103934665603)
+	h := uint64(1469598103934665603)
 	for _, s := range []string{test, fault} {
 		for i := 0; i < len(s); i++ {
-			h ^= int64(s[i])
+			h ^= uint64(s[i])
 			h *= 1099511628211
 		}
 	}
-	if h < 0 {
-		h = -h
-	}
-	return h % 1_000_000_007
+	return int64(h % 1_000_000_007)
 }

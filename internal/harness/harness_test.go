@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core/fca"
+	"repro/internal/faults"
 	"repro/internal/systems/dfs"
 	"repro/internal/systems/sysreg"
 )
@@ -164,6 +166,71 @@ func TestFanOutCoversAllIndices(t *testing.T) {
 			if h != 1 {
 				t.Fatalf("parallelism %d: index %d ran %d times", par, i, h)
 			}
+		}
+	}
+}
+
+// legacyRecorder replays the seed-era edge accounting: it collects the
+// raw (pre-dedup) dynamic edge stream through the observer, so tests can
+// recompute what the legacy copy-and-rededup EdgesUpTo produced.
+type legacyRecorder struct {
+	raw []fca.Edge
+}
+
+func (r *legacyRecorder) ProfileCached(string, int)                      {}
+func (r *legacyRecorder) ExperimentExecuted(faults.ID, string, int, int) {}
+func (r *legacyRecorder) EdgeDiscovered(e fca.Edge)                      { r.raw = append(r.raw, e) }
+
+// TestEdgesUpToMatchesSeedSemantics pins the graph-backed prefix
+// snapshots against the seed semantics on a real campaign slice: for
+// every experiment count n, EdgesUpTo(n) must equal
+// Dedup(raw[:marks[n-1]] ++ StaticLoopEdges), the legacy formula.
+func TestEdgesUpToMatchesSeedSemantics(t *testing.T) {
+	sys := dfs.NewV2()
+	space := sysreg.Space(sys)
+	d := New(sys, space, Config{
+		Reps: 2, DelayMagnitudes: []time.Duration{2 * time.Second}})
+	rec := &legacyRecorder{}
+	d.Observe(rec)
+	d.Execute(dfs.PtNNIBRProcessLoop, "ibr_storm")
+	d.Execute(dfs.PtDNIBRRPCIOE, "ibr_interval")
+	d.Execute(dfs.PtDNIBRRPCIOE, "ibr_storm")
+	marks := d.Marks()
+	if len(marks) != 3 {
+		t.Fatalf("marks = %v", marks)
+	}
+	if marks[len(marks)-1] != len(rec.raw) {
+		t.Fatalf("observer saw %d raw edges, marks end at %d", len(rec.raw), marks[len(marks)-1])
+	}
+	static := fca.StaticLoopEdges(space)
+	for n := 0; n <= len(marks); n++ {
+		cut := 0
+		if n > 0 {
+			cut = marks[n-1]
+		}
+		want := fca.Dedup(append(append([]fca.Edge(nil), rec.raw[:cut]...), static...))
+		got := d.EdgesUpTo(n)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("EdgesUpTo(%d) diverges from seed semantics: got %d edges, want %d\ngot:  %v\nwant: %v",
+				n, len(got), len(want), got, want)
+		}
+		if g := d.GraphUpTo(n); !reflect.DeepEqual(g.Edges(), want) {
+			t.Fatalf("GraphUpTo(%d).Edges() diverges: %v", n, g.Edges())
+		}
+	}
+}
+
+// TestSaltOfNonNegative pins the uint64 hardening: salts are always in
+// [0, 1e9+7) regardless of input.
+func TestSaltOfNonNegative(t *testing.T) {
+	inputs := [][2]string{
+		{"", ""}, {"a", "b"}, {"ibr_storm", "dfs.dn.ibr.rpc_ioe"},
+		{"\xff\xfe", "\x00"}, {"long", "longer-still-longer"},
+	}
+	for _, in := range inputs {
+		s := saltOf(in[0], in[1])
+		if s < 0 || s >= 1_000_000_007 {
+			t.Errorf("saltOf(%q, %q) = %d, out of range", in[0], in[1], s)
 		}
 	}
 }

@@ -105,6 +105,9 @@ func Table3(art *CampaignArtifacts, naive []baselines.NaiveFinding, randomDetect
 	for _, id := range csnake.DetectedBugs(rep, sys.Bugs()) {
 		detected[id] = true
 	}
+	// The per-phase prefix searches depend only on the campaign, not on
+	// the bug under classification: run them once and probe per bug.
+	phases := phaseReports(art)
 	var rows []Table3Row
 	for _, bug := range sys.Bugs() {
 		if bug.Duplicate {
@@ -119,7 +122,7 @@ func Table3(art *CampaignArtifacts, naive []baselines.NaiveFinding, randomDetect
 		}
 		if row.Detected {
 			row.Cycle = detectedComposition(rep, bug)
-			row.AllocPhase = allocPhase(art, bug)
+			row.AllocPhase = allocPhase(phases, bug)
 		}
 		rows = append(rows, row)
 	}
@@ -138,17 +141,23 @@ func detectedComposition(rep *csnake.Report, bug sysreg.Bug) string {
 	return ""
 }
 
-// allocPhase finds the first 3PA phase whose accumulated causal edges
-// already reveal the bug (the Table 3 "Alloc." column).
-func allocPhase(art *CampaignArtifacts, bug sysreg.Bug) int {
+// phaseReports builds the three cumulative per-phase sub-reports (the
+// campaign as it looked after phases 1, 2, 3). Each phase is re-searched
+// from a prefix snapshot of the driver's interned graph: the
+// per-experiment boundaries address the prefix directly, with no raw-edge
+// copying, re-deduplication, or state-key recomputation. Bug-independent,
+// so Table 3 computes this once and probes it per bug. Returns nil when
+// the campaign has no 3PA result.
+func phaseReports(art *CampaignArtifacts) []*csnake.Report {
 	if art.Report.Alloc == nil {
-		return 0
+		return nil
 	}
 	runs := art.Report.Alloc.Runs
 	opt := art.Config.Beam
 	if opt.NestGroups == nil {
 		opt.NestGroups = csnake.NestGroups(art.Report.Space)
 	}
+	subs := make([]*csnake.Report, 0, 3)
 	for phase := 1; phase <= 3; phase++ {
 		n := 0
 		for i, r := range runs {
@@ -156,25 +165,38 @@ func allocPhase(art *CampaignArtifacts, bug sysreg.Bug) int {
 				n = i + 1
 			}
 		}
-		edges := art.Driver.EdgesUpTo(n)
+		g := art.Driver.GraphUpTo(n)
 		sub := &csnake.Report{
 			System: art.Report.System,
 			Space:  art.Report.Space,
 			Alloc:  art.Report.Alloc,
-			Edges:  edges,
-			Cycles: beam.Search(edges, art.Report.Alloc.SimScoreOf, opt),
+			Graph:  g,
+			Edges:  g.Edges(),
+			Cycles: beam.SearchGraph(g, art.Report.Alloc.SimScoreOf, opt),
 		}
 		sub.CycleClusters = beam.ClusterCycles(sub.Cycles, func(f faults.ID) (int, bool) {
 			gi, ok := art.Report.Alloc.ClusterOf[f]
 			return gi, ok
 		})
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+// allocPhase finds the first 3PA phase whose accumulated causal edges
+// already reveal the bug (the Table 3 "Alloc." column).
+func allocPhase(phases []*csnake.Report, bug sysreg.Bug) int {
+	if len(phases) == 0 {
+		return 0
+	}
+	for i, sub := range phases {
 		for _, id := range csnake.DetectedBugs(sub, []sysreg.Bug{bug}) {
 			if id == bug.ID {
-				return phase
+				return i + 1
 			}
 		}
 	}
-	return 3
+	return len(phases)
 }
 
 // WriteTable3 renders Table 3.
@@ -227,8 +249,14 @@ func Table4(art *CampaignArtifacts) Table4Row {
 		}
 		return 1
 	}
-	limited := &csnake.Report{System: rep.System, Space: rep.Space, Alloc: rep.Alloc, Edges: rep.Edges}
-	limited.Cycles = beam.Search(rep.Edges, scoreOf, opt)
+	limited := &csnake.Report{System: rep.System, Space: rep.Space, Alloc: rep.Alloc, Graph: rep.Graph, Edges: rep.Edges}
+	if rep.Graph != nil {
+		// Reuse the campaign's interned graph: the one-delay variant
+		// re-searches the same index instead of re-keying the edge slice.
+		limited.Cycles = beam.SearchGraph(rep.Graph, scoreOf, opt)
+	} else {
+		limited.Cycles = beam.Search(rep.Edges, scoreOf, opt)
+	}
 	limited.CycleClusters = beam.ClusterCycles(limited.Cycles, func(f faults.ID) (int, bool) {
 		if rep.Alloc == nil {
 			return 0, false
