@@ -162,14 +162,10 @@ func BenchmarkOverhead_InstrumentedProfileRun(b *testing.B) {
 	driver := harness.New(sys, sysreg.Space(sys), harness.Config{Reps: 1})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// Average several paired samples per iteration: single wall-clock
-		// pairs are dominated by allocator warm-up noise.
-		var inst, bare time.Duration
-		for r := 0; r < 5; r++ {
-			di, db := driver.OverheadSample("ibr_storm", int64(i*5+r))
-			inst += di
-			bare += db
-		}
+		// OverheadSample averages harness.OverheadSamples paired runs
+		// internally (single wall-clock pairs are dominated by allocator
+		// warm-up noise).
+		inst, bare := driver.OverheadSample("ibr_storm", int64(i*harness.OverheadSamples))
 		if bare > 0 {
 			b.ReportMetric(100*(float64(inst)/float64(bare)-1), "overhead_pct")
 		}
@@ -322,11 +318,11 @@ func syntheticSets() (*trace.Set, *trace.Set) {
 	profile, injected := &trace.Set{}, &trace.Set{}
 	for i := 0; i < 5; i++ {
 		pr := trace.NewRun("t", int64(i))
-		pr.LoopIters["s.l"] = 10 + i%2
+		pr.AddLoopIters("s.l", 10+i%2)
 		profile.Add(pr)
 		in := trace.NewRun("t", int64(100+i))
 		in.InjFired = true
-		in.LoopIters["s.l"] = 30 + i%3
+		in.AddLoopIters("s.l", 30+i%3)
 		in.Activate("s.t", trace.Occurrence{Stack: []string{"f", "g"}})
 		injected.Add(in)
 	}

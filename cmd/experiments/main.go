@@ -133,7 +133,7 @@ func main() {
 		fmt.Println("Instrumentation overhead (§8.5): monitored vs bare profile runs")
 		var rows []report.Overhead
 		for _, sys := range systems {
-			rows = append(rows, report.MeasureOverhead(sys, 3))
+			rows = append(rows, report.MeasureOverhead(sys))
 		}
 		report.WriteOverhead(os.Stdout, rows)
 

@@ -219,13 +219,7 @@ func Fuzz(sys sysreg.System, cfg FuzzConfig) FuzzResult {
 	return res
 }
 
-func totalActivations(r *trace.Run) int {
-	n := 0
-	for _, c := range r.Reached {
-		n += c
-	}
-	return n
-}
+func totalActivations(r *trace.Run) int { return r.TotalReached() }
 
 func pickNodes(rng interface{ Intn(int) int }) (string, string) {
 	candidates := []string{"dn0", "dn1", "dn2", "rs0", "rs1", "tm0", "tm1", "scm", "nn", "master", "jm"}

@@ -12,8 +12,43 @@ import (
 	"repro/internal/faults"
 )
 
-// Vector is a sparse, L2-normalised IDF vector over the fault corpus.
-type Vector map[faults.ID]float64
+// Vector is a sparse, L2-normalised IDF vector over the fault corpus,
+// stored as parallel id/weight slices in ascending ID order. The sorted
+// representation makes every accumulation deterministically ordered by
+// construction (no per-operation key sorting) and turns the pairwise
+// distance -- called O(n^2) times by the hierarchical clustering -- into
+// an allocation-free merge walk.
+type Vector struct {
+	ids []faults.ID
+	ws  []float64
+}
+
+// Len returns the number of non-zero components.
+func (v Vector) Len() int { return len(v.ids) }
+
+// At returns the i-th (id, weight) component in ascending ID order.
+func (v Vector) At(i int) (faults.ID, float64) { return v.ids[i], v.ws[i] }
+
+// Get returns the weight of f, or 0 when absent.
+func (v Vector) Get(f faults.ID) float64 {
+	lo, hi := 0, len(v.ids)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v.ids[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.ids) && v.ids[lo] == f {
+		return v.ws[lo]
+	}
+	return 0
+}
+
+// Weights returns the weight components in ascending ID order. Callers
+// must not mutate the result.
+func (v Vector) Weights() []float64 { return v.ws }
 
 // IDF is an inverse-document-frequency model trained over injection
 // experiments: "documents" are experiments, "words" are the additional
@@ -49,62 +84,66 @@ func (m *IDF) Weight(f faults.ID) float64 {
 
 // Vectorize maps an interference set to its L2-normalised IDF vector
 // (§A.1 eq. 4). The zero set maps to the empty vector. Accumulation runs
-// in sorted key order: float addition is not associative, and map-order
+// in ascending ID order: float addition is not associative, and unordered
 // summation would make scores (and everything downstream of them --
 // clustering, beam ranking, the reported cycle set) jitter from run to
 // run.
 func (m *IDF) Vectorize(intf []faults.ID) Vector {
-	v := make(Vector, len(intf))
-	for _, f := range intf {
-		v[f] = m.Weight(f)
+	if len(intf) == 0 {
+		return Vector{}
 	}
-	keys := sortedIDs(v)
+	ids := append([]faults.ID(nil), intf...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Deduplicate in place (sorted).
+	u := ids[:1]
+	for _, f := range ids[1:] {
+		if f != u[len(u)-1] {
+			u = append(u, f)
+		}
+	}
+	ws := make([]float64, len(u))
 	norm := 0.0
-	for _, f := range keys {
-		norm += v[f] * v[f]
+	for i, f := range u {
+		ws[i] = m.Weight(f)
+		norm += ws[i] * ws[i]
 	}
 	if norm == 0 {
 		return Vector{}
 	}
 	norm = math.Sqrt(norm)
-	for _, f := range keys {
-		v[f] /= norm
+	for i := range ws {
+		ws[i] /= norm
 	}
-	return v
-}
-
-// sortedIDs returns a vector's keys in sorted order, for deterministic
-// float accumulation.
-func sortedIDs(v Vector) []faults.ID {
-	out := make([]faults.ID, 0, len(v))
-	for f := range v {
-		out = append(out, f)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return Vector{ids: u, ws: ws}
 }
 
 // CosineDistance returns 1 - cos(a, b), in [0, 1] for non-negative
 // vectors. Two empty vectors (non-impactful injections) are identical
 // (distance 0); an empty vector against a non-empty one is maximally
-// distant (distance 1).
+// distant (distance 1). The merge walk accumulates in ascending ID order
+// -- the same order the map-backed implementation sorted into -- so the
+// result is a pure function of the vectors, bit for bit.
 func CosineDistance(a, b Vector) float64 {
-	if len(a) == 0 && len(b) == 0 {
+	if a.Len() == 0 && b.Len() == 0 {
 		return 0
 	}
-	if len(a) == 0 || len(b) == 0 {
+	if a.Len() == 0 || b.Len() == 0 {
 		return 1
 	}
-	// Sorted-key accumulation keeps the result a pure function of the
-	// vectors (map-order float summation differs in the last ulp between
-	// runs, enough to flip near-tie clustering decisions downstream).
 	dot, na, nb := 0.0, 0.0, 0.0
-	for _, f := range sortedIDs(a) {
-		dot += a[f] * b[f]
-		na += a[f] * a[f]
+	j := 0
+	for i, f := range a.ids {
+		w := a.ws[i]
+		na += w * w
+		for j < len(b.ids) && b.ids[j] < f {
+			j++
+		}
+		if j < len(b.ids) && b.ids[j] == f {
+			dot += w * b.ws[j]
+		}
 	}
-	for _, f := range sortedIDs(b) {
-		nb += b[f] * b[f]
+	for _, w := range b.ws {
+		nb += w * w
 	}
 	if na == 0 || nb == 0 {
 		return 1

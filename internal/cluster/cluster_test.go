@@ -52,20 +52,20 @@ func TestVectorizeL2Normalised(t *testing.T) {
 	m := TrainIDF([][]faults.ID{ids("f.a", "f.b"), ids("f.a"), ids("f.c")})
 	v := m.Vectorize(ids("f.a", "f.b", "f.c"))
 	norm := 0.0
-	for _, w := range v {
+	for _, w := range v.Weights() {
 		norm += w * w
 	}
 	if math.Abs(norm-1) > 1e-12 {
 		t.Fatalf("|v|^2 = %v, want 1", norm)
 	}
-	if v["f.a"] >= v["f.c"] {
+	if v.Get("f.a") >= v.Get("f.c") {
 		t.Error("frequent fault should have smaller normalised weight")
 	}
 }
 
 func TestVectorizeEmptySet(t *testing.T) {
 	m := TrainIDF([][]faults.ID{ids("f.a")})
-	if v := m.Vectorize(nil); len(v) != 0 {
+	if v := m.Vectorize(nil); v.Len() != 0 {
 		t.Fatalf("empty interference vector = %v", v)
 	}
 }

@@ -127,21 +127,59 @@ func (c Cycle) Signature() string {
 }
 
 func minRotation(parts []string) string {
-	if len(parts) == 0 {
+	n := len(parts)
+	if n == 0 {
 		return ""
 	}
-	best := ""
-	for r := 0; r < len(parts); r++ {
-		var b strings.Builder
-		for i := 0; i < len(parts); i++ {
-			b.WriteString(parts[(r+i)%len(parts)])
-			b.WriteByte('|')
-		}
-		if s := b.String(); best == "" || s < best {
-			best = s
+	// Select the minimal rotation by lazy byte-wise comparison, then
+	// materialise only the winner: the naive build-every-rotation version
+	// was the single largest allocator in small-space campaigns.
+	best := 0
+	for r := 1; r < n; r++ {
+		if rotationLess(parts, r, best) {
+			best = r
 		}
 	}
-	return best
+	total := 0
+	for _, p := range parts {
+		total += len(p) + 1
+	}
+	var b strings.Builder
+	b.Grow(total)
+	for i := 0; i < n; i++ {
+		b.WriteString(parts[(best+i)%n])
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// rotationLess reports whether rotation a of parts (each part virtually
+// suffixed with '|') concatenates to a strictly smaller string than
+// rotation b, without building either string.
+func rotationLess(parts []string, a, b int) bool {
+	n := len(parts)
+	vbyte := func(i, o int) byte {
+		if p := parts[i]; o < len(p) {
+			return p[o]
+		}
+		return '|'
+	}
+	ai, ao := 0, 0 // rotation-relative part index and byte offset
+	bi, bo := 0, 0
+	for ai < n {
+		ia, ib := (a+ai)%n, (b+bi)%n
+		ca, cb := vbyte(ia, ao), vbyte(ib, bo)
+		if ca != cb {
+			return ca < cb
+		}
+		if ao++; ao == len(parts[ia])+1 {
+			ao, ai = 0, ai+1
+		}
+		if bo++; bo == len(parts[ib])+1 {
+			bo, bi = 0, bi+1
+		}
+	}
+	return false // identical
 }
 
 // Search runs the parallel beam search over a flat causal edge slice: a
@@ -193,7 +231,14 @@ type CycleCluster struct {
 // maps a fault to its cluster index; faults never clustered map to -1 and
 // are distinguished by their own id.
 func ClusterCycles(cycles []Cycle, clusterOf func(faults.ID) (int, bool)) []CycleCluster {
-	byKey := make(map[string][]Cycle)
+	// Decorate each cycle with its signature once: recomputing it inside
+	// the sort comparator (O(n log n) times) used to dominate the whole
+	// campaign's allocation profile.
+	type sigged struct {
+		cy  Cycle
+		sig string
+	}
+	byKey := make(map[string][]sigged)
 	for _, cy := range cycles {
 		var parts []string
 		for _, f := range cy.Faults() {
@@ -205,7 +250,7 @@ func ClusterCycles(cycles []Cycle, clusterOf func(faults.ID) (int, bool)) []Cycl
 		}
 		sort.Strings(parts)
 		key := strings.Join(parts, ",")
-		byKey[key] = append(byKey[key], cy)
+		byKey[key] = append(byKey[key], sigged{cy: cy, sig: cy.Signature()})
 	}
 	keys := make([]string, 0, len(byKey))
 	for k := range byKey {
@@ -216,12 +261,16 @@ func ClusterCycles(cycles []Cycle, clusterOf func(faults.ID) (int, bool)) []Cycl
 	for _, k := range keys {
 		cs := byKey[k]
 		sort.Slice(cs, func(i, j int) bool {
-			if cs[i].Score != cs[j].Score {
-				return cs[i].Score < cs[j].Score
+			if cs[i].cy.Score != cs[j].cy.Score {
+				return cs[i].cy.Score < cs[j].cy.Score
 			}
-			return cs[i].Signature() < cs[j].Signature()
+			return cs[i].sig < cs[j].sig
 		})
-		out = append(out, CycleCluster{Key: k, Cycles: cs})
+		members := make([]Cycle, len(cs))
+		for i, s := range cs {
+			members[i] = s.cy
+		}
+		out = append(out, CycleCluster{Key: k, Cycles: members})
 	}
 	return out
 }

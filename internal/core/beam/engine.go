@@ -167,20 +167,22 @@ func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options)
 	// surviving representative -- the search must be a pure function of
 	// its input. Comparing index rotations instead of rendered edge keys
 	// keeps the duplicate-arrival path (every rotation of every cycle)
-	// free of string building.
+	// free of string building, and the Cycle itself (the edge slice) is
+	// materialized only when the candidate actually wins its dedup slot.
 	addCycle := func(c *ichain) {
 		can := canonicalRotation(c.idx)
-		cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: m.meanScore(c)}
-		for i, k := range can {
-			cy.Edges[i] = m.edges[k]
-		}
-		if oneNestFamily(cy, opt.NestGroups) {
+		if m.oneNestFamilyIdx(can, opt.NestGroups) {
 			return
 		}
-		sig := cy.Signature()
+		score := m.meanScore(c)
+		sig := m.signatureOf(can)
 		mu.Lock()
-		if e, ok := best[sig]; !ok || cy.Score < e.cy.Score ||
-			(cy.Score == e.cy.Score && lessIdx(can, e.idx)) {
+		if e, ok := best[sig]; !ok || score < e.cy.Score ||
+			(score == e.cy.Score && lessIdx(can, e.idx)) {
+			cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: score}
+			for i, k := range can {
+				cy.Edges[i] = m.edges[k]
+			}
 			best[sig] = &bestEntry{cy: cy, idx: can}
 		}
 		mu.Unlock()
@@ -213,23 +215,35 @@ func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options)
 		queue = next
 	}
 
-	cycles := make([]Cycle, 0, len(best))
-	for _, e := range best {
-		cycles = append(cycles, e.cy)
+	// Sort by (score, signature) using the signatures already computed as
+	// dedup keys -- never inside the comparator.
+	type sigCycle struct {
+		sig string
+		cy  Cycle
 	}
-	sort.Slice(cycles, func(i, j int) bool {
-		if cycles[i].Score != cycles[j].Score {
-			return cycles[i].Score < cycles[j].Score
+	ordered := make([]sigCycle, 0, len(best))
+	for sig, e := range best {
+		ordered = append(ordered, sigCycle{sig: sig, cy: e.cy})
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].cy.Score != ordered[j].cy.Score {
+			return ordered[i].cy.Score < ordered[j].cy.Score
 		}
-		return cycles[i].Signature() < cycles[j].Signature()
+		return ordered[i].sig < ordered[j].sig
 	})
+	cycles := make([]Cycle, len(ordered))
+	for i, sc := range ordered {
+		cycles[i] = sc.cy
+	}
 	return cycles
 }
 
 // canonicalRotation returns the lexicographically-smallest rotation of a
 // chain's edge-index sequence: every rotation of a cycle normalizes to
 // the same representative, and the order is total over distinct edge
-// sequences (indices are unique within a chain).
+// sequences (indices are unique within a chain). Already-canonical
+// chains are returned as-is (the caller owns idx and never mutates it
+// afterwards).
 func canonicalRotation(idx []int) []int {
 	bestR := 0
 	for r := 1; r < len(idx); r++ {
@@ -243,11 +257,50 @@ func canonicalRotation(idx []int) []int {
 			}
 		}
 	}
+	if bestR == 0 {
+		return idx
+	}
 	out := make([]int, len(idx))
 	for i := range idx {
 		out[i] = idx[(bestR+i)%len(idx)]
 	}
 	return out
+}
+
+// signatureOf renders the rotation-invariant signature of a canonical
+// edge-index rotation without materializing the Cycle. It matches
+// Cycle.Signature exactly (Signature is rotation-invariant, so feeding
+// the canonical rotation yields the same string).
+func (m *matcher) signatureOf(can []int) string {
+	parts := make([]string, len(can))
+	for i, k := range can {
+		e := &m.edges[k]
+		parts[i] = string(e.From) + "-" + e.Kind.String() + "-" + e.Test
+	}
+	return minRotation(parts)
+}
+
+// oneNestFamilyIdx is oneNestFamily over edge indices (no Cycle needed).
+func (m *matcher) oneNestFamilyIdx(can []int, groups map[faults.ID]int) bool {
+	if len(groups) == 0 {
+		return false
+	}
+	ix := m.ix
+	family := -1
+	for _, k := range can {
+		for _, f := range [2]faults.ID{ix.FaultOf[ix.From[k]], ix.FaultOf[ix.To[k]]} {
+			g, ok := groups[f]
+			if !ok {
+				return false // a fault outside any nest: real cycle
+			}
+			if family == -1 {
+				family = g
+			} else if family != g {
+				return false
+			}
+		}
+	}
+	return family != -1
 }
 
 // oneNestFamily reports whether every fault touched by the cycle belongs

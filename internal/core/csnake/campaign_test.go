@@ -14,7 +14,9 @@ import (
 	"repro/internal/core/fca"
 	"repro/internal/core/graph"
 	"repro/internal/faults"
+	"repro/internal/harness"
 	"repro/internal/sim"
+	"repro/internal/systems/kvstore"
 	"repro/internal/systems/sysreg"
 )
 
@@ -333,6 +335,39 @@ func TestParallelCampaignIsDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(DetectedBugs(serial, tinySystem{}.Bugs()), DetectedBugs(parallel, tinySystem{}.Bugs())) {
 		t.Fatal("detected bug sets diverge")
+	}
+}
+
+// TestRealSystemCampaignParallelByteIdentical pins the hot-path rewrite
+// (pooled trace runs, value event queue, interned occurrence stacks)
+// against the PR 1 guarantee on a real system: a fully parallel campaign
+// produces a byte-identical report to the serial one.
+func TestRealSystemCampaignParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full real-system campaign skipped in -short mode")
+	}
+	cfg := DefaultConfig(42)
+	cfg.Harness = harness.Config{Reps: 2, DelayMagnitudes: []time.Duration{2 * time.Second}}
+	runAt := func(par int) *Report {
+		rep, err := NewCampaign(kvstore.New(), WithConfig(cfg), WithParallelism(par)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+	if serial.Sims != parallel.Sims {
+		t.Fatalf("sim counts diverge: %d vs %d", serial.Sims, parallel.Sims)
+	}
+	if !reflect.DeepEqual(serial.Edges, parallel.Edges) {
+		t.Fatalf("edge sets diverge:\nserial:   %v\nparallel: %v", serial.Edges, parallel.Edges)
+	}
+	if fmt.Sprintf("%+v", serial.Cycles) != fmt.Sprintf("%+v", parallel.Cycles) {
+		t.Fatal("cycle sets diverge")
+	}
+	if fmt.Sprintf("%+v", serial.CycleClusters) != fmt.Sprintf("%+v", parallel.CycleClusters) {
+		t.Fatal("cycle clusters diverge")
 	}
 }
 

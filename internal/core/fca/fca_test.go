@@ -106,10 +106,10 @@ func TestDelayCausesExceptionIsED(t *testing.T) {
 
 func TestIterationIncreaseSignificant(t *testing.T) {
 	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopB"] = 10 + i%2
+		r.AddLoopIters("s.loopB", 10+i%2)
 	})
 	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopB"] = 40 + i%3
+		r.AddLoopIters("s.loopB", 40+i%3)
 	})
 	plan := inject.Plan{Kind: inject.Exception, Target: "s.throw1"}
 	edges, _ := Analyze(space(), plan, "t1", profile, injected, DefaultConfig())
@@ -127,10 +127,10 @@ func TestIterationIncreaseSignificant(t *testing.T) {
 
 func TestIterationNoiseNotSignificant(t *testing.T) {
 	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopB"] = 10 + i%3
+		r.AddLoopIters("s.loopB", 10+i%3)
 	})
 	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopB"] = 10 + (i+1)%3
+		r.AddLoopIters("s.loopB", 10+(i+1)%3)
 	})
 	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Exception, Target: "s.throw1"}, "t1", profile, injected, DefaultConfig())
 	if len(edges) != 0 {
@@ -140,10 +140,10 @@ func TestIterationNoiseNotSignificant(t *testing.T) {
 
 func TestDelayedLoopItselfExcluded(t *testing.T) {
 	profile := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopA"] = 5
+		r.AddLoopIters("s.loopA", 5)
 	})
 	injected := mkSet("t1", 5, func(i int, r *trace.Run) {
-		r.LoopIters["s.loopA"] = 50 // the injected loop itself grew
+		r.AddLoopIters("s.loopA", 50) // the injected loop itself grew
 	})
 	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Delay, Target: "s.loopA"}, "t1", profile, injected, DefaultConfig())
 	if len(edges) != 0 {
@@ -152,8 +152,8 @@ func TestDelayedLoopItselfExcluded(t *testing.T) {
 }
 
 func TestDelayCausesDelayIsSD(t *testing.T) {
-	profile := mkSet("t1", 5, func(i int, r *trace.Run) { r.LoopIters["s.loopB"] = 8 })
-	injected := mkSet("t1", 5, func(i int, r *trace.Run) { r.LoopIters["s.loopB"] = 30 + i })
+	profile := mkSet("t1", 5, func(i int, r *trace.Run) { r.AddLoopIters("s.loopB", 8) })
+	injected := mkSet("t1", 5, func(i int, r *trace.Run) { r.AddLoopIters("s.loopB", 30+i) })
 	edges, _ := Analyze(space(), inject.Plan{Kind: inject.Delay, Target: "s.loopA"}, "t1", profile, injected, DefaultConfig())
 	if len(edges) != 1 || edges[0].Kind != faults.SD {
 		t.Fatalf("edges = %v, want one S+(D)", edges)

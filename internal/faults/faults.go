@@ -201,12 +201,15 @@ func (k EdgeKind) String() string {
 }
 
 // Space is a resolved fault space: the injectable points of one system
-// plus derived lookup tables.
+// plus derived lookup tables. Every point carries a dense int index (its
+// position in Points, assigned once at construction): the trace-recording
+// hot path and other per-event consumers address flat slices by dense id
+// instead of hashing string IDs.
 type Space struct {
 	Points []Point
 	Nests  []LoopNest
 
-	byID map[ID]Point
+	byID map[ID]int // ID -> dense index into Points
 }
 
 // NewSpace builds a Space from raw points and nests, applying both the
@@ -215,7 +218,7 @@ type Space struct {
 // excluded (§4.1).
 func NewSpace(points []Point, nests []LoopNest) *Space {
 	shortCut := shortLoopCutoff(points)
-	s := &Space{Nests: nests, byID: make(map[ID]Point, len(points))}
+	s := &Space{Nests: nests, byID: make(map[ID]int, len(points))}
 	for _, pt := range points {
 		if !pt.Injectable() {
 			continue
@@ -223,8 +226,8 @@ func NewSpace(points []Point, nests []LoopNest) *Space {
 		if pt.Kind == Loop && !pt.HasIO && pt.BodySize <= shortCut {
 			continue
 		}
+		s.byID[pt.ID] = len(s.Points)
 		s.Points = append(s.Points, pt)
-		s.byID[pt.ID] = pt
 	}
 	return s
 }
@@ -252,15 +255,30 @@ func shortLoopCutoff(points []Point) int {
 
 // Lookup returns the point for id if it is part of the injectable space.
 func (s *Space) Lookup(id ID) (Point, bool) {
-	pt, ok := s.byID[id]
-	return pt, ok
+	if i, ok := s.byID[id]; ok {
+		return s.Points[i], true
+	}
+	return Point{}, false
 }
+
+// Index returns the dense index of id within the space. Dense indices are
+// stable for the lifetime of the Space and cover [0, Size()).
+func (s *Space) Index(id ID) (int, bool) {
+	i, ok := s.byID[id]
+	return i, ok
+}
+
+// IDAt returns the fault ID at dense index i.
+func (s *Space) IDAt(i int) ID { return s.Points[i].ID }
+
+// PointAt returns the point at dense index i.
+func (s *Space) PointAt(i int) Point { return s.Points[i] }
 
 // Class returns the fault class of id, defaulting to exception when the
 // point is unknown (conservative for edge typing).
 func (s *Space) Class(id ID) FaultClass {
-	if pt, ok := s.byID[id]; ok {
-		return pt.Kind.Class()
+	if i, ok := s.byID[id]; ok {
+		return s.Points[i].Kind.Class()
 	}
 	return ClassException
 }

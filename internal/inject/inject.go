@@ -16,6 +16,14 @@
 // Every hook doubles as a monitor point: it records coverage, natural
 // activations with local state, loop iteration counts, and branch
 // evaluations for the local compatibility check (§6.2).
+//
+// Hooks are on the simulation hot path (they run once per monitored event
+// across millions of events per campaign), so recording is engineered to
+// be allocation-free in steady state: counters land in trace.Run's flat
+// dense-id slices (one read-only index lookup, then array increments),
+// occurrence captures reuse the engine's interned 2-frame stacks and the
+// proc's copy-on-write branch trace instead of copying slices per
+// activation.
 package inject
 
 import (

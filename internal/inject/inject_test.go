@@ -30,10 +30,10 @@ func TestGuardNaturalActivation(t *testing.T) {
 			t.Error("natural condition suppressed")
 		}
 	})
-	if rec.Reached["sys.throw"] != 1 {
-		t.Fatalf("Reached = %d, want 1", rec.Reached["sys.throw"])
+	if rec.Reached("sys.throw") != 1 {
+		t.Fatalf("Reached = %d, want 1", rec.Reached("sys.throw"))
 	}
-	if !rec.Covered["sys.throw"] {
+	if !rec.Covered("sys.throw") {
 		t.Fatal("coverage not recorded")
 	}
 	if rec.InjFired {
@@ -56,8 +56,8 @@ func TestGuardInjectionIsOneTime(t *testing.T) {
 	if !rec.InjFired {
 		t.Fatal("InjFired not set")
 	}
-	if rec.Reached["sys.throw"] != 0 {
-		t.Fatalf("injected activation counted as natural: %d", rec.Reached["sys.throw"])
+	if rec.Reached("sys.throw") != 0 {
+		t.Fatalf("injected activation counted as natural: %d", rec.Reached("sys.throw"))
 	}
 }
 
@@ -100,7 +100,7 @@ func TestNegatePersistent(t *testing.T) {
 	if !rec.InjFired {
 		t.Fatal("InjFired not set")
 	}
-	if rec.Reached["sys.isStale"] != 0 {
+	if rec.Reached("sys.isStale") != 0 {
 		t.Fatal("injected negation counted as natural activation")
 	}
 }
@@ -110,8 +110,8 @@ func TestNegateNaturalErrorRecorded(t *testing.T) {
 		rt.Negate(p, "sys.isStale", true, true) // naturally stale
 		rt.Negate(p, "sys.isStale", false, true)
 	})
-	if rec.Reached["sys.isStale"] != 1 {
-		t.Fatalf("natural error activations = %d, want 1", rec.Reached["sys.isStale"])
+	if rec.Reached("sys.isStale") != 1 {
+		t.Fatalf("natural error activations = %d, want 1", rec.Reached("sys.isStale"))
 	}
 }
 
@@ -124,8 +124,8 @@ func TestLoopCountsAndDelayInjection(t *testing.T) {
 		}
 		virtual = p.Now() - start
 	})
-	if rec.LoopIters["sys.loop"] != 3 {
-		t.Fatalf("iters = %d, want 3", rec.LoopIters["sys.loop"])
+	if rec.LoopIters("sys.loop") != 3 {
+		t.Fatalf("iters = %d, want 3", rec.LoopIters("sys.loop"))
 	}
 	if virtual != 3*time.Second {
 		t.Fatalf("delay injected %v, want 3s (1s per iteration)", virtual)
@@ -158,7 +158,7 @@ func TestLoopResetsLocalBranchTrace(t *testing.T) {
 			}
 		}
 	})
-	occ := rec.Occ["sys.throw"]
+	occ := rec.OccOf("sys.throw")
 	if len(occ) != 1 {
 		t.Fatalf("occurrences = %d, want 1", len(occ))
 	}
@@ -180,7 +180,7 @@ func TestOccurrenceCapturesTwoLevelStack(t *testing.T) {
 			rt.Guard(p, "sys.throw", true)
 		}()
 	})
-	occ := rec.Occ["sys.throw"]
+	occ := rec.OccOf("sys.throw")
 	if len(occ) != 1 {
 		t.Fatalf("occurrences = %d, want 1", len(occ))
 	}
@@ -195,11 +195,11 @@ func TestOccurrenceCapIsEnforced(t *testing.T) {
 			rt.Guard(p, "sys.throw", true)
 		}
 	})
-	if got := len(rec.Occ["sys.throw"]); got != trace.OccCap {
+	if got := len(rec.OccOf("sys.throw")); got != trace.OccCap {
 		t.Fatalf("stored %d occurrences, want cap %d", got, trace.OccCap)
 	}
-	if rec.Reached["sys.throw"] != trace.OccCap+10 {
-		t.Fatalf("Reached = %d, want %d", rec.Reached["sys.throw"], trace.OccCap+10)
+	if rec.Reached("sys.throw") != trace.OccCap+10 {
+		t.Fatalf("Reached = %d, want %d", rec.Reached("sys.throw"), trace.OccCap+10)
 	}
 }
 

@@ -11,7 +11,6 @@ import (
 	"io"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/analyzer"
 	"repro/internal/baselines"
@@ -293,21 +292,15 @@ type Overhead struct {
 	Samples int
 }
 
-// MeasureOverhead runs each workload with monitoring on and off.
-func MeasureOverhead(sys sysreg.System, reps int) Overhead {
-	if reps == 0 {
-		reps = 3
-	}
+// MeasureOverhead runs each workload with monitoring on and off. The
+// multi-sample averaging lives in harness.Driver.OverheadSample (the
+// single source of truth for the §8.5 measurement).
+func MeasureOverhead(sys sysreg.System) Overhead {
 	driver := harness.New(sys, sysreg.Space(sys), harness.Config{Reps: 1})
 	out := Overhead{System: sys.Name(), MinPct: -1}
 	var sum float64
 	for _, w := range sys.Workloads() {
-		var inst, bare time.Duration
-		for r := 0; r < reps; r++ {
-			i, b := driver.OverheadSample(w.Name, int64(100+r))
-			inst += i
-			bare += b
-		}
+		inst, bare := driver.OverheadSample(w.Name, 100)
 		if bare == 0 {
 			continue
 		}

@@ -64,7 +64,7 @@ func TestWriteTable4Rendering(t *testing.T) {
 }
 
 func TestMeasureOverheadShape(t *testing.T) {
-	o := MeasureOverhead(kvstore.New(), 1)
+	o := MeasureOverhead(kvstore.New())
 	if o.Samples == 0 {
 		t.Fatal("no samples")
 	}

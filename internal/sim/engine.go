@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -73,17 +72,25 @@ type Options struct {
 	DefaultLatency time.Duration
 	// Jitter is the maximum uniform extra latency per message (default
 	// 200us). Jitter is what makes different seeds explore different
-	// interleavings.
+	// interleavings. A negative value disables jitter entirely: messages
+	// take exactly DefaultLatency and the default latency model never
+	// touches the RNG, which keeps the RNG stream free for workload use.
 	Jitter time.Duration
 }
 
-type eventKind int
+type eventKind uint8
 
 const (
-	evWake  eventKind = iota // resume a parked or not-yet-started process
-	evApply                  // run a closure in engine context
+	evWake    eventKind = iota // resume a parked or not-yet-started process
+	evApply                    // run a closure in engine context
+	evDeliver                  // deliver a message body to a mailbox
 )
 
+// event is scheduled work. Events are stored by value in the queue: no
+// per-event heap allocation and no interface boxing on push or pop. The
+// evDeliver fields are inlined (rather than closed over by an evApply
+// closure) so plain message sends -- the dominant event type in RPC-heavy
+// workloads -- allocate nothing.
 type event struct {
 	at   time.Duration
 	seq  uint64
@@ -91,26 +98,83 @@ type event struct {
 	proc *Proc
 	gen  uint64 // wake generation; stale wakes are ignored
 	fn   func()
+	// evDeliver payload.
+	mb   *Mailbox
+	body interface{}
+	src  string
 }
 
-type eventHeap []*event
+// eventQueue is an inlined 4-ary min-heap of event values ordered by
+// (at, seq). Because seq is unique per event the ordering key is a strict
+// total order, so the pop sequence is exactly ascending (at, seq) --
+// identical to the binary container/heap it replaces -- while the wider
+// fan-out halves the sift depth and the value storage eliminates the
+// pointer chase and interface conversions of heap.Push/heap.Pop. The
+// backing array is reused across pushes (its own free list): after warm-up
+// a schedule/pop cycle performs zero allocations.
+type eventQueue struct {
+	ev []event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (q *eventQueue) len() int { return len(q.ev) }
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	// Sift up.
+	i := len(q.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(&q.ev[i], &q.ev[p]) {
+			break
+		}
+		q.ev[i], q.ev[p] = q.ev[p], q.ev[i]
+		i = p
+	}
+}
+
+// peek returns a pointer to the minimum event; the queue must be non-empty.
+// The pointer is invalidated by the next push or pop.
+func (q *eventQueue) peek() *event { return &q.ev[0] }
+
+// pop removes and returns the minimum event; the queue must be non-empty.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	n := len(q.ev) - 1
+	q.ev[0] = q.ev[n]
+	q.ev[n] = event{} // release proc/fn/body references
+	q.ev = q.ev[:n]
+	// Sift down.
+	i := 0
+	for {
+		c := i<<2 + 1 // first child
+		if c >= n {
+			break
+		}
+		// Pick the smallest of up to four children.
+		min := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if eventLess(&q.ev[k], &q.ev[min]) {
+				min = k
+			}
+		}
+		if !eventLess(&q.ev[min], &q.ev[i]) {
+			break
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+	return top
 }
 
 // Engine is a deterministic discrete-event simulator instance. An Engine
@@ -119,7 +183,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	rng    *rand.Rand
 
 	procs    []*Proc
@@ -129,11 +193,21 @@ type Engine struct {
 	closed   bool
 	executed int
 
+	// Fault-surface state maps are lazily allocated: most runs never
+	// partition, pause, or crash anything, and nil-map reads are free in
+	// Go, so the common path pays neither the four make(map) calls per
+	// engine nor any cleanup.
 	latency    LatencyFunc
 	partitions map[[2]string]bool
 	paused     map[string]bool
 	crashed    map[string]bool
 	held       map[string][]heldDelivery // deliveries held while a node is paused
+
+	// stacks interns the 2-frame occurrence stacks captured by the
+	// injection hooks: one canonical slice per distinct (caller, callee,
+	// depth) triple per engine, so repeated fault activations in the same
+	// context return the same backing array instead of allocating.
+	stacks map[stackKey][]string
 
 	maxEvents int
 	fail      *procPanic
@@ -165,21 +239,25 @@ func NewEngine(opts Options) *Engine {
 		opts.Jitter = 200 * time.Microsecond
 	}
 	e := &Engine{
-		rng:        rand.New(rand.NewSource(opts.Seed)),
-		parked:     make(chan struct{}),
-		partitions: make(map[[2]string]bool),
-		paused:     make(map[string]bool),
-		crashed:    make(map[string]bool),
-		held:       make(map[string][]heldDelivery),
-		maxEvents:  opts.MaxEvents,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		parked:    make(chan struct{}),
+		maxEvents: opts.MaxEvents,
 	}
 	if opts.Latency != nil {
 		e.latency = opts.Latency
 	} else {
 		base, jit := opts.DefaultLatency, opts.Jitter
+		if jit < 0 {
+			jit = 0
+		}
 		e.latency = func(rng *rand.Rand, src, dst string) time.Duration {
 			if src == dst {
+				// Local fast path: fixed loopback latency, no RNG draw.
 				return 10 * time.Microsecond
+			}
+			if jit == 0 {
+				// Jitter disabled: skip the RNG draw entirely.
+				return base
 			}
 			return base + time.Duration(rng.Int63n(int64(jit)+1))
 		}
@@ -199,7 +277,16 @@ func (e *Engine) schedule(at time.Duration, kind eventKind, p *Proc, gen uint64,
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, kind: kind, proc: p, gen: gen, fn: fn})
+	e.events.push(event{at: at, seq: e.seq, kind: kind, proc: p, gen: gen, fn: fn})
+}
+
+// scheduleDeliver enqueues a message delivery without allocating a closure.
+func (e *Engine) scheduleDeliver(at time.Duration, mb *Mailbox, body interface{}, src string) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, kind: evDeliver, mb: mb, body: body, src: src})
 }
 
 // After runs fn in engine context at virtual time Now()+d. fn must not
@@ -225,6 +312,24 @@ func (e *Engine) Spawn(node, name string, fn func(p *Proc)) *Proc {
 	return p
 }
 
+// deliver completes an evDeliver event: the message vanishes when the link
+// is partitioned or the destination crashed, is held while the destination
+// is paused, and is enqueued otherwise.
+func (e *Engine) deliver(ev *event) {
+	dst := ev.mb.node
+	if e.crashed[dst] || e.partitions[partKey(ev.src, dst)] {
+		return
+	}
+	if e.paused[dst] {
+		if e.held == nil {
+			e.held = make(map[string][]heldDelivery)
+		}
+		e.held[dst] = append(e.held[dst], heldDelivery{mb: ev.mb, body: ev.body})
+		return
+	}
+	ev.mb.deliver(ev.body)
+}
+
 // Run processes events until the virtual clock passes the horizon, the
 // event queue drains, or the event budget is exhausted.
 func (e *Engine) Run(horizon time.Duration) RunResult {
@@ -234,24 +339,26 @@ func (e *Engine) Run(horizon time.Duration) RunResult {
 	e.running = true
 	defer func() { e.running = false }()
 	processed := 0
-	for e.events.Len() > 0 {
+	for e.events.len() > 0 {
 		if processed >= e.maxEvents {
 			e.executed += processed
 			return RunResult{Reason: StopEventBudget, Now: e.now, Events: processed}
 		}
-		ev := heap.Pop(&e.events).(*event)
-		if ev.at > horizon {
-			// Put it back for a potential later Run with a larger horizon.
-			heap.Push(&e.events, ev)
+		if e.events.peek().at > horizon {
+			// Leave it queued for a potential later Run with a larger
+			// horizon (peek-first replaces the old pop-then-push-back).
 			e.now = horizon
 			e.executed += processed
 			return RunResult{Reason: StopHorizon, Now: e.now, Events: processed}
 		}
+		ev := e.events.pop()
 		e.now = ev.at
 		processed++
 		switch ev.kind {
 		case evApply:
 			ev.fn()
+		case evDeliver:
+			e.deliver(&ev)
 		case evWake:
 			p := ev.proc
 			if p.done || p.killed || e.crashed[p.node] {
@@ -300,6 +407,36 @@ func (e *Engine) Close() {
 // Events returns the total number of events processed across all Run calls.
 func (e *Engine) Events() int { return e.executed }
 
+// stackKey identifies an interned (up to) 2-frame stack; the depth
+// disambiguates a 1-frame stack from a 2-frame stack with an empty name.
+type stackKey struct {
+	a, b string
+	n    uint8
+}
+
+// internStack returns the canonical interned slice for a (up to) 2-frame
+// stack. Callers must not mutate the result.
+func (e *Engine) internStack(a, b string, n int) []string {
+	key := stackKey{a: a, b: b, n: uint8(n)}
+	if s, ok := e.stacks[key]; ok {
+		return s
+	}
+	if e.stacks == nil {
+		e.stacks = make(map[stackKey][]string)
+	}
+	var s []string
+	switch n {
+	case 0:
+		s = []string{}
+	case 1:
+		s = []string{a}
+	default:
+		s = []string{a, b}
+	}
+	e.stacks[key] = s
+	return s
+}
+
 // --- network fault surface (used by the blackbox fuzzing baseline and by
 // workloads that model coarse external faults) ---
 
@@ -313,6 +450,9 @@ func partKey(a, b string) [2]string {
 // SetPartition blocks (or unblocks) message delivery between two nodes.
 func (e *Engine) SetPartition(a, b string, blocked bool) {
 	if blocked {
+		if e.partitions == nil {
+			e.partitions = make(map[[2]string]bool)
+		}
 		e.partitions[partKey(a, b)] = true
 	} else {
 		delete(e.partitions, partKey(a, b))
@@ -325,7 +465,12 @@ func (e *Engine) Partitioned(a, b string) bool { return e.partitions[partKey(a, 
 // PauseNode holds all message deliveries to the node until ResumeNode.
 // Paused nodes keep their local timers; only the network is frozen, which
 // mirrors a GC pause or an overloaded NIC.
-func (e *Engine) PauseNode(node string) { e.paused[node] = true }
+func (e *Engine) PauseNode(node string) {
+	if e.paused == nil {
+		e.paused = make(map[string]bool)
+	}
+	e.paused[node] = true
+}
 
 // ResumeNode releases a paused node and flushes held deliveries.
 func (e *Engine) ResumeNode(node string) {
@@ -341,9 +486,15 @@ func (e *Engine) ResumeNode(node string) {
 }
 
 // CrashNode permanently removes a node: its processes stop being scheduled
-// and messages to it vanish.
+// and messages to it vanish. Any paused state is cleared too, so a stray
+// ResumeNode on a crashed node is a clean no-op (previously the paused
+// entry leaked and accumulated across long campaigns).
 func (e *Engine) CrashNode(node string) {
+	if e.crashed == nil {
+		e.crashed = make(map[string]bool)
+	}
 	e.crashed[node] = true
+	delete(e.paused, node)
 	delete(e.held, node)
 	for _, p := range e.procs {
 		if p.node == node && p.started && !p.done {

@@ -10,11 +10,15 @@ import (
 // the primitive the target systems use to model RPC handler threads and
 // bounded service capacity.
 type Mailbox struct {
-	eng     *Engine
-	id      int
-	node    string
-	name    string
+	eng  *Engine
+	id   int
+	node string
+	name string
+	// queue[head:] are the pending messages: popping advances head and the
+	// backing array is reclaimed whenever the queue fully drains, so a
+	// busy mailbox reaches a steady state with no per-message growth.
 	queue   []interface{}
+	head    int
 	waiters []*Proc
 }
 
@@ -33,7 +37,7 @@ func (mb *Mailbox) Name() string { return mb.name }
 
 // Len returns the number of queued (undelivered-to-a-waiter) messages.
 // Systems use it to implement load probes and ad-hoc throttling.
-func (mb *Mailbox) Len() int { return len(mb.queue) }
+func (mb *Mailbox) Len() int { return len(mb.queue) - mb.head }
 
 func (mb *Mailbox) String() string { return fmt.Sprintf("%s/%s", mb.node, mb.name) }
 
@@ -61,24 +65,15 @@ func (p *Proc) Send(to *Mailbox, body interface{}) {
 }
 
 // SendAfter is Send with an extra artificial delay before the message
-// enters the network.
+// enters the network. Deliveries are value events (evDeliver), not
+// closures: a send allocates nothing beyond any boxing of body itself.
 func (p *Proc) SendAfter(extra time.Duration, to *Mailbox, body interface{}) {
 	if p.killed {
 		panic(errKilled)
 	}
 	e := p.eng
-	src := p.node
-	lat := e.latency(e.rng, src, to.node) + extra
-	e.schedule(e.now+lat, evApply, nil, 0, func() {
-		if e.crashed[to.node] || e.partitions[partKey(src, to.node)] {
-			return
-		}
-		if e.paused[to.node] {
-			e.held[to.node] = append(e.held[to.node], heldDelivery{mb: to, body: body})
-			return
-		}
-		to.deliver(body)
-	})
+	lat := e.latency(e.rng, p.node, to.node) + extra
+	e.scheduleDeliver(e.now+lat, to, body, p.node)
 }
 
 // Recv dequeues the next message from mb, blocking up to timeout. A
@@ -87,14 +82,14 @@ func (p *Proc) Recv(mb *Mailbox, timeout time.Duration) (interface{}, bool) {
 	if p.killed {
 		panic(errKilled)
 	}
-	if len(mb.queue) > 0 {
+	if mb.Len() > 0 {
 		return mb.pop(), true
 	}
 	deadline := p.eng.now + timeout
 	for {
 		mb.waiters = append(mb.waiters, p)
 		p.block(timeout)
-		if len(mb.queue) > 0 {
+		if mb.Len() > 0 {
 			mb.removeWaiter(p)
 			return mb.pop(), true
 		}
@@ -112,8 +107,22 @@ func (p *Proc) Recv(mb *Mailbox, timeout time.Duration) (interface{}, bool) {
 }
 
 func (mb *Mailbox) pop() interface{} {
-	m := mb.queue[0]
-	mb.queue = mb.queue[1:]
+	m := mb.queue[mb.head]
+	mb.queue[mb.head] = nil // release the reference
+	mb.head++
+	switch {
+	case mb.head == len(mb.queue):
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	case mb.head >= 32 && mb.head*2 >= len(mb.queue):
+		// Compact once the dead prefix dominates, so a never-draining
+		// mailbox (retry storms) keeps memory O(live backlog) instead of
+		// O(total messages delivered).
+		n := copy(mb.queue, mb.queue[mb.head:])
+		clear(mb.queue[n:])
+		mb.queue = mb.queue[:n]
+		mb.head = 0
+	}
 	return m
 }
 

@@ -42,6 +42,14 @@ type Proc struct {
 	// injection layer reads it to capture 2-level calling context and the
 	// per-frame local branch traces used by the compatibility check.
 	frames []Frame
+
+	// frameGen versions the frames slice (bumped on every push/pop) and
+	// stackGen/stackCache memoise the last Stack() result against it, so
+	// repeated fault activations in an unchanged calling context -- the
+	// retry-storm hot path -- return the same interned slice.
+	frameGen   uint64
+	stackGen   uint64
+	stackCache []string
 }
 
 // Frame is one entry of a process's explicit call stack.
@@ -51,6 +59,10 @@ type Frame struct {
 	// frame since the frame was entered or since the innermost loop hook
 	// last reset it. The compatibility check compares these.
 	Branches []BranchEval
+	// shared marks Branches as handed out by LocalBranches: the next
+	// mutation must leave the shared backing array untouched
+	// (copy-on-write), since captured occurrence states alias it.
+	shared bool
 }
 
 // BranchEval records a monitored branch evaluation.
@@ -149,28 +161,42 @@ func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 // matching pop. Use as: defer p.Enter("BlockReceiver")().
 func (p *Proc) Enter(fn string) func() {
 	p.frames = append(p.frames, Frame{Fn: fn})
+	p.frameGen++
 	depth := len(p.frames)
 	return func() {
 		if len(p.frames) >= depth {
 			p.frames = p.frames[:depth-1]
+			p.frameGen++
 		}
 	}
 }
 
 // Stack returns up to the two innermost frame names, outermost first,
 // excluding nothing: [caller, callee] -- the "2-call-site sensitivity"
-// context from the paper (§6.2).
+// context from the paper (§6.2). The result is interned per (caller,
+// callee) pair and memoised against the frame generation: capturing the
+// same calling context repeatedly allocates nothing. Callers must treat
+// the returned slice as immutable.
 func (p *Proc) Stack() []string {
+	if p.stackCache != nil && p.stackGen == p.frameGen {
+		return p.stackCache
+	}
 	n := len(p.frames)
-	lo := n - 2
-	if lo < 0 {
-		lo = 0
+	var a, b string
+	switch {
+	case n == 0:
+	case n == 1:
+		a = p.frames[0].Fn
+	default:
+		a, b = p.frames[n-2].Fn, p.frames[n-1].Fn
 	}
-	out := make([]string, 0, 2)
-	for _, f := range p.frames[lo:n] {
-		out = append(out, f.Fn)
+	depth := n
+	if depth > 2 {
+		depth = 2
 	}
-	return out
+	s := p.eng.internStack(a, b, depth)
+	p.stackCache, p.stackGen = s, p.frameGen
+	return s
 }
 
 // FullStack returns the entire explicit call stack, outermost first.
@@ -186,8 +212,17 @@ func (p *Proc) FullStack() []string {
 func (p *Proc) RecordBranch(id string, taken bool) {
 	if len(p.frames) == 0 {
 		p.frames = append(p.frames, Frame{Fn: p.name})
+		p.frameGen++
 	}
 	f := &p.frames[len(p.frames)-1]
+	if f.shared {
+		// The current backing array is aliased by a captured occurrence
+		// state: append into a fresh array instead of mutating it.
+		fresh := make([]BranchEval, len(f.Branches), len(f.Branches)+4)
+		copy(fresh, f.Branches)
+		f.Branches = fresh
+		f.shared = false
+	}
 	f.Branches = append(f.Branches, BranchEval{ID: id, Taken: taken})
 }
 
@@ -199,16 +234,28 @@ func (p *Proc) ResetLocalBranches() {
 		return
 	}
 	f := &p.frames[len(p.frames)-1]
+	if f.shared {
+		// Truncating in place would let future appends overwrite entries
+		// still visible through a captured occurrence state.
+		f.Branches = nil
+		f.shared = false
+		return
+	}
 	f.Branches = f.Branches[:0]
 }
 
-// LocalBranches returns a copy of the innermost frame's branch trace.
+// LocalBranches returns the innermost frame's branch trace without
+// copying. The slice is handed out copy-on-write: the frame's next
+// mutation moves to a fresh backing array, so holders see a stable
+// snapshot. Callers must treat the returned slice as immutable.
 func (p *Proc) LocalBranches() []BranchEval {
 	if len(p.frames) == 0 {
 		return nil
 	}
-	src := p.frames[len(p.frames)-1].Branches
-	out := make([]BranchEval, len(src))
-	copy(out, src)
-	return out
+	f := &p.frames[len(p.frames)-1]
+	if len(f.Branches) == 0 {
+		return nil
+	}
+	f.shared = true
+	return f.Branches[:len(f.Branches):len(f.Branches)]
 }

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent / refHeap replay the seed-era event queue: a container/heap of
+// pointers ordered by (at, seq). The 4-ary value queue must pop in exactly
+// the same order.
+type refEvent struct {
+	at  time.Duration
+	seq uint64
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestEventQueueMatchesContainerHeap drives the 4-ary queue and a
+// container/heap reference through identical randomized push/pop
+// interleavings (duplicate timestamps included, so tie-breaking by seq is
+// exercised) and asserts the pop sequences are identical.
+func TestEventQueueMatchesContainerHeap(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var q eventQueue
+		var ref refHeap
+		var seq uint64
+		n := 1 + rng.Intn(200)
+		for op := 0; op < n*3; op++ {
+			if q.len() == 0 || rng.Intn(3) != 0 {
+				// Push with a small time range to force plenty of ties.
+				at := time.Duration(rng.Intn(20)) * time.Millisecond
+				seq++
+				q.push(event{at: at, seq: seq})
+				heap.Push(&ref, &refEvent{at: at, seq: seq})
+			} else {
+				got := q.pop()
+				want := heap.Pop(&ref).(*refEvent)
+				if got.at != want.at || got.seq != want.seq {
+					t.Fatalf("trial %d: pop order diverged: got (%v, %d), want (%v, %d)",
+						trial, got.at, got.seq, want.at, want.seq)
+				}
+			}
+		}
+		for q.len() > 0 {
+			got := q.pop()
+			want := heap.Pop(&ref).(*refEvent)
+			if got.at != want.at || got.seq != want.seq {
+				t.Fatalf("trial %d: drain order diverged: got (%v, %d), want (%v, %d)",
+					trial, got.at, got.seq, want.at, want.seq)
+			}
+		}
+		if ref.Len() != 0 {
+			t.Fatalf("trial %d: reference heap not drained", trial)
+		}
+	}
+}
+
+// TestEventQueuePeekMatchesPop pins the horizon fast path: peek must
+// always expose exactly the event the next pop returns.
+func TestEventQueuePeekMatchesPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var q eventQueue
+	for i := 0; i < 300; i++ {
+		q.push(event{at: time.Duration(rng.Intn(50)) * time.Millisecond, seq: uint64(i + 1)})
+	}
+	var prev event
+	for i := 0; q.len() > 0; i++ {
+		top := *q.peek()
+		got := q.pop()
+		if got.at != top.at || got.seq != top.seq {
+			t.Fatalf("peek (%v, %d) != pop (%v, %d)", top.at, top.seq, got.at, got.seq)
+		}
+		if i > 0 && (got.at < prev.at || (got.at == prev.at && got.seq < prev.seq)) {
+			t.Fatalf("pop order not ascending: (%v, %d) after (%v, %d)", got.at, got.seq, prev.at, prev.seq)
+		}
+		prev = got
+	}
+}
+
+// TestCrashClearsPausedState pins the CrashNode fix: crashing a paused
+// node must clear its paused entry, so a later ResumeNode is a clean
+// no-op (no held-delivery flush, no state-map leak).
+func TestCrashClearsPausedState(t *testing.T) {
+	e := NewEngine(Options{Seed: 1})
+	mb := e.NewMailbox("n2", "inbox")
+	var received int
+	e.Spawn("n2", "receiver", func(p *Proc) {
+		for {
+			if _, ok := p.Recv(mb, time.Second); ok {
+				received++
+			} else {
+				return
+			}
+		}
+	})
+	e.Spawn("n1", "sender", func(p *Proc) {
+		p.Send(mb, "while-paused")
+	})
+	e.PauseNode("n2")
+	e.Run(50 * time.Millisecond)
+	e.CrashNode("n2")
+	if e.paused["n2"] {
+		t.Fatal("crashed node still marked paused")
+	}
+	// Resume after crash must not resurrect held deliveries.
+	e.ResumeNode("n2")
+	if len(e.held["n2"]) != 0 {
+		t.Fatalf("held deliveries survived crash: %d", len(e.held["n2"]))
+	}
+	e.Run(5 * time.Second)
+	e.Close()
+	if received != 0 {
+		t.Fatalf("crashed node received %d messages", received)
+	}
+}

@@ -1,6 +1,7 @@
 package dfs
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -51,8 +52,8 @@ func TestProfileRunsAreQuiet(t *testing.T) {
 	for _, w := range sys.Workloads() {
 		rec := runWorkload(t, sys, w.Name, inject.Profile(), 7)
 		for _, id := range noisy {
-			if rec.Reached[id] > 0 {
-				t.Errorf("workload %s: %s activated naturally %d times", w.Name, id, rec.Reached[id])
+			if rec.Reached(id) > 0 {
+				t.Errorf("workload %s: %s activated naturally %d times", w.Name, id, rec.Reached(id))
 			}
 		}
 	}
@@ -63,14 +64,14 @@ func TestProfileCoverageBasics(t *testing.T) {
 	rec := runWorkload(t, sys, "basic_write", inject.Profile(), 3)
 	for _, id := range []faults.ID{PtDNServiceLoop, PtDNIBRSendLoop, PtNNIBRProcessLoop,
 		PtDNReceiveLoop, PtClientWriteLoop, PtNNIsStale, PtDNIBRRPCIOE} {
-		if !rec.Covered[id] {
+		if !rec.Covered(id) {
 			t.Errorf("basic_write does not cover %s", id)
 		}
 	}
-	if rec.LoopIters[PtDNReceiveLoop] == 0 {
+	if rec.LoopIters(PtDNReceiveLoop) == 0 {
 		t.Error("no pipeline packets received")
 	}
-	if rec.LoopIters[PtNNIBRProcessLoop] == 0 {
+	if rec.LoopIters(PtNNIBRProcessLoop) == 0 {
 		t.Error("no IBR entries processed")
 	}
 }
@@ -82,9 +83,13 @@ func TestWorkloadsAreDeterministic(t *testing.T) {
 	if a.Result.Events != b.Result.Events {
 		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
 	}
-	for id, n := range a.LoopIters {
-		if b.LoopIters[id] != n {
-			t.Fatalf("loop %s iters differ: %d vs %d", id, n, b.LoopIters[id])
+	aLoops, bLoops := a.LoopIDs(), b.LoopIDs()
+	if !reflect.DeepEqual(aLoops, bLoops) {
+		t.Fatalf("loop id sets differ: %v vs %v", aLoops, bLoops)
+	}
+	for _, id := range aLoops {
+		if a.LoopIters(id) != b.LoopIters(id) {
+			t.Fatalf("loop %s iters differ: %d vs %d", id, a.LoopIters(id), b.LoopIters(id))
 		}
 	}
 }
@@ -96,8 +101,8 @@ func TestBugIBRStorm_EdgeA(t *testing.T) {
 	sys := NewV2()
 	plan := inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: 4 * time.Second}
 	rec := runWorkload(t, sys, "ibr_storm", plan, 5)
-	if rec.Reached[PtDNIBRRPCIOE] == 0 {
-		t.Fatalf("delaying NN IBR processing did not trigger IBR RPC IOEs (iters=%d)", rec.LoopIters[PtNNIBRProcessLoop])
+	if rec.Reached(PtDNIBRRPCIOE) == 0 {
+		t.Fatalf("delaying NN IBR processing did not trigger IBR RPC IOEs (iters=%d)", rec.LoopIters(PtNNIBRProcessLoop))
 	}
 }
 
@@ -109,12 +114,12 @@ func TestBugIBRStorm_EdgeA_NotInSmallTest(t *testing.T) {
 	sys := NewV2()
 	small := runWorkload(t, sys, "ibr_interval",
 		inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: 500 * time.Millisecond}, 5)
-	if small.Reached[PtDNIBRRPCIOE] > 0 {
+	if small.Reached(PtDNIBRRPCIOE) > 0 {
 		t.Fatalf("small test unexpectedly triggered IBR IOE under NN delay")
 	}
 	storm := runWorkload(t, sys, "ibr_storm",
 		inject.Plan{Kind: inject.Delay, Target: PtNNIBRProcessLoop, Delay: time.Second}, 5)
-	if storm.Reached[PtDNIBRRPCIOE] == 0 {
+	if storm.Reached(PtDNIBRRPCIOE) == 0 {
 		t.Fatalf("storm test did not trigger IBR IOE under NN delay")
 	}
 }
@@ -150,13 +155,13 @@ func TestBugRecoveryRetry(t *testing.T) {
 	// a huge delay merely slows the loop down.
 	plan := inject.Plan{Kind: inject.Delay, Target: PtDNRecoveryLoop, Delay: 2 * time.Second}
 	rec := runWorkload(t, sys, "recovery_deadline", plan, 5)
-	if rec.Reached[PtDNRecoveryIOE] == 0 {
-		t.Fatalf("delayed recovery worker did not miss deadlines (iters=%d)", rec.LoopIters[PtDNRecoveryLoop])
+	if rec.Reached(PtDNRecoveryIOE) == 0 {
+		t.Fatalf("delayed recovery worker did not miss deadlines (iters=%d)", rec.LoopIters(PtDNRecoveryLoop))
 	}
 	prof := runWorkload(t, sys, "recovery_deadline", inject.Profile(), 5)
-	if rec.LoopIters[PtDNRecoveryLoop] <= prof.LoopIters[PtDNRecoveryLoop] {
+	if rec.LoopIters(PtDNRecoveryLoop) <= prof.LoopIters(PtDNRecoveryLoop) {
 		t.Fatalf("no retry storm: injected iters %d <= profile iters %d",
-			rec.LoopIters[PtDNRecoveryLoop], prof.LoopIters[PtDNRecoveryLoop])
+			rec.LoopIters(PtDNRecoveryLoop), prof.LoopIters(PtDNRecoveryLoop))
 	}
 }
 
@@ -166,8 +171,8 @@ func TestBugEditLog(t *testing.T) {
 	sys := NewV2()
 	plan := inject.Plan{Kind: inject.Delay, Target: PtNNEditFlushLoop, Delay: 2 * time.Second}
 	rec := runWorkload(t, sys, "meta_churn", plan, 5)
-	if rec.Reached[PtDNIBRRPCIOE] == 0 {
-		t.Fatalf("edit-log delay did not stall IBRs into IOEs (flush iters=%d)", rec.LoopIters[PtNNEditFlushLoop])
+	if rec.Reached(PtDNIBRRPCIOE) == 0 {
+		t.Fatalf("edit-log delay did not stall IBRs into IOEs (flush iters=%d)", rec.LoopIters(PtNNEditFlushLoop))
 	}
 }
 
@@ -177,8 +182,8 @@ func TestBugLeaseScan(t *testing.T) {
 	sys := NewV2()
 	plan := inject.Plan{Kind: inject.Delay, Target: PtNNRecoveryScan, Delay: 4 * time.Second}
 	rec := runWorkload(t, sys, "lease_storm", plan, 5)
-	if rec.Reached[PtDNAckIOE] == 0 {
-		t.Fatalf("recovery-scan delay did not stall commit acks (scan iters=%d)", rec.LoopIters[PtNNRecoveryScan])
+	if rec.Reached(PtDNAckIOE) == 0 {
+		t.Fatalf("recovery-scan delay did not stall commit acks (scan iters=%d)", rec.LoopIters(PtNNRecoveryScan))
 	}
 }
 
@@ -189,9 +194,9 @@ func TestBugLeaseScan_ReverseEdge(t *testing.T) {
 	prof := runWorkload(t, sys, "pipeline_recovery", inject.Profile(), 5)
 	rec := runWorkload(t, sys, "pipeline_recovery",
 		inject.Plan{Kind: inject.Exception, Target: PtDNAckIOE}, 5)
-	if rec.LoopIters[PtNNRecoveryScan] <= prof.LoopIters[PtNNRecoveryScan] {
+	if rec.LoopIters(PtNNRecoveryScan) <= prof.LoopIters(PtNNRecoveryScan) {
 		t.Fatalf("ack failure did not grow recovery scans: %d <= %d",
-			rec.LoopIters[PtNNRecoveryScan], prof.LoopIters[PtNNRecoveryScan])
+			rec.LoopIters(PtNNRecoveryScan), prof.LoopIters(PtNNRecoveryScan))
 	}
 }
 
@@ -201,8 +206,8 @@ func TestBugCacheEvict(t *testing.T) {
 	sys := NewV2()
 	plan := inject.Plan{Kind: inject.Delay, Target: PtDNEvictLoop, Delay: 2 * time.Second}
 	rec := runWorkload(t, sys, "cache_churn", plan, 5)
-	if rec.Reached[PtDNWriteIOE] == 0 {
-		t.Fatalf("eviction delay did not starve writes (evict iters=%d)", rec.LoopIters[PtDNEvictLoop])
+	if rec.Reached(PtDNWriteIOE) == 0 {
+		t.Fatalf("eviction delay did not starve writes (evict iters=%d)", rec.LoopIters(PtDNEvictLoop))
 	}
 }
 
@@ -212,7 +217,7 @@ func TestBugPipelineDelay(t *testing.T) {
 	sys := NewV2()
 	plan := inject.Plan{Kind: inject.Delay, Target: PtDNReceiveLoop, Delay: 2 * time.Second}
 	rec := runWorkload(t, sys, "write_heavy", plan, 5)
-	if rec.Reached[PtDNAckIOE] == 0 && rec.Reached[PtDNWriteIOE] == 0 {
+	if rec.Reached(PtDNAckIOE) == 0 && rec.Reached(PtDNWriteIOE) == 0 {
 		t.Fatalf("pipeline delay caused no write-path faults")
 	}
 }
@@ -224,9 +229,9 @@ func TestStaleNegationStorm(t *testing.T) {
 	prof := runWorkload(t, sys, "cache_churn", inject.Profile(), 5)
 	rec := runWorkload(t, sys, "cache_churn",
 		inject.Plan{Kind: inject.Negate, Target: PtNNIsStale}, 5)
-	if rec.LoopIters[PtNNReplMonitorLoop] <= prof.LoopIters[PtNNReplMonitorLoop] {
+	if rec.LoopIters(PtNNReplMonitorLoop) <= prof.LoopIters(PtNNReplMonitorLoop) {
 		t.Fatalf("stale negation caused no redistribution: %d <= %d",
-			rec.LoopIters[PtNNReplMonitorLoop], prof.LoopIters[PtNNReplMonitorLoop])
+			rec.LoopIters(PtNNReplMonitorLoop), prof.LoopIters(PtNNReplMonitorLoop))
 	}
 }
 
@@ -235,10 +240,10 @@ func TestStaleNegationStorm(t *testing.T) {
 func TestV3ReconstructionFlow(t *testing.T) {
 	sys := NewV3()
 	rec := runWorkload(t, sys, "ec_base", inject.Profile(), 5)
-	if rec.LoopIters[PtDNReconstructLoop] == 0 {
+	if rec.LoopIters(PtDNReconstructLoop) == 0 {
 		t.Fatal("no reconstruction work after DN crash")
 	}
-	if rec.LoopIters[PtNNEventLoop] == 0 {
+	if rec.LoopIters(PtNNEventLoop) == 0 {
 		t.Fatal("event dispatcher idle after DN crash")
 	}
 }

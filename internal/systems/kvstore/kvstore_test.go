@@ -35,8 +35,8 @@ func TestProfilesQuiet(t *testing.T) {
 	for _, w := range New().Workloads() {
 		rec := runWorkload(t, w.Name, inject.Profile(), 7)
 		for _, id := range noisy {
-			if rec.Reached[id] > 0 {
-				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			if rec.Reached(id) > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached(id))
 			}
 		}
 	}
@@ -45,7 +45,7 @@ func TestProfilesQuiet(t *testing.T) {
 func TestCoverage(t *testing.T) {
 	rec := runWorkload(t, "create_clone_storm", inject.Profile(), 3)
 	for _, id := range []faults.ID{PtDeployLoop, PtOpenLoop, PtWALSyncLoop, PtCanPlace, PtAssignIOE, PtPutLoop} {
-		if !rec.Covered[id] {
+		if !rec.Covered(id) {
 			t.Errorf("create_clone_storm does not cover %s", id)
 		}
 	}
@@ -57,15 +57,15 @@ func TestRegionRetryCase(t *testing.T) {
 	// assignment RPCs.
 	rec := runWorkload(t, "create_clone_storm",
 		inject.Plan{Kind: inject.Delay, Target: PtDeployLoop, Delay: 4 * time.Second}, 5)
-	if rec.Reached[PtAssignIOE] == 0 {
-		t.Fatalf("deployment delay did not time out assignments (deploy iters=%d)", rec.LoopIters[PtDeployLoop])
+	if rec.Reached(PtAssignIOE) == 0 {
+		t.Fatalf("deployment delay did not time out assignments (deploy iters=%d)", rec.LoopIters(PtDeployLoop))
 	}
 
 	// t2: injecting the assignment IOE excludes a server; with only three
 	// servers the favored balancer's canPlaceFavoredNodes turns false.
 	rec2 := runWorkload(t, "rs_fault_tolerance",
 		inject.Plan{Kind: inject.Exception, Target: PtAssignIOE}, 5)
-	if rec2.Reached[PtCanPlace] == 0 {
+	if rec2.Reached(PtCanPlace) == 0 {
 		t.Fatal("assignment IOE did not trip canPlaceFavoredNodes on the 3-RS cluster")
 	}
 
@@ -73,7 +73,7 @@ func TestRegionRetryCase(t *testing.T) {
 	// healthy (the condition the compatibility machinery must respect).
 	rec5 := runWorkload(t, "balancer_5rs",
 		inject.Plan{Kind: inject.Exception, Target: PtAssignIOE}, 5)
-	if rec5.Reached[PtCanPlace] != 0 {
+	if rec5.Reached(PtCanPlace) != 0 {
 		t.Fatal("balancer negation fired on the 5-RS cluster")
 	}
 
@@ -82,9 +82,9 @@ func TestRegionRetryCase(t *testing.T) {
 	prof := runWorkload(t, "balancer_long", inject.Profile(), 5)
 	rec3 := runWorkload(t, "balancer_long",
 		inject.Plan{Kind: inject.Negate, Target: PtCanPlace}, 5)
-	if rec3.LoopIters[PtDeployLoop] <= 2*prof.LoopIters[PtDeployLoop] {
+	if rec3.LoopIters(PtDeployLoop) <= 2*prof.LoopIters(PtDeployLoop) {
 		t.Fatalf("balancer negation caused no deployment retry storm: %d vs %d",
-			rec3.LoopIters[PtDeployLoop], prof.LoopIters[PtDeployLoop])
+			rec3.LoopIters(PtDeployLoop), prof.LoopIters(PtDeployLoop))
 	}
 }
 
@@ -94,17 +94,17 @@ func TestWALReplayCase(t *testing.T) {
 	// reader observes premature end-of-file naturally.
 	rec := runWorkload(t, "wal_replay",
 		inject.Plan{Kind: inject.Delay, Target: PtWALReplayLoop, Delay: 2 * time.Second}, 5)
-	if rec.Reached[PtWALComplete] == 0 {
-		t.Fatalf("replay delay did not surface premature EOF (replay iters=%d)", rec.LoopIters[PtWALReplayLoop])
+	if rec.Reached(PtWALComplete) == 0 {
+		t.Fatalf("replay delay did not surface premature EOF (replay iters=%d)", rec.LoopIters(PtWALReplayLoop))
 	}
 
 	// Negating the completeness check makes the reader retry forever.
 	prof := runWorkload(t, "wal_quiet", inject.Profile(), 5)
 	rec2 := runWorkload(t, "wal_quiet",
 		inject.Plan{Kind: inject.Negate, Target: PtWALComplete}, 5)
-	if rec2.LoopIters[PtWALReplayLoop] <= 2*prof.LoopIters[PtWALReplayLoop] {
+	if rec2.LoopIters(PtWALReplayLoop) <= 2*prof.LoopIters(PtWALReplayLoop) {
 		t.Fatalf("completeness negation caused no replay storm: %d vs %d",
-			rec2.LoopIters[PtWALReplayLoop], prof.LoopIters[PtWALReplayLoop])
+			rec2.LoopIters(PtWALReplayLoop), prof.LoopIters(PtWALReplayLoop))
 	}
 }
 

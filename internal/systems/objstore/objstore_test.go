@@ -34,8 +34,8 @@ func TestProfilesQuiet(t *testing.T) {
 	for _, w := range New().Workloads() {
 		rec := runWorkload(t, w.Name, inject.Profile(), 7)
 		for _, id := range noisy {
-			if rec.Reached[id] > 0 {
-				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			if rec.Reached(id) > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached(id))
 			}
 		}
 	}
@@ -46,15 +46,15 @@ func TestProfilesQuiet(t *testing.T) {
 func TestQueueFeedback(t *testing.T) {
 	rec := runWorkload(t, "queue_tight",
 		inject.Plan{Kind: inject.Delay, Target: PtDispatchLoop, Delay: 500 * time.Millisecond}, 5)
-	if rec.Reached[PtQueueHealthy] == 0 {
-		t.Fatalf("dispatcher delay did not trip the queue health check (iters=%d)", rec.LoopIters[PtDispatchLoop])
+	if rec.Reached(PtQueueHealthy) == 0 {
+		t.Fatalf("dispatcher delay did not trip the queue health check (iters=%d)", rec.LoopIters(PtDispatchLoop))
 	}
 	prof := runWorkload(t, "report_churn", inject.Profile(), 5)
 	neg := runWorkload(t, "report_churn",
 		inject.Plan{Kind: inject.Negate, Target: PtQueueHealthy}, 5)
-	if neg.LoopIters[PtDispatchLoop] <= prof.LoopIters[PtDispatchLoop] {
+	if neg.LoopIters(PtDispatchLoop) <= prof.LoopIters(PtDispatchLoop) {
 		t.Fatalf("queue-health negation caused no dispatch storm: %d <= %d",
-			neg.LoopIters[PtDispatchLoop], prof.LoopIters[PtDispatchLoop])
+			neg.LoopIters(PtDispatchLoop), prof.LoopIters(PtDispatchLoop))
 	}
 }
 
@@ -63,13 +63,13 @@ func TestQueueFeedback(t *testing.T) {
 func TestPipelineFeedback(t *testing.T) {
 	rec := runWorkload(t, "hb_pipeline",
 		inject.Plan{Kind: inject.Delay, Target: PtHBLoop, Delay: 2 * time.Second}, 5)
-	if rec.Reached[PtPipeHealthy] == 0 {
-		t.Fatalf("heartbeat delay did not trip the pipeline health check (iters=%d)", rec.LoopIters[PtHBLoop])
+	if rec.Reached(PtPipeHealthy) == 0 {
+		t.Fatalf("heartbeat delay did not trip the pipeline health check (iters=%d)", rec.LoopIters(PtHBLoop))
 	}
 	prof := runWorkload(t, "hb_pipeline", inject.Profile(), 5)
 	neg := runWorkload(t, "hb_pipeline",
 		inject.Plan{Kind: inject.Negate, Target: PtPipeHealthy}, 5)
-	if neg.Reached[PtPipeCreateIOE] == 0 && neg.LoopIters[PtPipelineLoop] <= prof.LoopIters[PtPipelineLoop] {
+	if neg.Reached(PtPipeCreateIOE) == 0 && neg.LoopIters(PtPipelineLoop) <= prof.LoopIters(PtPipelineLoop) {
 		t.Fatal("pipeline-health negation caused no reconstruction churn")
 	}
 }
@@ -80,12 +80,12 @@ func TestReplicationRetryStorm(t *testing.T) {
 	prof := runWorkload(t, "replication_storm", inject.Profile(), 5)
 	rec := runWorkload(t, "replication_storm",
 		inject.Plan{Kind: inject.Delay, Target: PtReplCmdLoop, Delay: 2 * time.Second}, 5)
-	if rec.Reached[PtReplIOE] == 0 {
+	if rec.Reached(PtReplIOE) == 0 {
 		t.Fatalf("replication delay missed no deadlines (iters=%d, profile=%d)",
-			rec.LoopIters[PtReplCmdLoop], prof.LoopIters[PtReplCmdLoop])
+			rec.LoopIters(PtReplCmdLoop), prof.LoopIters(PtReplCmdLoop))
 	}
-	if rec.LoopIters[PtReplCmdLoop] <= prof.LoopIters[PtReplCmdLoop] {
-		t.Fatalf("no retry storm: %d <= %d", rec.LoopIters[PtReplCmdLoop], prof.LoopIters[PtReplCmdLoop])
+	if rec.LoopIters(PtReplCmdLoop) <= prof.LoopIters(PtReplCmdLoop) {
+		t.Fatalf("no retry storm: %d <= %d", rec.LoopIters(PtReplCmdLoop), prof.LoopIters(PtReplCmdLoop))
 	}
 }
 

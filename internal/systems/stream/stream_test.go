@@ -34,8 +34,8 @@ func TestProfilesQuiet(t *testing.T) {
 	for _, w := range New().Workloads() {
 		rec := runWorkload(t, w.Name, inject.Profile(), 7)
 		for _, id := range noisy {
-			if rec.Reached[id] > 0 {
-				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached[id])
+			if rec.Reached(id) > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached(id))
 			}
 		}
 	}
@@ -44,10 +44,10 @@ func TestProfilesQuiet(t *testing.T) {
 func TestWorkerDelayTriggersHeadFailure(t *testing.T) {
 	rec := runWorkload(t, "heavy_records",
 		inject.Plan{Kind: inject.Delay, Target: PtWorkerLoop, Delay: 2 * time.Second}, 5)
-	if rec.Reached[PtHeadFailIOE] == 0 {
-		t.Fatalf("worker delay did not fail the head task (worker iters=%d)", rec.LoopIters[PtWorkerLoop])
+	if rec.Reached(PtHeadFailIOE) == 0 {
+		t.Fatalf("worker delay did not fail the head task (worker iters=%d)", rec.LoopIters(PtWorkerLoop))
 	}
-	if rec.Reached[PtSinkCancel] == 0 {
+	if rec.Reached(PtSinkCancel) == 0 {
 		t.Fatal("head failure did not cancel the sink")
 	}
 }
@@ -56,19 +56,19 @@ func TestInjectedHeadFailureCausesRestartReplay(t *testing.T) {
 	prof := runWorkload(t, "restart_soak", inject.Profile(), 5)
 	rec := runWorkload(t, "restart_soak",
 		inject.Plan{Kind: inject.Exception, Target: PtHeadFailIOE}, 5)
-	if rec.LoopIters[PtWorkerLoop] <= prof.LoopIters[PtWorkerLoop] {
-		t.Fatalf("no replay growth: %d <= %d", rec.LoopIters[PtWorkerLoop], prof.LoopIters[PtWorkerLoop])
+	if rec.LoopIters(PtWorkerLoop) <= prof.LoopIters(PtWorkerLoop) {
+		t.Fatalf("no replay growth: %d <= %d", rec.LoopIters(PtWorkerLoop), prof.LoopIters(PtWorkerLoop))
 	}
-	if rec.LoopIters[PtDeployLoop] <= prof.LoopIters[PtDeployLoop] {
-		t.Fatalf("no redeploy: %d <= %d", rec.LoopIters[PtDeployLoop], prof.LoopIters[PtDeployLoop])
+	if rec.LoopIters(PtDeployLoop) <= prof.LoopIters(PtDeployLoop) {
+		t.Fatalf("no redeploy: %d <= %d", rec.LoopIters(PtDeployLoop), prof.LoopIters(PtDeployLoop))
 	}
 }
 
 func TestAggDelayTimesOutBarrier(t *testing.T) {
 	rec := runWorkload(t, "ckpt_tight",
 		inject.Plan{Kind: inject.Delay, Target: PtAggLoop, Delay: time.Second}, 5)
-	if rec.Reached[PtBarrierIOE] == 0 {
-		t.Fatalf("agg delay did not time out barriers (agg iters=%d)", rec.LoopIters[PtAggLoop])
+	if rec.Reached(PtBarrierIOE) == 0 {
+		t.Fatalf("agg delay did not time out barriers (agg iters=%d)", rec.LoopIters(PtAggLoop))
 	}
 }
 
@@ -76,8 +76,8 @@ func TestInjectedBarrierFailureRestarts(t *testing.T) {
 	prof := runWorkload(t, "checkpointed", inject.Profile(), 5)
 	rec := runWorkload(t, "checkpointed",
 		inject.Plan{Kind: inject.Exception, Target: PtBarrierIOE}, 5)
-	if rec.LoopIters[PtAggLoop] <= prof.LoopIters[PtAggLoop] {
-		t.Fatalf("no agg replay growth: %d <= %d", rec.LoopIters[PtAggLoop], prof.LoopIters[PtAggLoop])
+	if rec.LoopIters(PtAggLoop) <= prof.LoopIters(PtAggLoop) {
+		t.Fatalf("no agg replay growth: %d <= %d", rec.LoopIters(PtAggLoop), prof.LoopIters(PtAggLoop))
 	}
 }
 

@@ -1,0 +1,88 @@
+// Command benchjson converts `go test -bench -benchmem` text output (read
+// from stdin) into a stable JSON document mapping benchmark name to its
+// ns/op, B/op, and allocs/op, for CI artifacts that track the perf
+// trajectory across PRs:
+//
+//	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./tools/benchjson > BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_op"`
+	BytesPerOp float64 `json:"b_op,omitempty"`
+	Allocs     float64 `json:"allocs_op,omitempty"`
+	// Extra carries benchmark-specific ReportMetric values (edges, sims,
+	// bugs, ...), keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	results := map[string]Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		// Strip the -N GOMAXPROCS suffix.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		r := Result{Iterations: iters, Extra: map[string]float64{}}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.Allocs = v
+			default:
+				r.Extra[fields[i+1]] = v
+			}
+		}
+		if len(r.Extra) == 0 {
+			r.Extra = nil
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	// encoding/json renders map keys in sorted order, so the document is
+	// deterministic without any explicit ordering.
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]interface{}{"benchmarks": results}); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
