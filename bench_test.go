@@ -30,6 +30,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/systems/dfs"
 	"repro/internal/systems/kvstore"
+	"repro/internal/systems/metastore"
 	"repro/internal/systems/objstore"
 	"repro/internal/systems/stream"
 	"repro/internal/systems/sysreg"
@@ -48,13 +49,13 @@ func lightConfig(seed int64) csnake.Config {
 // --- E1: Table 2 (static analysis inventory) ---
 
 func BenchmarkTable2_StaticAnalysis(b *testing.B) {
-	systems := []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	systems := []sysreg.System{dfs.NewV2(), dfs.NewV3(), kvstore.New(), metastore.New(), stream.New(), objstore.New()}
 	for i := 0; i < b.N; i++ {
 		rows, err := report.Table2(".", systems)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if len(rows) != 5 {
+		if len(rows) != 6 {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
@@ -74,11 +75,12 @@ func benchCampaign(b *testing.B, sys sysreg.System) {
 	}
 }
 
-func BenchmarkTable3_CampaignHDFS2(b *testing.B) { benchCampaign(b, dfs.NewV2()) }
-func BenchmarkTable3_CampaignHDFS3(b *testing.B) { benchCampaign(b, dfs.NewV3()) }
-func BenchmarkTable3_CampaignHBase(b *testing.B) { benchCampaign(b, kvstore.New()) }
-func BenchmarkTable3_CampaignFlink(b *testing.B) { benchCampaign(b, stream.New()) }
-func BenchmarkTable3_CampaignOZone(b *testing.B) { benchCampaign(b, objstore.New()) }
+func BenchmarkTable3_CampaignHDFS2(b *testing.B)     { benchCampaign(b, dfs.NewV2()) }
+func BenchmarkTable3_CampaignHDFS3(b *testing.B)     { benchCampaign(b, dfs.NewV3()) }
+func BenchmarkTable3_CampaignHBase(b *testing.B)     { benchCampaign(b, kvstore.New()) }
+func BenchmarkTable3_CampaignFlink(b *testing.B)     { benchCampaign(b, stream.New()) }
+func BenchmarkTable3_CampaignMetaStore(b *testing.B) { benchCampaign(b, metastore.New()) }
+func BenchmarkTable3_CampaignOZone(b *testing.B)     { benchCampaign(b, objstore.New()) }
 
 // --- E2b: serial vs parallel campaign execution (Campaign API) ---
 

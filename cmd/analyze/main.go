@@ -10,13 +10,13 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strings"
 
 	"repro/internal/report"
 	"repro/internal/systems/sysreg"
 
 	_ "repro/internal/systems/dfs"
 	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/metastore"
 	_ "repro/internal/systems/objstore"
 	_ "repro/internal/systems/stream"
 )
@@ -28,9 +28,9 @@ func main() {
 
 	systems := sysreg.All()
 	if *system != "" {
-		sys, ok := sysreg.Lookup(*system)
-		if !ok {
-			log.Fatalf("unknown system %q (known: %s)", *system, strings.Join(sysreg.Aliases(), ", "))
+		sys, err := sysreg.Resolve(*system)
+		if err != nil {
+			log.Fatal(err)
 		}
 		systems = []sysreg.System{sys}
 	}

@@ -36,6 +36,7 @@ import (
 
 	_ "repro/internal/systems/dfs"
 	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/metastore"
 	_ "repro/internal/systems/objstore"
 	_ "repro/internal/systems/stream"
 )
@@ -79,7 +80,11 @@ func main() {
 
 	if *list {
 		for _, n := range sysreg.Names() {
-			fmt.Println(n)
+			if al := sysreg.AliasesOf(n); len(al) > 0 {
+				fmt.Printf("%-12s (aliases: %s)\n", n, strings.Join(al, ", "))
+			} else {
+				fmt.Println(n)
+			}
 		}
 		return
 	}
@@ -89,9 +94,9 @@ func main() {
 		return
 	}
 
-	sys, ok := sysreg.Lookup(*name)
-	if !ok {
-		log.Fatalf("unknown system %q (known: %s)", *name, strings.Join(sysreg.Aliases(), ", "))
+	sys, err := sysreg.Resolve(*name)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// -fast composes through options: it narrows reps and the magnitude

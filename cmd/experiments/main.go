@@ -18,7 +18,6 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/baselines"
@@ -28,6 +27,7 @@ import (
 
 	_ "repro/internal/systems/dfs"
 	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/metastore"
 	_ "repro/internal/systems/objstore"
 	_ "repro/internal/systems/stream"
 )
@@ -67,9 +67,9 @@ func main() {
 
 	systems := sysreg.All()
 	if *system != "" {
-		sys, ok := sysreg.Lookup(*system)
-		if !ok {
-			log.Fatalf("unknown system %q (known: %s)", *system, strings.Join(sysreg.Aliases(), ", "))
+		sys, err := sysreg.Resolve(*system)
+		if err != nil {
+			log.Fatal(err)
 		}
 		systems = []sysreg.System{sys}
 	}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core/fca"
@@ -57,5 +58,6 @@ func main() {
 		fmt.Println("retries breed more report processing: a self-sustaining cascading failure.")
 	} else {
 		fmt.Println("cycle not closed under this light configuration; raise Reps/magnitudes.")
+		os.Exit(1) // the CI example smoke treats a broken demonstration as a failure
 	}
 }

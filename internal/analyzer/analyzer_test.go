@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/systems/dfs"
 	"repro/internal/systems/kvstore"
+	"repro/internal/systems/metastore"
 	"repro/internal/systems/objstore"
 	"repro/internal/systems/stream"
 	"repro/internal/systems/sysreg"
@@ -36,7 +37,7 @@ func analyzeSys(t *testing.T, sys sysreg.System) *Inventory {
 func TestCrossCheckAllSystems(t *testing.T) {
 	// The declared point inventory of every target system must match the
 	// hooks found in its source, point for point.
-	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), metastore.New(), stream.New(), objstore.New()}
 	for _, sys := range systems {
 		inv := analyzeSys(t, sys)
 		if problems := inv.CrossCheck(sys.Points()); len(problems) != 0 {
@@ -65,7 +66,7 @@ func TestDFSInventoryCounts(t *testing.T) {
 }
 
 func TestLoopHooksSitInsideForStatements(t *testing.T) {
-	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), stream.New(), objstore.New()}
+	systems := []sysreg.System{dfs.NewV3(), kvstore.New(), metastore.New(), stream.New(), objstore.New()}
 	for _, sys := range systems {
 		inv := analyzeSys(t, sys)
 		for _, s := range inv.LoopHooksOutsideFor() {

@@ -1,9 +1,10 @@
-// Campaign is the first-class handle on one CSnake detection campaign:
-// a builder constructed from functional options, driving a (possibly
-// parallel) harness.Driver, observable through an event stream, and
-// cancellable through a context. The one-shot Run/RunWithDriver
-// functions remain as thin wrappers for callers that do not need any of
-// that.
+// This file holds Campaign, the first-class handle on one CSnake
+// detection campaign: a builder constructed from functional options,
+// driving a (possibly parallel) harness.Driver, observable through an
+// event stream, and cancellable through a context. The one-shot
+// Run/RunWithDriver functions in csnake.go remain as thin wrappers for
+// callers that do not need any of that.
+
 package csnake
 
 import (

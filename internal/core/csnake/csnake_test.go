@@ -1,6 +1,8 @@
 package csnake
 
 import (
+	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -8,6 +10,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/systems/dfs"
 	"repro/internal/systems/kvstore"
+	"repro/internal/systems/metastore"
 	"repro/internal/systems/objstore"
 	"repro/internal/systems/stream"
 	"repro/internal/systems/sysreg"
@@ -92,6 +95,55 @@ func TestCampaignHDFS2FindsMajority(t *testing.T) {
 	}
 	if rep.Alloc == nil || len(rep.Alloc.Clusters) == 0 {
 		t.Fatal("missing 3PA result")
+	}
+}
+
+// TestMetastoreCampaignDetectsStormsSerialParallel is the consensus
+// target's acceptance regression: one light campaign against the
+// Raft-style metadata store must deterministically stitch both seeded
+// self-sustaining cycles -- the election-loop storm (RAFT-1) and the
+// snapshot-transfer storm (RAFT-2) -- and a fully parallel campaign must
+// be byte-identical to the serial one.
+func TestMetastoreCampaignDetectsStormsSerialParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are heavyweight")
+	}
+	sys := metastore.New()
+	runAt := func(par int) *Report {
+		rep, err := NewCampaign(sys, WithConfig(lightConfig(42)), WithParallelism(par)).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	serial := runAt(1)
+	parallel := runAt(8)
+
+	got := map[string]bool{}
+	for _, id := range DetectedBugs(serial, sys.Bugs()) {
+		got[id] = true
+	}
+	for _, id := range []string{"RAFT-1", "RAFT-2"} {
+		if !got[id] {
+			t.Errorf("seeded storm %s not detected (found %v, %d edges, %d cycles)",
+				id, DetectedBugs(serial, sys.Bugs()), len(serial.Edges), len(serial.Cycles))
+		}
+	}
+
+	if serial.Sims != parallel.Sims {
+		t.Fatalf("sim counts diverge: %d vs %d", serial.Sims, parallel.Sims)
+	}
+	if !reflect.DeepEqual(serial.Edges, parallel.Edges) {
+		t.Fatal("edge sets diverge between serial and parallel campaigns")
+	}
+	if fmt.Sprintf("%+v", serial.Cycles) != fmt.Sprintf("%+v", parallel.Cycles) {
+		t.Fatal("cycle sets diverge between serial and parallel campaigns")
+	}
+	if fmt.Sprintf("%+v", serial.CycleClusters) != fmt.Sprintf("%+v", parallel.CycleClusters) {
+		t.Fatal("cycle clusters diverge between serial and parallel campaigns")
+	}
+	if !reflect.DeepEqual(DetectedBugs(serial, sys.Bugs()), DetectedBugs(parallel, sys.Bugs())) {
+		t.Fatal("detected bug sets diverge between serial and parallel campaigns")
 	}
 }
 

@@ -8,6 +8,15 @@
 // exactly one simulated process executes; all others are parked. Processes
 // advance the virtual clock only through blocking operations (Sleep, Work,
 // Recv, Call), which makes runs with equal seeds bit-for-bit identical.
+//
+// The building blocks: Engine (the event loop, clock, RNG, and network
+// fault surface: partitions, pauses, crashes), Proc (a simulated process
+// with an explicit call stack for the injection layer's 2-frame
+// occurrence capture), Mailbox (unbounded FIFO message queues with
+// Send/Recv/Call/Reply RPC conventions), and Mutex (a FIFO lock whose
+// waiters park like any other blocked process). Target systems in
+// internal/systems compose these into clusters of nodes, workers, and
+// clients.
 package sim
 
 import (

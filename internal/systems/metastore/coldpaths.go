@@ -1,0 +1,55 @@
+package metastore
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Cold instrumented paths corresponding to the filtered point categories
+// (§4.1, §7): they exist so the static analyzer's cross-check sees every
+// registered point hooked in the source, and so the filtering rules have
+// real sites to discard. See the matching file in internal/systems/dfs
+// for the rationale per category.
+
+// authenticate models a security check whose exception is filtered
+// (ExcSecurity).
+func (c *Cluster) authenticate(p *sim.Proc, token string) error {
+	defer c.rt.Fn(p, "authenticate")()
+	return c.rt.Err(p, PtSecAuthExc, token == "", "authentication failed")
+}
+
+// loadCodec models a reflective codec lookup whose exception is filtered
+// (ExcReflection).
+func (c *Cluster) loadCodec(p *sim.Proc, name string) error {
+	defer c.rt.Fn(p, "loadCodec")()
+	return c.rt.Err(p, PtReflCodecExc, name == "", "codec class not found")
+}
+
+// initNode is the constant-bound startup loop (filtered by the loop
+// scalability analysis).
+func (n *node) initNode(p *sim.Proc) {
+	defer n.c.rt.Fn(p, "initNode")()
+	for i := 0; i < 2; i++ {
+		n.c.rt.Loop(p, PtInitLoop)
+	}
+}
+
+// strictQuorum reads a configuration flag: a negation whose value depends
+// only on config (filtered).
+func (c *Cluster) strictQuorum(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "strictQuorum")()
+	return c.rt.Negate(p, PtConfStrict, true, false)
+}
+
+// isSorted is a primitive-only utility negation (filtered).
+func (c *Cluster) isSorted(p *sim.Proc, xs []int) bool {
+	defer c.rt.Fn(p, "isSorted")()
+	return c.rt.Negate(p, PtUtilSorted, sort.IntsAreSorted(xs), false)
+}
+
+// debugEnabled returns a constant (filtered).
+func (c *Cluster) debugEnabled(p *sim.Proc) bool {
+	defer c.rt.Fn(p, "debugEnabled")()
+	return c.rt.Negate(p, PtDebugEnabled, false, false)
+}

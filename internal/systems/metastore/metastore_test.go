@@ -1,0 +1,207 @@
+package metastore
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+func runWorkload(t *testing.T, name string, plan inject.Plan, seed int64) *trace.Run {
+	t.Helper()
+	for _, w := range New().Workloads() {
+		if w.Name != name {
+			continue
+		}
+		rec := trace.NewRun(name, seed)
+		rt := inject.New(plan, rec)
+		eng := sim.NewEngine(sim.Options{Seed: seed})
+		w.Run(&sysreg.RunContext{Engine: eng, RT: rt})
+		rec.Result = eng.Run(w.Horizon)
+		eng.Close()
+		return rec
+	}
+	t.Fatalf("unknown workload %q", name)
+	return nil
+}
+
+// TestProfilesQuiet: no noisy exception fires naturally in any workload's
+// profile run -- the counterfactual baseline every injection experiment
+// diffs against. (append_reject is exempt: rebalancing after elections and
+// five-replica churn produce genuine consistency-check rejections.)
+func TestProfilesQuiet(t *testing.T) {
+	noisy := []faults.ID{PtVoteRPCIOE, PtSnapRPCIOE, PtProposeIOE}
+	for _, w := range New().Workloads() {
+		rec := runWorkload(t, w.Name, inject.Profile(), 7)
+		for _, id := range noisy {
+			if rec.Reached(id) > 0 {
+				t.Errorf("%s: %s fired naturally %d times", w.Name, id, rec.Reached(id))
+			}
+		}
+	}
+}
+
+// TestSteadyStateHasStableLeader: with a bootstrap leader and healthy
+// heartbeats, no workload except cold_start elects anything -- elections
+// only ever happen under churn, transfer, or injection.
+func TestSteadyStateHasStableLeader(t *testing.T) {
+	for _, w := range New().Workloads() {
+		rec := runWorkload(t, w.Name, inject.Profile(), 11)
+		switch w.Name {
+		case "cold_start":
+			if rec.LoopIters(PtElectionLoop) == 0 {
+				t.Error("cold_start: no natural election")
+			}
+		case "leader_transfer":
+			if rec.LoopIters(PtElectionLoop) != 5 {
+				t.Errorf("leader_transfer: %d election rounds, want exactly the 5 planned transfers",
+					rec.LoopIters(PtElectionLoop))
+			}
+			if rec.Reached(PtHBFresh) > 0 {
+				t.Errorf("leader_transfer: %d natural staleness activations during planned transfers",
+					rec.Reached(PtHBFresh))
+			}
+		default:
+			if got := rec.LoopIters(PtElectionLoop); got != 0 {
+				t.Errorf("%s: %d spontaneous election rounds in profile", w.Name, got)
+			}
+			if got := rec.Reached(PtHBFresh); got != 0 {
+				t.Errorf("%s: heartbeat staleness fired naturally %d times", w.Name, got)
+			}
+		}
+	}
+}
+
+// TestDelayedElectionStarvesHeartbeats pins the RAFT-1 t2 half: a delayed
+// election after a planned leadership transfer leaves the cluster
+// leaderless past the election timeout, so the staleness detector fires --
+// the E(D) edge election_loop -> hb_fresh.
+func TestDelayedElectionStarvesHeartbeats(t *testing.T) {
+	for _, seed := range []int64{5, 6, 7} {
+		rec := runWorkload(t, "leader_transfer",
+			inject.Plan{Kind: inject.Delay, Target: PtElectionLoop, Delay: 8 * time.Second}, seed)
+		if rec.Reached(PtHBFresh) == 0 {
+			t.Fatalf("seed %d: delayed election caused no heartbeat staleness (elections=%d)",
+				seed, rec.LoopIters(PtElectionLoop))
+		}
+	}
+}
+
+// TestNegatedStalenessBreedsElections pins the RAFT-1 closing half: a
+// persistently-lying staleness detector campaigns against a perfectly
+// healthy leader -- the S+(I) edge hb_fresh -> election_loop, measured in
+// a workload whose profile holds zero elections.
+func TestNegatedStalenessBreedsElections(t *testing.T) {
+	for _, seed := range []int64{5, 6, 7} {
+		prof := runWorkload(t, "slow_follower_catchup", inject.Profile(), seed)
+		if prof.LoopIters(PtElectionLoop) != 0 {
+			t.Fatalf("seed %d: profile not election-free: %d", seed, prof.LoopIters(PtElectionLoop))
+		}
+		rec := runWorkload(t, "slow_follower_catchup",
+			inject.Plan{Kind: inject.Negate, Target: PtHBFresh}, seed)
+		if rec.LoopIters(PtElectionLoop) < 3 {
+			t.Fatalf("seed %d: no election storm under negated staleness: %d rounds",
+				seed, rec.LoopIters(PtElectionLoop))
+		}
+	}
+}
+
+// TestCatchupDelayStarvesHeartbeats: a delayed catch-up batch monopolizes
+// the replication round, so healthy followers miss heartbeats and elect --
+// the contention on-ramp of the election-loop storm.
+func TestCatchupDelayStarvesHeartbeats(t *testing.T) {
+	rec := runWorkload(t, "slow_follower_catchup",
+		inject.Plan{Kind: inject.Delay, Target: PtCatchupLoop, Delay: 2 * time.Second}, 5)
+	if rec.Reached(PtHBFresh) == 0 {
+		t.Fatalf("catch-up delay caused no heartbeat staleness (catchup iters=%d)",
+			rec.LoopIters(PtCatchupLoop))
+	}
+	if rec.LoopIters(PtElectionLoop) == 0 {
+		t.Fatal("catch-up delay caused no elections")
+	}
+}
+
+// TestSnapshotDelayOutrunsCompaction pins the RAFT-2 t1 half: a crawling
+// snapshot transfer keeps the lagging follower frozen while the log grows
+// past the compaction margin, so the availability check fires naturally --
+// the E(D) edge snap.send_loop -> log_avail.
+func TestSnapshotDelayOutrunsCompaction(t *testing.T) {
+	for _, seed := range []int64{5, 6, 7} {
+		rec := runWorkload(t, "compaction_catchup",
+			inject.Plan{Kind: inject.Delay, Target: PtSnapSendLoop, Delay: 2 * time.Second}, seed)
+		if rec.Reached(PtLogAvail) == 0 {
+			t.Fatalf("seed %d: snapshot delay never invalidated catch-up entries (snap iters=%d)",
+				seed, rec.LoopIters(PtSnapSendLoop))
+		}
+	}
+}
+
+// TestNegatedAvailabilityForcesSnapshotStorm pins the RAFT-2 closing
+// half: a detector that always claims the entries are compacted away turns
+// every catch-up into a full snapshot transfer -- the S+(I) edge
+// log_avail -> snap.send_loop.
+func TestNegatedAvailabilityForcesSnapshotStorm(t *testing.T) {
+	prof := runWorkload(t, "compaction_catchup", inject.Profile(), 5)
+	rec := runWorkload(t, "compaction_catchup",
+		inject.Plan{Kind: inject.Negate, Target: PtLogAvail}, 5)
+	if rec.LoopIters(PtSnapSendLoop) <= 2*prof.LoopIters(PtSnapSendLoop) {
+		t.Fatalf("no snapshot storm: %d vs profile %d",
+			rec.LoopIters(PtSnapSendLoop), prof.LoopIters(PtSnapSendLoop))
+	}
+}
+
+// TestProposalsCommitUnderChurn: availability churn (pauses, a crashed
+// member) must not fail client proposals while a quorum is intact.
+func TestProposalsCommitUnderChurn(t *testing.T) {
+	for _, name := range []string{"slow_follower_catchup", "membership_churn"} {
+		rec := runWorkload(t, name, inject.Profile(), 9)
+		if rec.Reached(PtProposeIOE) > 0 {
+			t.Errorf("%s: %d proposals failed despite quorum", name, rec.Reached(PtProposeIOE))
+		}
+		if rec.LoopIters(PtFsyncLoop) == 0 {
+			t.Errorf("%s: no entries persisted", name)
+		}
+	}
+}
+
+// TestColdStartElectsExactlyOneLeader: the leaderless boot converges.
+func TestColdStartElectsExactlyOneLeader(t *testing.T) {
+	for _, w := range New().Workloads() {
+		if w.Name != "cold_start" {
+			continue
+		}
+		eng := sim.NewEngine(sim.Options{Seed: 3})
+		rec := trace.NewRun(w.Name, 3)
+		rt := inject.New(inject.Profile(), rec)
+		ctx := &sysreg.RunContext{Engine: eng, RT: rt}
+		c := NewCluster(ctx, Config{ColdStart: true})
+		c.SpawnProposer("c1", 30, 3, 200*time.Millisecond, 6*time.Second)
+		eng.Run(w.Horizon)
+		leaders := 0
+		for _, n := range c.nodes {
+			if n.state == leader {
+				leaders++
+			}
+		}
+		eng.Close()
+		if leaders != 1 {
+			t.Fatalf("cold start converged to %d leaders", leaders)
+		}
+	}
+}
+
+// TestDeterminism: equal seeds produce identical schedules.
+func TestDeterminism(t *testing.T) {
+	a := runWorkload(t, "compaction_catchup", inject.Profile(), 13)
+	b := runWorkload(t, "compaction_catchup", inject.Profile(), 13)
+	if a.Result.Events != b.Result.Events {
+		t.Fatalf("event counts differ: %d vs %d", a.Result.Events, b.Result.Events)
+	}
+	if a.LoopIters(PtSnapSendLoop) != b.LoopIters(PtSnapSendLoop) {
+		t.Fatal("snapshot schedules differ")
+	}
+}

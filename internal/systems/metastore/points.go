@@ -1,0 +1,89 @@
+package metastore
+
+import "repro/internal/faults"
+
+// Injection/monitor point ids. The static analyzer cross-checks that every
+// id named here appears in exactly these hook calls in the source.
+const (
+	// Leader loops. The replication round is the leader's single serialized
+	// duty cycle: snapshot transfers and entry catch-up both run inside it,
+	// so a delay in either child loop starves the heartbeats the round is
+	// also responsible for -- the contention channel both seeded storms
+	// propagate through.
+	PtReplRound    faults.ID = "ms.leader.repl_round"
+	PtSnapSendLoop faults.ID = "ms.leader.snap.send_loop"
+	PtCatchupLoop  faults.ID = "ms.leader.catchup_loop"
+
+	// Node loops.
+	PtElectionLoop faults.ID = "ms.node.election_loop"
+	PtFsyncLoop    faults.ID = "ms.node.wal.fsync_loop"
+	PtApplyLoop    faults.ID = "ms.node.apply_loop"
+	PtCompactLoop  faults.ID = "ms.node.compact_loop"
+	PtInitLoop     faults.ID = "ms.node.init_loop" // const-bound: filtered
+
+	// Client loops.
+	PtProposeLoop faults.ID = "ms.client.propose_loop"
+
+	// Exceptions.
+	PtVoteRPCIOE      faults.ID = "ms.node.vote.rpc_ioe"
+	PtAppendRejectIOE faults.ID = "ms.follower.append_reject"
+	PtSnapRPCIOE      faults.ID = "ms.leader.snap.rpc_ioe" // libcall
+	PtProposeIOE      faults.ID = "ms.client.propose_ioe"
+	PtSecAuthExc      faults.ID = "ms.sec.auth_exc"   // security: filtered
+	PtReflCodecExc    faults.ID = "ms.refl.codec_exc" // reflection: filtered
+
+	// Negations (boolean error detectors).
+	PtHBFresh      faults.ID = "ms.node.hb_fresh"    // leader-liveness (heartbeat freshness) check
+	PtLogAvail     faults.ID = "ms.leader.log_avail" // catch-up entries still in the (uncompacted) log
+	PtQuorumOK     faults.ID = "ms.node.vote.quorum" // candidate gathered a majority
+	PtLogUpToDate  faults.ID = "ms.node.vote.log_up_to_date"
+	PtConfStrict   faults.ID = "ms.conf.quorum_strict" // config-only: filtered
+	PtUtilSorted   faults.ID = "ms.util.is_sorted"     // primitive-only: filtered
+	PtDebugEnabled faults.ID = "ms.log.debug_enabled"  // const return: filtered
+)
+
+func points() []faults.Point {
+	sys := "MetaStore"
+	return []faults.Point{
+		// Loops. BodySize reflects reachable work; HasIO marks loops whose
+		// bodies touch disk or network.
+		{ID: PtReplRound, Kind: faults.Loop, System: sys, Func: "replicationLoop", BodySize: 85, HasIO: true, Desc: "leader heartbeat/replication round"},
+		{ID: PtSnapSendLoop, Kind: faults.Loop, System: sys, Func: "sendSnapshot", BodySize: 40, HasIO: true, Desc: "snapshot chunk transfer"},
+		{ID: PtCatchupLoop, Kind: faults.Loop, System: sys, Func: "replicationLoop", BodySize: 50, HasIO: true, Desc: "follower catch-up batch send"},
+		{ID: PtElectionLoop, Kind: faults.Loop, System: sys, Func: "runElection", BodySize: 65, HasIO: true, Desc: "election round (one term bump)"},
+		{ID: PtFsyncLoop, Kind: faults.Loop, System: sys, Func: "persistEntries", BodySize: 20, HasIO: true, Desc: "per-entry WAL fsync"},
+		{ID: PtApplyLoop, Kind: faults.Loop, System: sys, Func: "applyLoop", BodySize: 35, HasIO: true, Desc: "committed-entry state machine apply"},
+		{ID: PtCompactLoop, Kind: faults.Loop, System: sys, Func: "compactLoop", BodySize: 30, HasIO: true, Desc: "log compaction batch"},
+		{ID: PtProposeLoop, Kind: faults.Loop, System: sys, Func: "clientPropose", BodySize: 30, HasIO: true},
+		{ID: PtInitLoop, Kind: faults.Loop, System: sys, Func: "initNode", BodySize: 5, ConstBound: true},
+
+		// Exceptions.
+		{ID: PtVoteRPCIOE, Kind: faults.Throw, System: sys, Func: "runElection", Desc: "RequestVote RPC failed"},
+		{ID: PtAppendRejectIOE, Kind: faults.Throw, System: sys, Func: "handleAppend", Desc: "append rejected: log gap at follower"},
+		{ID: PtSnapRPCIOE, Kind: faults.LibCall, System: sys, Func: "sendSnapshot", Category: faults.ExcLibrary, Desc: "snapshot chunk send failed"},
+		{ID: PtProposeIOE, Kind: faults.Throw, System: sys, Func: "clientPropose", Desc: "proposal retries exhausted"},
+		{ID: PtSecAuthExc, Kind: faults.Throw, System: sys, Func: "authenticate", Category: faults.ExcSecurity},
+		{ID: PtReflCodecExc, Kind: faults.Throw, System: sys, Func: "loadCodec", Category: faults.ExcReflection},
+
+		// Negations.
+		{ID: PtHBFresh, Kind: faults.Negation, System: sys, Func: "electionTimer", Desc: "leader heartbeat freshness check"},
+		{ID: PtLogAvail, Kind: faults.Negation, System: sys, Func: "replicationLoop", Desc: "catch-up entries available (not compacted)"},
+		{ID: PtQuorumOK, Kind: faults.Negation, System: sys, Func: "runElection", Desc: "vote quorum check"},
+		{ID: PtLogUpToDate, Kind: faults.Negation, System: sys, Func: "handleVote", Desc: "candidate log up-to-date check"},
+		{ID: PtConfStrict, Kind: faults.Negation, System: sys, Func: "strictQuorum", ConfigOnly: true},
+		{ID: PtUtilSorted, Kind: faults.Negation, System: sys, Func: "isSorted", PrimitiveOnly: true},
+		{ID: PtDebugEnabled, Kind: faults.Negation, System: sys, Func: "debugEnabled", ConstReturn: true},
+	}
+}
+
+// nests declares the leader round's loop nesting (§4.3, Figure 5): the
+// replication round is the parent batch loop; the snapshot chunk loop and
+// the catch-up batch loop are its children, in program order. The derived
+// ICFG edges (child delay propagates to the round) and CFG edge (a delayed
+// round propagates to the next child) are exactly the static contention
+// channels of the two seeded storms.
+func nests() []faults.LoopNest {
+	return []faults.LoopNest{
+		{Parent: PtReplRound, Children: []faults.ID{PtSnapSendLoop, PtCatchupLoop}},
+	}
+}

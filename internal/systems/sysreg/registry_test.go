@@ -1,0 +1,116 @@
+package sysreg
+
+import (
+	"strings"
+	"testing"
+)
+
+func regFake(name string, aliases ...string) {
+	Register(name, func() System { return fakeSys{name: name} }, aliases...)
+}
+
+func TestDuplicateRegistrationReplaces(t *testing.T) {
+	Register("Dup", func() System { return fakeSys{name: "DupOld"} }, "dup")
+	Register("Dup", func() System { return fakeSys{name: "DupNew"} }, "dup")
+	sys, ok := Lookup("Dup")
+	if !ok || sys.Name() != "DupNew" {
+		t.Fatalf("re-registration did not replace the factory: %v", sys)
+	}
+	// The alias keeps pointing at the replaced entry.
+	if sys, ok = Lookup("dup"); !ok || sys.Name() != "DupNew" {
+		t.Fatalf("alias survived but resolves stale entry: %v", sys)
+	}
+	// The canonical name appears once in Names despite two registrations.
+	n := 0
+	for _, name := range Names() {
+		if name == "Dup" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("canonical name registered %d times", n)
+	}
+}
+
+func TestAliasCollisionPanics(t *testing.T) {
+	regFake("CollideA", "shared-alias")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("claiming another system's alias did not panic")
+		}
+	}()
+	regFake("CollideB", "shared-alias")
+}
+
+func TestCanonicalNameAsAliasCollisionPanics(t *testing.T) {
+	regFake("CollideC")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("claiming another system's canonical name as an alias did not panic")
+		}
+	}()
+	regFake("CollideD", "CollideC")
+}
+
+func TestResolveKnownNames(t *testing.T) {
+	regFake("Resolvable", "rsv")
+	for _, name := range []string{"Resolvable", "rsv"} {
+		sys, err := Resolve(name)
+		if err != nil || sys.Name() != "Resolvable" {
+			t.Fatalf("Resolve(%q) = %v, %v", name, sys, err)
+		}
+	}
+}
+
+func TestResolveMissErrorText(t *testing.T) {
+	regFake("Typoable", "typo-sys")
+	_, err := Resolve("typo-sy")
+	if err == nil {
+		t.Fatal("Resolve of unknown name succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown system "typo-sy"`) {
+		t.Errorf("error does not name the miss: %q", msg)
+	}
+	if !strings.Contains(msg, `did you mean "typo-sys"?`) {
+		t.Errorf("error does not suggest the close match: %q", msg)
+	}
+	if !strings.Contains(msg, "known systems: ") || !strings.Contains(msg, "typo-sys") {
+		t.Errorf("error does not list the known names: %q", msg)
+	}
+	// A miss with no plausible neighbour lists names without guessing.
+	if _, err = Resolve("zzzzzzzzzzzz"); err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("far-off miss still produced a suggestion: %v", err)
+	}
+}
+
+func TestAliasesOf(t *testing.T) {
+	regFake("Aliased", "al-b", "al-a")
+	got := AliasesOf("Aliased")
+	if len(got) != 2 || got[0] != "al-a" || got[1] != "al-b" {
+		t.Fatalf("AliasesOf = %v, want sorted aliases without the canonical name", got)
+	}
+	if AliasesOf("NotRegisteredEver") != nil {
+		t.Fatal("AliasesOf invented aliases for an unknown system")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "abc", 0},
+		{"abc", "abd", 1},
+		{"hdfs2", "hdfs3", 1},
+		{"metastore", "metastor", 1},
+		{"flink", "blink", 1},
+		{"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sysreg_test
+
+import (
+	"testing"
+
+	"repro/internal/core/csnake"
+	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/dfs"
+	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/metastore"
+	_ "repro/internal/systems/objstore"
+	_ "repro/internal/systems/stream"
+)
+
+// TestEveryRegisteredSystemRoundTripsThroughNewCampaign: each shipped
+// system must come out of the registry ready to campaign -- resolvable by
+// every alias, with a non-empty fault space, workloads, and a campaign
+// builder that adopts it under default configuration. (The campaign is
+// built, not run: executing six full campaigns belongs to the csnake
+// package's detection tests.)
+func TestEveryRegisteredSystemRoundTripsThroughNewCampaign(t *testing.T) {
+	// The shipped systems by canonical name. Names() also reports the
+	// throwaway fakes other tests in this binary register, so the sweep
+	// pins exactly this set rather than iterating the registry blindly.
+	names := []string{"Flink", "HBase", "HDFS 2", "HDFS 3", "MetaStore", "OZone"}
+	reg := map[string]bool{}
+	for _, n := range sysreg.Names() {
+		reg[n] = true
+	}
+	for _, name := range names {
+		if !reg[name] {
+			t.Fatalf("shipped system %q missing from the registry (have %v)", name, sysreg.Names())
+		}
+	}
+	for _, name := range names {
+		sys, err := sysreg.Resolve(name)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", name, err)
+		}
+		if sys.Name() != name {
+			t.Errorf("%s: Name() = %q", name, sys.Name())
+		}
+		for _, alias := range sysreg.AliasesOf(name) {
+			via, err := sysreg.Resolve(alias)
+			if err != nil || via.Name() != name {
+				t.Errorf("alias %q of %s resolves to %v, %v", alias, name, via, err)
+			}
+		}
+		space := sysreg.Space(sys)
+		if space.Size() == 0 {
+			t.Errorf("%s: empty fault space", name)
+		}
+		if len(sys.Workloads()) == 0 {
+			t.Errorf("%s: no workloads", name)
+		}
+		c := csnake.NewCampaign(sys)
+		if c.System().Name() != name {
+			t.Errorf("%s: campaign adopted system %q", name, c.System().Name())
+		}
+		if got, want := c.Config(), csnake.DefaultConfig(42); got.BudgetFactor != want.BudgetFactor ||
+			got.Harness.Reps != want.Harness.Reps || got.Seed != want.Seed {
+			t.Errorf("%s: campaign defaults diverge: %+v", name, got)
+		}
+		// Every declared bug must reference faults that survive filtering:
+		// a bug whose core fault fell out of the space can never be
+		// detected, so the ground-truth table would silently rot.
+		for _, bug := range sys.Bugs() {
+			for _, f := range bug.CoreFaults {
+				if _, ok := space.Lookup(f); !ok {
+					t.Errorf("%s: bug %s core fault %s not in the filtered space", name, bug.ID, f)
+				}
+			}
+		}
+	}
+}

@@ -1,11 +1,29 @@
 // Package sysreg defines the contract between CSnake and its target
-// systems: a System exposes its instrumented fault points, loop nesting,
-// integration-test workloads, and ground-truth bug labels used by the
-// evaluation (Tables 3 and 4).
+// systems, and the global registry that binaries resolve them from.
+//
+// A System exposes its instrumented fault points, loop nesting,
+// integration-test workloads, source directories (for the static
+// analyzer's cross-check), and ground-truth bug labels used by the
+// evaluation (Tables 3 and 4). Space builds the filtered fault space F
+// from a system's declared points.
+//
+// System packages self-register a factory in init() under a canonical
+// display name plus CLI aliases:
+//
+//	func init() { sysreg.Register("HBase", New, "hbase") }
+//
+// Binaries blank-import the system packages they want available and
+// resolve by any accepted name: Lookup returns (System, bool); Resolve
+// returns an error that lists every known name and suggests the closest
+// match on a miss. Registration stores factories rather than instances,
+// so every Lookup hands out an independent value; claiming a name that
+// already resolves to a different system panics at init() time.
 package sysreg
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -100,10 +118,18 @@ var (
 // Register adds a system factory to the global registry under its
 // canonical display name plus any CLI aliases (e.g. "HDFS 2" with alias
 // "hdfs2"). System packages call this from init(); re-registering a name
-// replaces the previous entry.
+// replaces the previous entry (its existing aliases keep pointing at it).
+// Claiming a name or alias that already resolves to a *different* system
+// panics: a silent hijack of another system's name is always a
+// programming error, and init()-time is the moment to hear about it.
 func Register(name string, factory Factory, names ...string) {
 	regMu.Lock()
 	defer regMu.Unlock()
+	for _, a := range append([]string{name}, names...) {
+		if canon, taken := aliases[a]; taken && canon != name {
+			panic(fmt.Sprintf("sysreg: alias %q for system %q already registered for system %q", a, name, canon))
+		}
+	}
 	regged[name] = &entry{name: name, factory: factory}
 	aliases[name] = name
 	for _, a := range names {
@@ -157,6 +183,21 @@ func Aliases() []string {
 	return out
 }
 
+// AliasesOf returns the sorted aliases registered for a canonical name,
+// excluding the name itself. Unknown names yield nil.
+func AliasesOf(name string) []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	var out []string
+	for a, canon := range aliases {
+		if canon == name && a != name {
+			out = append(out, a)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Lookup constructs the system registered under a canonical name or
 // alias.
 func Lookup(name string) (System, bool) {
@@ -171,4 +212,54 @@ func Lookup(name string) (System, bool) {
 		return nil, false
 	}
 	return f(), true
+}
+
+// Resolve is Lookup with a self-explanatory failure: the error of an
+// unknown name suggests the closest registered name (case-insensitive,
+// small edit distance) and always lists everything Lookup would accept.
+func Resolve(name string) (System, error) {
+	if sys, ok := Lookup(name); ok {
+		return sys, nil
+	}
+	known := Aliases()
+	msg := fmt.Sprintf("unknown system %q", name)
+	if s := closest(name, known); s != "" {
+		msg += fmt.Sprintf(" (did you mean %q?)", s)
+	}
+	return nil, fmt.Errorf("%s; known systems: %s", msg, strings.Join(known, ", "))
+}
+
+// closest returns the candidate within a small edit distance of name,
+// case-insensitively; "" when nothing is plausibly a typo.
+func closest(name string, candidates []string) string {
+	best, bestDist := "", 3 // accept at most two edits
+	lower := strings.ToLower(name)
+	for _, c := range candidates {
+		if d := editDistance(lower, strings.ToLower(c)); d < bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return best
+}
+
+// editDistance is plain Levenshtein over bytes; the inputs are short
+// registry names, so the quadratic table is irrelevant.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
