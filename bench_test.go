@@ -65,7 +65,10 @@ func BenchmarkTable2_StaticAnalysis(b *testing.B) {
 
 func benchCampaign(b *testing.B, sys sysreg.System) {
 	for i := 0; i < b.N; i++ {
-		rep := csnake.Run(sys, lightConfig(42))
+		rep, err := csnake.Run(sys, lightConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
 		if rep.Space.Size() == 0 || len(rep.Runs) == 0 {
 			b.Fatal("empty campaign")
 		}
@@ -104,6 +107,41 @@ func benchCampaignParallel(b *testing.B, parallelism int) {
 func BenchmarkCampaign_Serial(b *testing.B)   { benchCampaignParallel(b, 1) }
 func BenchmarkCampaign_Parallel(b *testing.B) { benchCampaignParallel(b, runtime.NumCPU()) }
 
+// --- E2c: anytime pipeline -- batch vs streaming vs early stop ---
+
+// benchCampaignMetaStore measures the consensus-target campaign under a
+// given pipeline configuration; the anytime+early-stop variant's
+// wall-clock win over the batch baseline is the PR's acceptance metric.
+func benchCampaignMetaStore(b *testing.B, opts ...csnake.Option) {
+	for i := 0; i < b.N; i++ {
+		rep, err := csnake.NewCampaign(metastore.New(),
+			append([]csnake.Option{csnake.WithConfig(lightConfig(42))}, opts...)...).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bugs := csnake.DetectedBugs(rep, metastore.New().Bugs())
+		if len(bugs) != 2 {
+			b.Fatalf("campaign lost detection: %v", bugs)
+		}
+		b.ReportMetric(float64(rep.Sims), "sims")
+		b.ReportMetric(float64(len(rep.Runs)), "experiments")
+	}
+}
+
+func BenchmarkCampaign_MetaStoreBatch(b *testing.B) { benchCampaignMetaStore(b) }
+
+// Full streaming at the default |F|-run wave granularity: every round
+// pays an incremental search, so the full-budget variant trades
+// wall-clock for per-round answers (MetaStore's graph is cycle-dense --
+// the distinct-cycle count grows into six figures by the final rounds).
+func BenchmarkCampaign_MetaStoreAnytime(b *testing.B) {
+	benchCampaignMetaStore(b, csnake.WithAnytime())
+}
+
+func BenchmarkCampaign_MetaStoreAnytimeEarlyStop(b *testing.B) {
+	benchCampaignMetaStore(b, csnake.WithEarlyStop(3), csnake.WithWaveSize(4))
+}
+
 // --- E3: Table 4 (cycle clustering, unlimited vs one-delay search) ---
 
 func BenchmarkTable4_CycleClustering(b *testing.B) {
@@ -139,7 +177,10 @@ func BenchmarkRandomAllocation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := lightConfig(43)
 		cfg.Protocol = csnake.ProtocolRandom
-		rep := csnake.Run(sys, cfg)
+		rep, err := csnake.Run(sys, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(float64(len(csnake.DetectedBugs(rep, sys.Bugs()))), "bugs")
 	}
 }
@@ -238,6 +279,26 @@ func BenchmarkGraphBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		g := graph.FromEdges(edges)
 		g.Index()
+	}
+}
+
+func BenchmarkGraphIndexDeltaRefresh(b *testing.B) {
+	// The anytime round loop's access pattern: a handful of insertions,
+	// then a re-index. The delta-aware refresh reuses every untouched
+	// entry instead of re-interning key sets and re-materializing edges.
+	g := graph.New()
+	g.AddAll(syntheticEdges(512))
+	g.Index()
+	st := compat.State{Occ: []trace.Occurrence{{Stack: []string{"fn"}}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Add(fca.Edge{
+			From: faults.ID(fmt.Sprintf("f.%d", i%30)), To: faults.ID(fmt.Sprintf("fx.%d", i%64)),
+			Kind: faults.EI, Test: "t0", FromState: st, ToState: st,
+		})
+		if g.Index() == nil {
+			b.Fatal("no index")
+		}
 	}
 }
 

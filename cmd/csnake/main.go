@@ -14,9 +14,17 @@
 // the beam search offline -- no simulations, identical cycles. Combining
 // the two merges graphs from several campaigns into one file.
 //
+// -anytime switches to the round-based streaming pipeline: the 3PA
+// schedule emits waves of experiments, an incremental beam search folds
+// each wave's causal-graph delta, and every round's cycle count streams
+// to stderr. -early-stop N ends the campaign once the clustered cycle
+// set is stable for N rounds; -wave sets the round granularity; -adaptive
+// reweights phase-3 draws toward near-cycle faults.
+//
 // Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-parallel N]
 //
 //	[-fast] [-progress] [-list] [-edges-out FILE] [-edges-in FILE,...]
+//	[-anytime] [-early-stop N] [-wave N] [-adaptive]
 package main
 
 import (
@@ -41,9 +49,12 @@ import (
 	_ "repro/internal/systems/stream"
 )
 
-// progress streams campaign events to stderr.
+// progress streams campaign events to stderr. With quiet set (anytime
+// mode without -progress) only campaign- and round-level lines print;
+// the per-experiment firehose stays off.
 type progress struct {
 	csnake.NopObserver
+	quiet       bool
 	experiments int
 }
 
@@ -52,17 +63,31 @@ func (p *progress) CampaignStarted(system string, size, budget int) {
 }
 
 func (p *progress) ProfileCached(test string, sims int) {
+	if p.quiet {
+		return
+	}
 	fmt.Fprintf(os.Stderr, "  profiled %s (%d runs)\n", test, sims)
 }
 
 func (p *progress) ExperimentExecuted(f faults.ID, test string, edges, intf int) {
 	p.experiments++
+	if p.quiet {
+		return
+	}
 	fmt.Fprintf(os.Stderr, "  [%4d] inject %s into %s: %d edges, %d interfered\n",
 		p.experiments, f, test, edges, intf)
 }
 
 func (p *progress) CycleFound(c beam.Cycle) {
+	if p.quiet {
+		return
+	}
 	fmt.Fprintf(os.Stderr, "  cycle: %s\n", c)
+}
+
+func (p *progress) RoundCompleted(r csnake.Round) {
+	fmt.Fprintf(os.Stderr, "round %d (phase %d): %d runs (%d/%d budget), +%d edges, %d cycles in %d clusters\n",
+		r.Round, r.Phase, r.Runs, r.Spent, r.Budget, r.NewEdges, r.CycleCount, len(r.Clusters))
 }
 
 func main() {
@@ -73,6 +98,10 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for simulation runs (results are identical for any value)")
 	fast := flag.Bool("fast", false, "light configuration (3 reps, 3 delay magnitudes)")
 	verbose := flag.Bool("progress", false, "stream campaign progress to stderr")
+	anytime := flag.Bool("anytime", false, "round-based streaming pipeline with live round progress")
+	earlyStop := flag.Int("early-stop", 0, "stop once the clustered cycle set is stable for N rounds (implies -anytime)")
+	wave := flag.Int("wave", 0, "experiments per anytime round (0 = |F|; implies -anytime)")
+	adaptive := flag.Bool("adaptive", false, "adaptive protocol: phase-3 budget chases near-cycles (implies -anytime)")
 	list := flag.Bool("list", false, "list registered systems and exit")
 	edgesOut := flag.String("edges-out", "", "write the campaign's causal graph (or the -edges-in merge) as JSON")
 	edgesIn := flag.String("edges-in", "", "comma-separated persisted graphs: skip the campaign, stitch them, and re-search")
@@ -111,14 +140,28 @@ func main() {
 			csnake.WithDelayMagnitudes(500*time.Millisecond, 2*time.Second, 8*time.Second))
 	}
 	opts = append(opts, csnake.WithReps(*reps), csnake.WithBudgetFactor(*budget))
-	if *verbose {
-		opts = append(opts, csnake.WithObserver(&progress{}))
+	streaming := *anytime || *earlyStop > 0 || *adaptive || *wave > 0
+	if streaming {
+		opts = append(opts, csnake.WithAnytime(),
+			csnake.WithEarlyStop(*earlyStop), csnake.WithWaveSize(*wave))
+		if *adaptive {
+			opts = append(opts, csnake.WithProtocol(csnake.ProtocolAdaptive))
+		}
+	}
+	if *verbose || streaming {
+		// Anytime mode always narrates rounds: live progress is its point.
+		opts = append(opts, csnake.WithObserver(&progress{quiet: !*verbose}))
 	}
 
 	start := time.Now()
 	rep, err := csnake.NewCampaign(sys, opts...).Run()
 	if err != nil {
 		log.Fatalf("campaign: %v", err)
+	}
+	if rep.EarlyStopped {
+		last := rep.Rounds[len(rep.Rounds)-1]
+		fmt.Fprintf(os.Stderr, "early stop after round %d: cycle clusters stable, %d of %d budget unspent\n",
+			last.Round, last.Budget-last.Spent, last.Budget)
 	}
 	if *edgesOut != "" {
 		if err := rep.Graph.WriteFile(*edgesOut); err != nil {

@@ -5,6 +5,7 @@
 //	experiments -table 4              Table 4 (cycles/clusters/TP, 1-delay variant)
 //	experiments -fuzz                 §8.2.1 blackbox fuzzing comparison
 //	experiments -overhead             §8.5 instrumentation overhead
+//	experiments -convergence          anytime rounds: cycles found vs budget spent
 //
 // By default the light (fast) execution configuration is used; pass
 // -paper for the full 5-repetition, 7-magnitude settings. Target systems
@@ -59,6 +60,8 @@ func main() {
 	table := flag.Int("table", 0, "paper table to regenerate (2, 3, or 4)")
 	fuzz := flag.Bool("fuzz", false, "run the blackbox fuzzing comparison (§8.2.1)")
 	overhead := flag.Bool("overhead", false, "measure instrumentation overhead (§8.5)")
+	convergence := flag.Bool("convergence", false, "run anytime campaigns and print per-round convergence")
+	wave := flag.Int("wave", 0, "experiments per anytime round (0 = |F|); only with -convergence")
 	seed := flag.Int64("seed", 42, "campaign seed")
 	paper := flag.Bool("paper", false, "paper-faithful execution settings (slower)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for simulation runs")
@@ -128,6 +131,20 @@ func main() {
 			fmt.Printf("%-10s runs=%d generic-anomalies=%d cascading-failures-identified=%d\n",
 				sys.Name(), res.Runs, res.GenericAnomalies, len(res.BugsDetected))
 		}
+
+	case *convergence:
+		fmt.Println("Anytime convergence: cycles and detected bugs per round vs budget spent")
+		var rows []report.ConvergenceRow
+		for _, sys := range systems {
+			opts := append(campaignOpts(*seed, *paper, *parallel),
+				csnake.WithAnytime(), csnake.WithWaveSize(*wave))
+			art := report.RunCampaign(sys, opts...)
+			if art.Err != nil {
+				log.Fatalf("campaign %s: %v", sys.Name(), art.Err)
+			}
+			rows = append(rows, report.Convergence(art)...)
+		}
+		report.WriteConvergence(os.Stdout, rows)
 
 	case *overhead:
 		fmt.Println("Instrumentation overhead (§8.5): monitored vs bare profile runs")

@@ -13,13 +13,20 @@
 // clusters with conditional (workload-dependent) causal consequences.
 // Unused quota transfers to larger clusters in phase two and to
 // smaller-weight clusters in phase three.
+//
+// The protocol machinery is a resumable schedule state machine (Schedule,
+// in schedule.go): it plans waves of (fault, test) runs without executing
+// anything, and folds execution results back in at the two decision
+// barriers (clustering after phase one, scoring after phase two). The
+// blocking Protocol.Run entry point drives the state machine to
+// completion one whole phase at a time and is byte-identical to the
+// pre-state-machine implementation; anytime campaigns drive the same
+// machine wave by wave.
 package alloc
 
 import (
 	"math/rand"
-	"sort"
 
-	"repro/internal/cluster"
 	"repro/internal/faults"
 )
 
@@ -34,12 +41,11 @@ type TestInfo struct {
 	Coverage int
 }
 
-// Executor abstracts the experiment runner the protocol drives. Execute
-// must be deterministic for a given (fault, test) pair and is never called
-// twice with the same pair.
+// Executor abstracts the experiment runner the blocking protocol drives.
+// Execute must be deterministic for a given (fault, test) pair and is
+// never called twice with the same pair.
 type Executor interface {
-	// TestsFor lists the workloads whose profile runs cover fault f.
-	TestsFor(f faults.ID) []TestInfo
+	Planner
 	// Execute performs the full injection experiment (all repetitions,
 	// all delay magnitudes) of fault f under the named workload and
 	// returns the set of additional faults triggered.
@@ -79,7 +85,8 @@ type Result struct {
 }
 
 // SimScoreOf returns the cluster SimScore for a fault (1.0 for faults
-// outside any cluster, i.e. never injected).
+// outside any cluster, i.e. never injected, and before phase-two scoring
+// has happened).
 func (r *Result) SimScoreOf(f faults.ID) float64 {
 	if idx, ok := r.ClusterOf[f]; ok && idx < len(r.SimScores) {
 		return r.SimScores[idx]
@@ -92,6 +99,10 @@ type Protocol struct {
 	Space *faults.Space
 	// BudgetFactor scales |F| into the total budget (paper: 4).
 	BudgetFactor int
+	// Budget, when positive, overrides BudgetFactor x |F| with an absolute
+	// experiment budget. A budget below |F| truncates phase one: later
+	// faults (in space order) are never injected.
+	Budget int
 	// ClusterThreshold is the hierarchical-clustering merge cutoff on
 	// cosine distance (default 0.5).
 	ClusterThreshold float64
@@ -99,7 +110,8 @@ type Protocol struct {
 	Rng *rand.Rand
 }
 
-// Run executes the three phases against ex and returns the result.
+// Run executes the three phases against ex and returns the result: it
+// drives the resumable Schedule to completion, one whole phase per wave.
 func (p *Protocol) Run(ex Executor) *Result {
 	if p.BudgetFactor == 0 {
 		p.BudgetFactor = 4
@@ -107,332 +119,33 @@ func (p *Protocol) Run(ex Executor) *Result {
 	if p.ClusterThreshold == 0 {
 		p.ClusterThreshold = 0.5
 	}
-	st := &state{
-		proto: p,
-		ex:    newCache(ex),
-		used:  make(map[faults.ID]map[string]bool),
-		res: &Result{
-			ClusterOf: make(map[faults.ID]int),
-			Budget:    p.BudgetFactor * p.Space.Size(),
-		},
-	}
-	st.phaseOne()
-	st.clusterFaults()
-	st.phaseTwo()
-	st.scoreClusters()
-	st.phaseThree()
-	return st.res
+	s := NewSchedule(ScheduleConfig{
+		Space:            p.Space,
+		BudgetFactor:     p.BudgetFactor,
+		Budget:           p.Budget,
+		ClusterThreshold: p.ClusterThreshold,
+		Rng:              p.Rng,
+	}, ex)
+	drive(s, ex)
+	return s.Result()
 }
 
-type state struct {
-	proto *Protocol
-	ex    *executorCache
-	res   *Result
-	// used tracks (fault, test) pairs already executed.
-	used map[faults.ID]map[string]bool
-}
-
-// executorCache memoises TestsFor, which protocols consult repeatedly.
-type executorCache struct {
-	ex    Executor
-	tests map[faults.ID][]TestInfo
-}
-
-func (c *executorCache) TestsFor(f faults.ID) []TestInfo {
-	if ts, ok := c.tests[f]; ok {
-		return ts
-	}
-	ts := c.ex.TestsFor(f)
-	c.tests[f] = ts
-	return ts
-}
-
-func (c *executorCache) Execute(f faults.ID, t string) []faults.ID { return c.ex.Execute(f, t) }
-
-func newCache(ex Executor) *executorCache {
-	return &executorCache{ex: ex, tests: make(map[faults.ID][]TestInfo)}
-}
-
-// run executes one experiment, recording bookkeeping.
-func (s *state) run(f faults.ID, test string, phase Phase) {
-	if s.used[f] == nil {
-		s.used[f] = make(map[string]bool)
-	}
-	s.used[f][test] = true
-	intf := s.ex.Execute(f, test)
-	s.res.Runs = append(s.res.Runs, RunRecord{Fault: f, Test: test, Phase: phase, Intf: intf})
-}
-
-func (s *state) spent() int { return len(s.res.Runs) }
-
-// freshTest returns an unused covering workload for f, chosen uniformly at
-// random; ok is false when all covering workloads are exhausted.
-func (s *state) freshTest(f faults.ID) (string, bool) {
-	var candidates []string
-	for _, ti := range s.ex.TestsFor(f) {
-		if !s.used[f][ti.Name] {
-			candidates = append(candidates, ti.Name)
-		}
-	}
-	if len(candidates) == 0 {
-		return "", false
-	}
-	return candidates[s.proto.Rng.Intn(len(candidates))], true
-}
-
-// clusterExhausted reports whether every (fault, test) pair in the cluster
-// has been used.
-func (s *state) clusterExhausted(members []faults.ID) bool {
-	for _, f := range members {
-		if _, ok := s.freshTestPeek(f); ok {
-			return false
-		}
-	}
-	return true
-}
-
-func (s *state) freshTestPeek(f faults.ID) (string, bool) {
-	for _, ti := range s.ex.TestsFor(f) {
-		if !s.used[f][ti.Name] {
-			return ti.Name, true
-		}
-	}
-	return "", false
-}
-
-// --- phase one ---
-
-// phaseOne injects each fault once, into the covering workload with the
-// highest coverage.
-func (s *state) phaseOne() {
-	for _, f := range s.proto.Space.IDs() {
-		tests := s.ex.TestsFor(f)
-		if len(tests) == 0 {
-			continue // unreachable fault: no workload covers it
-		}
-		best := tests[0]
-		for _, ti := range tests[1:] {
-			if ti.Coverage > best.Coverage {
-				best = ti
-			}
-		}
-		s.run(f, best.Name, Phase1)
-	}
-}
-
-// --- clustering ---
-
-// clusterFaults groups faults by phase-one interference similarity.
-func (s *state) clusterFaults() {
-	var injected []faults.ID
-	var sets [][]faults.ID
-	for _, r := range s.res.Runs {
-		injected = append(injected, r.Fault)
-		sets = append(sets, r.Intf)
-	}
-	if len(injected) == 0 {
-		return
-	}
-	idf := cluster.TrainIDF(sets)
-	vecs := make([]cluster.Vector, len(sets))
-	for i, set := range sets {
-		vecs[i] = idf.Vectorize(set)
-	}
-	groups := cluster.Hierarchical(len(injected), func(i, j int) float64 {
-		return cluster.CosineDistance(vecs[i], vecs[j])
-	}, s.proto.ClusterThreshold)
-	for gi, g := range groups {
-		var members []faults.ID
-		for _, idx := range g {
-			members = append(members, injected[idx])
-			s.res.ClusterOf[injected[idx]] = gi
-		}
-		s.res.Clusters = append(s.res.Clusters, members)
-	}
-}
-
-// --- phase two ---
-
-// phaseTwo spends half the budget round-robin across clusters, injecting a
-// random member into a fresh workload each turn; quota of exhausted
-// clusters transfers randomly to a larger cluster.
-func (s *state) phaseTwo() {
-	if len(s.res.Clusters) == 0 {
-		return
-	}
-	quota := s.res.Budget/2 + s.res.Budget/4 - s.spent() // through 75% of budget
-	if quota <= 0 {
-		return
-	}
-	order := make([]int, len(s.res.Clusters))
-	for i := range order {
-		order[i] = i
-	}
-	for spent, turn := 0, 0; spent < quota; turn++ {
-		if s.allExhausted() {
+// drive runs a schedule to completion against a blocking executor.
+func drive(s Scheduler, ex Executor) {
+	for {
+		wave := s.Next(0)
+		if len(wave) == 0 {
 			return
 		}
-		gi := order[turn%len(order)]
-		if !s.tryClusterInjection(gi, Phase2) {
-			// Transfer to a random larger cluster with capacity.
-			if ti, ok := s.largerClusterWithCapacity(gi); ok {
-				if s.tryClusterInjection(ti, Phase2) {
-					spent++
-				}
-			}
-			continue
-		}
-		spent++
-	}
-}
-
-// tryClusterInjection picks a random member with a fresh workload and runs
-// it; false when the cluster is exhausted.
-func (s *state) tryClusterInjection(gi int, phase Phase) bool {
-	members := s.res.Clusters[gi]
-	// Random starting offset, then scan for a member with capacity.
-	start := s.proto.Rng.Intn(len(members))
-	for k := 0; k < len(members); k++ {
-		f := members[(start+k)%len(members)]
-		if test, ok := s.freshTest(f); ok {
-			s.run(f, test, phase)
-			return true
-		}
-	}
-	return false
-}
-
-func (s *state) allExhausted() bool {
-	for gi := range s.res.Clusters {
-		if !s.clusterExhausted(s.res.Clusters[gi]) {
-			return false
-		}
-	}
-	return true
-}
-
-// largerClusterWithCapacity picks uniformly among clusters strictly larger
-// than gi that still have unused pairs; falls back to any cluster with
-// capacity.
-func (s *state) largerClusterWithCapacity(gi int) (int, bool) {
-	var larger, any []int
-	for i, members := range s.res.Clusters {
-		if i == gi || s.clusterExhausted(members) {
-			continue
-		}
-		any = append(any, i)
-		if len(members) > len(s.res.Clusters[gi]) {
-			larger = append(larger, i)
-		}
-	}
-	pool := larger
-	if len(pool) == 0 {
-		pool = any
-	}
-	if len(pool) == 0 {
-		return 0, false
-	}
-	return pool[s.proto.Rng.Intn(len(pool))], true
-}
-
-// --- scoring ---
-
-// scoreClusters trains the second IDF vectorizer on phase-one and
-// phase-two data and computes each cluster's SimScore (§A.3).
-func (s *state) scoreClusters() {
-	var sets [][]faults.ID
-	for _, r := range s.res.Runs {
-		sets = append(sets, r.Intf)
-	}
-	idf := cluster.TrainIDF(sets)
-	s.res.SimScores = make([]float64, len(s.res.Clusters))
-	for gi, members := range s.res.Clusters {
-		inCluster := make(map[faults.ID]bool, len(members))
-		for _, f := range members {
-			inCluster[f] = true
-		}
-		byFault := make(map[faults.ID][]cluster.Vector)
-		for _, r := range s.res.Runs {
-			if inCluster[r.Fault] {
-				byFault[r.Fault] = append(byFault[r.Fault], idf.Vectorize(r.Intf))
+		recs := make([]RunRecord, len(wave))
+		for i, pr := range wave {
+			recs[i] = RunRecord{
+				Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
+				Intf: ex.Execute(pr.Fault, pr.Test),
 			}
 		}
-		s.res.SimScores[gi] = cluster.SimScore(byFault)
+		s.Fold(recs)
 	}
-}
-
-// --- phase three ---
-
-// phaseThree spends the remaining budget with weighted random cluster
-// selection, weight max(eps, 1-SimScore); quota from exhausted clusters
-// transfers to clusters with smaller weight.
-func (s *state) phaseThree() {
-	if len(s.res.Clusters) == 0 {
-		return
-	}
-	weights := make([]float64, len(s.res.Clusters))
-	for gi := range s.res.Clusters {
-		w := 1 - s.res.SimScores[gi]
-		if w < Epsilon {
-			w = Epsilon
-		}
-		weights[gi] = w
-	}
-	for s.spent() < s.res.Budget {
-		if s.allExhausted() {
-			return
-		}
-		gi := s.weightedPick(weights)
-		if s.tryClusterInjection(gi, Phase3) {
-			continue
-		}
-		// Exhausted: transfer to a smaller-weight cluster with capacity.
-		if ti, ok := s.smallerWeightWithCapacity(weights, gi); ok {
-			s.tryClusterInjection(ti, Phase3)
-		}
-	}
-}
-
-func (s *state) weightedPick(weights []float64) int {
-	total := 0.0
-	for _, w := range weights {
-		total += w
-	}
-	x := s.proto.Rng.Float64() * total
-	for i, w := range weights {
-		x -= w
-		if x <= 0 {
-			return i
-		}
-	}
-	return len(weights) - 1
-}
-
-func (s *state) smallerWeightWithCapacity(weights []float64, gi int) (int, bool) {
-	type cand struct {
-		idx int
-		w   float64
-	}
-	var smaller, any []cand
-	for i, members := range s.res.Clusters {
-		if i == gi || s.clusterExhausted(members) {
-			continue
-		}
-		c := cand{i, weights[i]}
-		any = append(any, c)
-		if weights[i] < weights[gi] {
-			smaller = append(smaller, c)
-		}
-	}
-	pool := smaller
-	if len(pool) == 0 {
-		pool = any
-	}
-	if len(pool) == 0 {
-		return 0, false
-	}
-	sort.Slice(pool, func(a, b int) bool { return pool[a].w < pool[b].w })
-	return pool[0].idx, true
 }
 
 // --- random baseline (§8.2) ---
@@ -441,29 +154,7 @@ func (s *state) smallerWeightWithCapacity(weights []float64, gi int) (int, bool)
 // 3PA campaign, with uniformly random (fault, covering-test) pairs and no
 // feedback. Returns the run records (Phase is 0).
 func Random(space *faults.Space, budgetFactor int, rng *rand.Rand, ex Executor) []RunRecord {
-	if budgetFactor == 0 {
-		budgetFactor = 4
-	}
-	cache := newCache(ex)
-	type pair struct {
-		f faults.ID
-		t string
-	}
-	var pool []pair
-	for _, f := range space.IDs() {
-		for _, ti := range cache.TestsFor(f) {
-			pool = append(pool, pair{f, ti.Name})
-		}
-	}
-	budget := budgetFactor * space.Size()
-	if budget > len(pool) {
-		budget = len(pool)
-	}
-	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	var out []RunRecord
-	for _, pr := range pool[:budget] {
-		intf := cache.Execute(pr.f, pr.t)
-		out = append(out, RunRecord{Fault: pr.f, Test: pr.t, Intf: intf})
-	}
-	return out
+	s := NewRandomSchedule(space, budgetFactor, rng, ex)
+	drive(s, ex)
+	return s.Result().Runs
 }

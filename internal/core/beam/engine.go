@@ -131,77 +131,65 @@ func (m *matcher) countsDelay(c *ichain, j int) bool {
 	return true
 }
 
-// searchFast is the optimized parallel beam search engine behind Search
-// and SearchGraph.
-func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
-	m := newMatcher(g, simScoreOf)
+// mkChain seeds a length-1 chain from edge i.
+func (m *matcher) mkChain(i int) ichain {
 	ix := m.ix
-
-	mkChain := func(i int) ichain {
-		c := ichain{idx: []int{i}}
-		if !ix.Connector[i] {
-			c.injs = 1
-			c.score = m.scores[i]
-			if ix.FromClass[i] == faults.ClassDelay {
-				c.delayInj = 1
-			}
+	c := ichain{idx: []int{i}}
+	if !ix.Connector[i] {
+		c.injs = 1
+		c.score = m.scores[i]
+		if ix.FromClass[i] == faults.ClassDelay {
+			c.delayInj = 1
 		}
-		return c
 	}
+	return c
+}
 
-	// bestEntry caches the winning candidate per signature: the cycle
-	// normalized to its canonical edge-index rotation, plus that rotation
-	// for cheap integer comparisons.
-	type bestEntry struct {
-		cy  Cycle
-		idx []int
-	}
-	var (
-		mu   sync.Mutex
-		best = map[string]*bestEntry{}
-	)
-	// addCycle merges candidates per rotation-invariant signature with a
-	// deterministic preference (lowest score, then smallest canonical
-	// edge-index rotation): distinct chains can share a signature, and
-	// first-arrival dedup would let goroutine scheduling pick the
-	// surviving representative -- the search must be a pure function of
-	// its input. Comparing index rotations instead of rendered edge keys
-	// keeps the duplicate-arrival path (every rotation of every cycle)
-	// free of string building, and the Cycle itself (the edge slice) is
-	// materialized only when the candidate actually wins its dedup slot.
-	addCycle := func(c *ichain) {
-		can := canonicalRotation(c.idx)
-		if m.oneNestFamilyIdx(can, opt.NestGroups) {
-			return
-		}
-		score := m.meanScore(c)
-		sig := m.signatureOf(can)
-		mu.Lock()
-		if e, ok := best[sig]; !ok || score < e.cy.Score ||
-			(score == e.cy.Score && lessIdx(can, e.idx)) {
-			cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: score}
-			for i, k := range can {
-				cy.Edges[i] = m.edges[k]
-			}
-			best[sig] = &bestEntry{cy: cy, idx: can}
-		}
-		mu.Unlock()
-	}
+// chainSink receives every cyclic chain the expansion closes, with the
+// chain state as discovered (its idx starts at the rotation the search
+// grew it from). Sinks may be called concurrently from expansion workers
+// and must serialize internally.
+type chainSink func(c *ichain)
 
-	queue := make([]ichain, 0, ix.N)
-	for i := 0; i < ix.N; i++ {
-		c := mkChain(i)
+// nearSink receives every chain whose newest edge returns to the chain's
+// start fault without passing the closing compatibility check: a cycle
+// one piece of evidence short of closing. Same concurrency contract as
+// chainSink.
+type nearSink func(idx []int)
+
+// runChains is the shared chain-expansion core behind the one-shot
+// search, the incremental search, and the near-cycle probe: it grows
+// chains from the given seed edges, level-synchronous with a beam of
+// opt.BeamSize, reporting closed cycles to sink (and almost-closed
+// chains to near, when non-nil). A chain that closes leaves the queue --
+// extending it would only re-traverse the reported cycle -- except in
+// close-through mode (through = true), where closed chains keep
+// expanding; the incremental search uses that mode to discover every
+// cycle through a delta-touched seed even when the rotation rooted there
+// closes early. The returned flag reports whether any level truncated
+// the beam -- in which case the enumeration was not exhaustive and
+// incremental reuse of its results is unsound.
+func (m *matcher) runChains(seeds []int, opt Options, through bool, near nearSink, sink chainSink) bool {
+	ix := m.ix
+	truncated := false
+	queue := make([]ichain, 0, len(seeds))
+	for _, i := range seeds {
+		c := m.mkChain(i)
 		if opt.MaxDelayInjections >= 0 && int(c.delayInj) > opt.MaxDelayInjections {
 			continue
 		}
 		if m.matchIdx(i, i) {
-			addCycle(&c)
+			// Sink a copy: addressing c itself would heap-box every seed
+			// chain (the sink callee is opaque to escape analysis).
+			closed := c
+			sink(&closed)
+		} else if near != nil && ix.To[i] == ix.From[i] {
+			near(c.idx)
 		}
 		queue = append(queue, c)
 	}
-
 	for level := 1; level < opt.MaxLen && len(queue) > 0; level++ {
-		next := m.expand(queue, opt, addCycle)
+		next := m.expand(queue, opt, through, near, sink)
 		sort.Slice(next, func(a, b int) bool {
 			sa, sb := m.meanScore(&next[a]), m.meanScore(&next[b])
 			if sa != sb {
@@ -210,13 +198,118 @@ func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options)
 			return lessIdx(next[a].idx, next[b].idx)
 		})
 		if len(next) > opt.BeamSize {
+			truncated = true
 			next = next[:opt.BeamSize]
 		}
 		queue = next
 	}
+	return truncated
+}
 
-	// Sort by (score, signature) using the signatures already computed as
-	// dedup keys -- never inside the comparator.
+func (m *matcher) expand(queue []ichain, opt Options, through bool, near nearSink, sink chainSink) []ichain {
+	ix := m.ix
+	shards := opt.Workers
+	if shards > len(queue) {
+		shards = len(queue)
+	}
+	if shards == 0 {
+		return nil
+	}
+	results := make([][]ichain, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []ichain
+			for qi := w; qi < len(queue); qi += shards {
+				c := &queue[qi]
+				last := c.idx[len(c.idx)-1]
+				for _, j32 := range ix.ByFrom[ix.To[last]] {
+					j := int(j32)
+					if c.contains(j) || !m.matchIdx(last, j) {
+						continue
+					}
+					nd := c.delayInj
+					if m.countsDelay(c, j) {
+						nd++
+					}
+					if opt.MaxDelayInjections >= 0 && int(nd) > opt.MaxDelayInjections {
+						continue
+					}
+					nc := ichain{
+						idx:      append(append(make([]int, 0, len(c.idx)+1), c.idx...), j),
+						score:    c.score,
+						injs:     c.injs,
+						delayInj: nd,
+					}
+					if !ix.Connector[j] {
+						nc.injs++
+						nc.score += m.scores[j]
+					}
+					if m.matchIdx(j, nc.idx[0]) {
+						sink(&nc)
+						if through {
+							local = append(local, nc)
+						}
+					} else {
+						if near != nil && ix.To[j] == ix.From[nc.idx[0]] {
+							near(nc.idx)
+						}
+						local = append(local, nc)
+					}
+				}
+			}
+			results[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var next []ichain
+	for _, r := range results {
+		next = append(next, r...)
+	}
+	return next
+}
+
+// bestEntry caches the winning candidate per signature: the cycle
+// normalized to its canonical edge-index rotation, plus that rotation
+// for cheap integer comparisons.
+type bestEntry struct {
+	cy  Cycle
+	idx []int
+}
+
+// mergeBest merges one canonical candidate into the per-signature winners
+// with a deterministic preference (lowest score, then smallest canonical
+// edge-index rotation): distinct chains can share a signature, and
+// first-arrival dedup would let goroutine scheduling pick the surviving
+// representative -- the search must be a pure function of its input.
+// Comparing index rotations instead of rendered edge keys keeps the
+// duplicate-arrival path (every rotation of every cycle) free of string
+// building, and the Cycle itself (the edge slice) is materialized only
+// when the candidate actually wins its dedup slot.
+func (m *matcher) mergeBest(best map[string]*bestEntry, can []int, score float64) {
+	m.mergeBestSig(best, m.signatureOf(can), can, score)
+}
+
+// mergeBestSig is mergeBest with a precomputed signature (the
+// incremental fold caches signatures per stored chain, so re-ranking a
+// round builds no strings for unchanged chains).
+func (m *matcher) mergeBestSig(best map[string]*bestEntry, sig string, can []int, score float64) {
+	if e, ok := best[sig]; !ok || score < e.cy.Score ||
+		(score == e.cy.Score && lessIdx(can, e.idx)) {
+		cy := Cycle{Edges: make([]fca.Edge, len(can)), Score: score}
+		for i, k := range can {
+			cy.Edges[i] = m.edges[k]
+		}
+		best[sig] = &bestEntry{cy: cy, idx: can}
+	}
+}
+
+// orderBest renders the final cycle list sorted by (score, signature),
+// using the signatures already computed as dedup keys -- never inside the
+// comparator.
+func orderBest(best map[string]*bestEntry) []Cycle {
 	type sigCycle struct {
 		sig string
 		cy  Cycle
@@ -236,6 +329,141 @@ func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options)
 		cycles[i] = sc.cy
 	}
 	return cycles
+}
+
+// searchFast is the optimized parallel beam search engine behind Search
+// and SearchGraph.
+func searchFast(g *graph.Graph, simScoreOf func(faults.ID) float64, opt Options) []Cycle {
+	m := newMatcher(g, simScoreOf)
+	var (
+		mu   sync.Mutex
+		best = map[string]*bestEntry{}
+	)
+	sink := func(c *ichain) {
+		can := canonicalRotation(c.idx)
+		if m.oneNestFamilyIdx(can, opt.NestGroups) {
+			return
+		}
+		score := m.meanScore(c)
+		mu.Lock()
+		m.mergeBest(best, can, score)
+		mu.Unlock()
+	}
+	m.runChains(allSeeds(m.ix.N), opt, false, nil, sink)
+	return orderBest(best)
+}
+
+func allSeeds(n int) []int {
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	return seeds
+}
+
+// rotationArrives reports whether the one-shot expansion, seeded at
+// rotation r of the cyclic chain, reaches full length: no proper prefix
+// of length >= 2 may close early, because closed chains leave the queue.
+// (A self-closing single seed edge stays queued, so length-1 prefixes
+// never block.)
+func (m *matcher) rotationArrives(can []int, r int) bool {
+	n := len(can)
+	first := can[r%n]
+	for k := 2; k < n; k++ {
+		if m.matchIdx(can[(r+k-1)%n], first) {
+			return false
+		}
+	}
+	return true
+}
+
+// arrivingRotations lists the rotations of a cyclic chain the one-shot
+// search enumerates (rotationArrives), as offsets into can. An empty
+// result means the chain is never reported. Arrival depends only on
+// matchIdx among the chain's own edges, so the incremental searcher
+// caches the result per stored chain and recomputes it only when a
+// delta touches one of those edges.
+func (m *matcher) arrivingRotations(can []int) []int {
+	var rots []int
+	for r := range can {
+		if m.rotationArrives(can, r) {
+			rots = append(rots, r)
+		}
+	}
+	return rots
+}
+
+// chainScoreAt computes the dedup score of a stored cyclic chain: the
+// minimum over its arriving rotations of the rotation-order float
+// accumulation. The one-shot search accumulates a chain's score in
+// discovery order (the rotation it grew from) and keeps the
+// per-signature minimum across the rotations that actually arrive;
+// replaying that minimum keeps incremental folds bit-identical to a full
+// re-search even when float summation order matters in the last ulp.
+func (m *matcher) chainScoreAt(can []int, rots []int) float64 {
+	ix := m.ix
+	injs := 0
+	for _, k := range can {
+		if !ix.Connector[k] {
+			injs++
+		}
+	}
+	if injs == 0 {
+		return 1
+	}
+	best := 0.0
+	seen := false
+	for _, r := range rots {
+		sum := 0.0
+		for i := 0; i < len(can); i++ {
+			if k := can[(r+i)%len(can)]; !ix.Connector[k] {
+				sum += m.scores[k]
+			}
+		}
+		if v := sum / float64(injs); !seen || v < best {
+			best = v
+			seen = true
+		}
+	}
+	return best
+}
+
+// validCycle re-checks a stored cyclic chain against the current graph
+// evidence: every cyclic-consecutive pair must still match, and the
+// distinct-delay-injection limit must still hold. Evidence merges can
+// flip a match in either direction (an empty evidence set passes by
+// default; its first occurrence may fail to intersect), so chains through
+// evidence-touched edges must be revalidated each round.
+func (m *matcher) validCycle(can []int, opt Options) bool {
+	ix := m.ix
+	n := len(can)
+	for i := 0; i < n; i++ {
+		if !m.matchIdx(can[i], can[(i+1)%n]) {
+			return false
+		}
+	}
+	if opt.MaxDelayInjections >= 0 {
+		delays := 0
+		for i, k := range can {
+			if ix.Connector[k] || ix.FromClass[k] != faults.ClassDelay {
+				continue
+			}
+			fresh := true
+			for _, p := range can[:i] {
+				if !ix.Connector[p] && ix.From[p] == ix.From[k] {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				delays++
+			}
+		}
+		if delays > opt.MaxDelayInjections {
+			return false
+		}
+	}
+	return true
 }
 
 // canonicalRotation returns the lexicographically-smallest rotation of a
@@ -334,63 +562,4 @@ func lessIdx(a, b []int) bool {
 		}
 	}
 	return len(a) < len(b)
-}
-
-func (m *matcher) expand(queue []ichain, opt Options, addCycle func(*ichain)) []ichain {
-	ix := m.ix
-	shards := opt.Workers
-	if shards > len(queue) {
-		shards = len(queue)
-	}
-	if shards == 0 {
-		return nil
-	}
-	results := make([][]ichain, shards)
-	var wg sync.WaitGroup
-	for w := 0; w < shards; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var local []ichain
-			for qi := w; qi < len(queue); qi += shards {
-				c := &queue[qi]
-				last := c.idx[len(c.idx)-1]
-				for _, j32 := range ix.ByFrom[ix.To[last]] {
-					j := int(j32)
-					if c.contains(j) || !m.matchIdx(last, j) {
-						continue
-					}
-					nd := c.delayInj
-					if m.countsDelay(c, j) {
-						nd++
-					}
-					if opt.MaxDelayInjections >= 0 && int(nd) > opt.MaxDelayInjections {
-						continue
-					}
-					nc := ichain{
-						idx:      append(append(make([]int, 0, len(c.idx)+1), c.idx...), j),
-						score:    c.score,
-						injs:     c.injs,
-						delayInj: nd,
-					}
-					if !ix.Connector[j] {
-						nc.injs++
-						nc.score += m.scores[j]
-					}
-					if m.matchIdx(j, nc.idx[0]) {
-						addCycle(&nc)
-					} else {
-						local = append(local, nc)
-					}
-				}
-			}
-			results[w] = local
-		}(w)
-	}
-	wg.Wait()
-	var next []ichain
-	for _, r := range results {
-		next = append(next, r...)
-	}
-	return next
 }

@@ -1,0 +1,153 @@
+package beam
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/compat"
+	"repro/internal/core/fca"
+	"repro/internal/core/graph"
+	"repro/internal/faults"
+	"repro/internal/trace"
+)
+
+// cycleRichEdges generates a dynamic edge stream over a small fault set
+// with overlapping stacks, so chains close often and evidence merges
+// regularly extend existing records (the duplicate-identity rate is
+// high).
+func cycleRichEdges(rng *rand.Rand, n int) []fca.Edge {
+	mkSt := func() compat.State {
+		return compat.State{Occ: []trace.Occurrence{{Stack: []string{fmt.Sprintf("fn%d", rng.Intn(3))}}}}
+	}
+	var out []fca.Edge
+	for i := 0; i < n; i++ {
+		out = append(out, fca.Edge{
+			From:      faults.ID(fmt.Sprintf("f.%d", rng.Intn(6))),
+			To:        faults.ID(fmt.Sprintf("f.%d", rng.Intn(6))),
+			Kind:      faults.EI,
+			Test:      fmt.Sprintf("t%d", rng.Intn(3)),
+			FromClass: faults.ClassException, ToClass: faults.ClassException,
+			FromState: mkSt(), ToState: mkSt(),
+		})
+	}
+	return out
+}
+
+func assertSameCycles(t *testing.T, tag string, got, want []Cycle) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: cycle counts diverge: incremental %d, full %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Score != want[i].Score || got[i].Signature() != want[i].Signature() {
+			t.Fatalf("%s: cycle %d diverges:\nincremental: score=%v %s\nfull:        score=%v %s",
+				tag, i, got[i].Score, got[i].Signature(), want[i].Score, want[i].Signature())
+		}
+		if !reflect.DeepEqual(got[i].Edges, want[i].Edges) {
+			t.Fatalf("%s: cycle %d edge lists diverge", tag, i)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullSearchOverRandomGrowth is the engine-level
+// equivalence fuzz: a graph grown chunk by chunk from a random
+// duplicate-heavy edge stream, searched incrementally after every chunk,
+// must match a from-scratch SearchGraph on each round -- including
+// rounds where evidence merges invalidate previously reported cycles
+// and rounds where SimScores change between searches.
+func TestIncrementalMatchesFullSearchOverRandomGrowth(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		stream := cycleRichEdges(rng, 150)
+		opt := Options{MaxLen: 5}
+		inc := NewIncremental(opt)
+		g := graph.New()
+		for round := 0; len(stream) > 0; round++ {
+			n := 1 + rng.Intn(20)
+			if n > len(stream) {
+				n = len(stream)
+			}
+			g.AddAll(stream[:n])
+			stream = stream[n:]
+			if round == 3 {
+				// SimScores land mid-campaign (after phase-two scoring):
+				// the fold must pick them up without re-enumeration.
+				g.SetScore("f.0", 0.25)
+				g.SetScore("f.1", 0.5)
+			}
+			got := inc.Search(g, nil)
+			want := SearchGraph(g, nil, opt)
+			assertSameCycles(t, fmt.Sprintf("seed %d round %d", seed, round), got, want)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullSearchUnderTruncation: with a beam small
+// enough to truncate, the incremental engine must detect the pruned
+// enumeration and fall back to full re-searches -- still matching
+// SearchGraph exactly.
+func TestIncrementalMatchesFullSearchUnderTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	stream := cycleRichEdges(rng, 120)
+	opt := Options{MaxLen: 5, BeamSize: 3}
+	inc := NewIncremental(opt)
+	g := graph.New()
+	for round := 0; len(stream) > 0; round++ {
+		n := 15
+		if n > len(stream) {
+			n = len(stream)
+		}
+		g.AddAll(stream[:n])
+		stream = stream[n:]
+		got := inc.Search(g, nil)
+		want := SearchGraph(g, nil, opt)
+		assertSameCycles(t, fmt.Sprintf("round %d", round), got, want)
+	}
+}
+
+// TestIncrementalSurvivesStaticSectionGrowth: static connector edges
+// shift logical indices; the searcher must recover (it re-enumerates)
+// and still match the full search.
+func TestIncrementalSurvivesStaticSectionGrowth(t *testing.T) {
+	opt := Options{MaxLen: 4}
+	inc := NewIncremental(opt)
+	g := graph.New()
+	g.AddAll(cycleRichEdges(rand.New(rand.NewSource(2)), 40))
+	assertSameCycles(t, "before", inc.Search(g, nil), SearchGraph(g, nil, opt))
+
+	g.AddStatic([]fca.Edge{{
+		From: "f.0", To: "f.1", Kind: faults.ICFG,
+		FromClass: faults.ClassDelay, ToClass: faults.ClassDelay,
+	}})
+	g.AddAll(cycleRichEdges(rand.New(rand.NewSource(3)), 40))
+	assertSameCycles(t, "after", inc.Search(g, nil), SearchGraph(g, nil, opt))
+}
+
+func TestNearCycleFaultsOneEdgeShort(t *testing.T) {
+	// a -> b and b -> a exist but the closing compatibility fails: the
+	// return edge's target state does not intersect the first edge's
+	// source state. Both faults sit on a near-cycle.
+	e1 := edge("a", "b", faults.EI, faults.ClassException, faults.ClassException, "t1",
+		st("x"), st("y"))
+	e2 := edge("b", "a", faults.EI, faults.ClassException, faults.ClassException, "t2",
+		st("y"), st("z")) // z vs x: close fails
+	g := graph.FromEdges([]fca.Edge{e1, e2})
+	if cycles := SearchGraph(g, nil, Options{}); len(cycles) != 0 {
+		t.Fatalf("test setup broken: expected no closed cycles, got %v", cycles)
+	}
+	near := NearCycleFaults(g, Options{})
+	if !near["a"] || !near["b"] {
+		t.Fatalf("near-cycle faults = %v, want a and b", near)
+	}
+
+	// Completing the evidence closes the loop: the faults are no longer
+	// one edge short (the cycle is reported instead).
+	g2 := graph.FromEdges([]fca.Edge{e1,
+		edge("b", "a", faults.EI, faults.ClassException, faults.ClassException, "t2",
+			st("y"), st("x"))})
+	if cycles := SearchGraph(g2, nil, Options{}); len(cycles) == 0 {
+		t.Fatal("closing evidence did not produce a cycle")
+	}
+}

@@ -1,0 +1,227 @@
+// This file holds the round-based streaming pipeline behind WithAnytime,
+// WithEarlyStop, and ProtocolAdaptive: the allocation schedule emits
+// waves of (fault, test) runs, the harness driver executes each wave and
+// publishes the causal-graph delta it contributed, and an incremental
+// beam search folds every delta into the cycle set -- so the campaign
+// has a complete (and converging) answer after every round instead of
+// only at the end. A full anytime run executes exactly the experiments
+// the batch pipeline executes, accumulates exactly the same graph, and
+// finishes with an identical report; early stopping trades the unspent
+// budget for the answer already in hand.
+
+package csnake
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/core/alloc"
+	"repro/internal/core/beam"
+	"repro/internal/faults"
+	"repro/internal/harness"
+)
+
+// runAnytime drives the round loop. capture seals the driver's graph
+// into the report with its annotations; it is shared with the batch path
+// so both finish identically.
+func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.Driver,
+	rep *Report, rng *rand.Rand, capture func()) (*Report, *harness.Driver, error) {
+
+	sched := c.newScheduler(cfg, space, driver, rng)
+	isRandom := cfg.Protocol == ProtocolRandom
+
+	// scoreOf and clusterOf mirror the batch path: constant 1 / unknown
+	// until the 3PA schedule has clustered and scored.
+	res := sched.Result()
+	scoreOf := func(f faults.ID) float64 {
+		if isRandom {
+			return 1
+		}
+		return res.SimScoreOf(f)
+	}
+	clusterOf := func(f faults.ID) (int, bool) {
+		if isRandom {
+			return 0, false
+		}
+		gi, ok := res.ClusterOf[f]
+		return gi, ok
+	}
+
+	waveSize := cfg.WaveSize
+	if waveSize <= 0 {
+		waveSize = space.Size()
+		if waveSize < 1 {
+			waveSize = 1
+		}
+	}
+
+	inc := beam.NewIncremental(cfg.Beam)
+	var (
+		cycles   []beam.Cycle
+		clusters []beam.CycleCluster
+		stable   int
+		lastFP   string
+	)
+	for !sched.Done() && c.ctx.Err() == nil {
+		wave := sched.Next(waveSize)
+		if len(wave) == 0 {
+			break
+		}
+		recs, delta := driver.ExecuteWave(wave)
+		sched.Fold(recs)
+		if c.ctx.Err() != nil {
+			// The wave was cut short: its empty experiments are folded (the
+			// schedule stays consistent) but searching partial evidence
+			// would not be meaningful.
+			break
+		}
+
+		cycles = inc.SearchDelta(driver.Graph(), delta, scoreOf)
+		clusters = beam.ClusterCycles(cycles, clusterOf)
+
+		r := Round{
+			Round:         len(rep.Rounds) + 1,
+			Phase:         wave[len(wave)-1].Phase,
+			Runs:          len(wave),
+			Spent:         sched.Spent(),
+			Budget:        sched.Budget(),
+			NewEdges:      delta.New,
+			TouchedEdges:  len(delta.Edges),
+			TouchedFaults: len(delta.Faults),
+			CycleCount:    len(cycles),
+			Clusters:      compactClusters(clusters),
+		}
+		rep.Rounds = append(rep.Rounds, r)
+		if ro, ok := c.obs.(RoundObserver); ok {
+			ro.RoundCompleted(r)
+		}
+
+		fp := clusterFingerprint(clusters)
+		if len(cycles) > 0 && fp == lastFP {
+			stable++
+		} else {
+			stable = 0
+		}
+		lastFP = fp
+		if cfg.EarlyStopRounds > 0 && len(cycles) > 0 && stable >= cfg.EarlyStopRounds {
+			rep.EarlyStopped = true
+			break
+		}
+	}
+
+	if !isRandom {
+		rep.Alloc = res
+	}
+	rep.Runs = res.Runs
+	capture()
+	if c.ctx.Err() != nil {
+		return rep, driver, c.ctx.Err()
+	}
+	// Final search with the finished allocation's scores: the last
+	// round's search can predate phase-two scoring (the schedule may
+	// finish clustering and scoring only while planning later, empty
+	// waves), and the batch pipeline ranks with the final SimScores. The
+	// graph is unchanged since the last round, so this is a fold-only
+	// re-rank for the incremental engine -- and a plain full search when
+	// no round ever executed.
+	cycles = inc.Search(driver.Graph(), scoreOf)
+	clusters = beam.ClusterCycles(cycles, clusterOf)
+	rep.Cycles = cycles
+	rep.CycleClusters = clusters
+	if c.obs != nil {
+		for _, cy := range rep.Cycles {
+			c.obs.CycleFound(cy)
+		}
+		c.obs.CampaignFinished(rep)
+	}
+	return rep, driver, nil
+}
+
+// newScheduler builds the wave-emitting schedule for the configured
+// protocol.
+func (c *Campaign) newScheduler(cfg Config, space *faults.Space, driver *harness.Driver, rng *rand.Rand) alloc.Scheduler {
+	if cfg.Protocol == ProtocolRandom {
+		return alloc.NewRandomSchedule(space, cfg.BudgetFactor, rng, driver)
+	}
+	scfg := alloc.ScheduleConfig{
+		Space:            space,
+		BudgetFactor:     cfg.BudgetFactor,
+		ClusterThreshold: cfg.ClusterThreshold,
+		Rng:              rng,
+	}
+	if cfg.Protocol == ProtocolAdaptive {
+		scfg.Phase3Weights = adaptiveWeights(driver, cfg.Beam)
+	}
+	return alloc.NewSchedule(scfg, driver)
+}
+
+// adaptiveWeights is ProtocolAdaptive's phase-three reallocation hook: at
+// every phase-three wave boundary it probes the current causal graph for
+// near-cycle faults and multiplies the draw weight of every cluster
+// containing one by AdaptiveBoost. Deterministic: the graph is a pure
+// function of the campaign configuration and the executed schedule
+// prefix, serial or parallel.
+func adaptiveWeights(driver *harness.Driver, opt beam.Options) func(*alloc.Result, []float64) []float64 {
+	return func(res *alloc.Result, defaults []float64) []float64 {
+		near := beam.NearCycleFaults(driver.Graph(), opt)
+		if len(near) == 0 {
+			return defaults
+		}
+		for gi, members := range res.Clusters {
+			for _, f := range members {
+				if near[f] {
+					defaults[gi] *= AdaptiveBoost
+					break
+				}
+			}
+		}
+		return defaults
+	}
+}
+
+// compactClusters trims a clustered cycle set for retention in
+// Report.Rounds: within each cluster, one representative cycle (the
+// best-ranked) is kept per distinct injected-fault set. Bug labeling
+// (LabelClusters) inspects only the injected-fault sets of a cluster's
+// cycles, so per-round detection results are unchanged, while the
+// retained memory stays O(clusters) instead of O(raw cycles) x rounds --
+// cycle-dense targets grow six-figure raw cycle counts in late rounds.
+func compactClusters(clusters []beam.CycleCluster) []beam.CycleCluster {
+	out := make([]beam.CycleCluster, len(clusters))
+	for i, cc := range clusters {
+		seen := make(map[string]bool, 4)
+		var members []beam.Cycle
+		for _, cy := range cc.Cycles {
+			fs := cy.Faults()
+			ids := make([]string, len(fs))
+			for j, f := range fs {
+				ids[j] = string(f)
+			}
+			sort.Strings(ids)
+			key := strings.Join(ids, ",")
+			if !seen[key] {
+				seen[key] = true
+				members = append(members, cy)
+			}
+		}
+		out[i] = beam.CycleCluster{Key: cc.Key, Cycles: members}
+	}
+	return out
+}
+
+// clusterFingerprint renders the identity of the clustered cycle set for
+// the early-stop convergence check: the ordered cluster keys. Clusters
+// group cycles by the causally-equivalent fault clusters involved -- the
+// granularity reports and bug labeling operate at -- so the campaign has
+// converged when no round adds or removes a cluster, even while later
+// experiments keep multiplying raw member cycles inside existing
+// clusters.
+func clusterFingerprint(clusters []beam.CycleCluster) string {
+	var b strings.Builder
+	for _, cc := range clusters {
+		b.WriteString(cc.Key)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -38,6 +38,14 @@ type Observer interface {
 	CampaignFinished(rep *Report)
 }
 
+// RoundObserver is an optional extension a campaign Observer may
+// implement to receive per-round anytime events: after every executed
+// wave it gets the round summary (wave size, graph delta counts, the
+// cycle set known so far). Batch campaigns emit no round events.
+type RoundObserver interface {
+	RoundCompleted(r Round)
+}
+
 // NopObserver implements Observer with no-ops, for embedding.
 type NopObserver struct{}
 
@@ -138,9 +146,38 @@ func WithClusterThreshold(t float64) Option {
 // WithBeam sets the cycle-search options.
 func WithBeam(opt beam.Options) Option { return func(c *Campaign) { c.cfg.Beam = opt } }
 
-// WithProtocol selects the allocation protocol (3PA or the §8.2 random
-// baseline).
+// WithProtocol selects the allocation protocol (3PA, the §8.2 random
+// baseline, or the adaptive near-cycle-chasing variant).
 func WithProtocol(p ProtocolKind) Option { return func(c *Campaign) { c.cfg.Protocol = p } }
+
+// WithAnytime switches the campaign to the round-based streaming
+// pipeline: waves of experiments, per-wave graph deltas, an incremental
+// cycle search after every round, and per-round convergence data in
+// Report.Rounds. The final report of a full anytime campaign is
+// identical to the batch campaign's.
+func WithAnytime() Option { return func(c *Campaign) { c.cfg.Anytime = true } }
+
+// WithEarlyStop stops an anytime campaign once the clustered cycle set
+// is non-empty and stable for k consecutive rounds (implies anytime);
+// k <= 0 keeps the current value.
+func WithEarlyStop(k int) Option {
+	return func(c *Campaign) {
+		if k > 0 {
+			c.cfg.Anytime = true
+			c.cfg.EarlyStopRounds = k
+		}
+	}
+}
+
+// WithWaveSize sets the experiments-per-round granularity of an anytime
+// campaign; n <= 0 keeps the default (|F| runs per round).
+func WithWaveSize(n int) Option {
+	return func(c *Campaign) {
+		if n > 0 {
+			c.cfg.WaveSize = n
+		}
+	}
+}
 
 // WithParallelism bounds how many simulated runs execute concurrently.
 // Results are bit-identical for every value; n <= 1 means serial.
@@ -240,6 +277,9 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Anytime || cfg.EarlyStopRounds > 0 || cfg.Protocol == ProtocolAdaptive {
+		return c.runAnytime(cfg, space, driver, rep, rng, capture)
+	}
 	switch cfg.Protocol {
 	case ProtocolRandom:
 		rep.Runs = alloc.Random(space, cfg.BudgetFactor, rng, driver)

@@ -377,7 +377,10 @@ func TestLegacyRunMatchesCampaign(t *testing.T) {
 	cfg := DefaultConfig(7)
 	cfg.Harness.Reps = 3
 	cfg.Harness.DelayMagnitudes = []time.Duration{200 * time.Millisecond, time.Second}
-	legacy := Run(tinySystem{}, cfg)
+	legacy, err := Run(tinySystem{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	viaBuilder, err := NewCampaign(tinySystem{}, WithConfig(cfg)).Run()
 	if err != nil {
 		t.Fatal(err)

@@ -11,6 +11,12 @@
 //		csnake.WithParallelism(runtime.NumCPU()),
 //	).Run()
 //	for _, cc := range report.CycleClusters { fmt.Println(cc.Cycles[0]) }
+//
+// WithAnytime (and WithEarlyStop, which implies it) switches the same
+// campaign to a round-based streaming pipeline: experiment waves, graph
+// deltas, an incremental cycle search after every round, and per-round
+// convergence data in Report.Rounds -- with a final report identical to
+// the batch pipeline's when the budget runs to completion.
 package csnake
 
 import (
@@ -40,6 +46,19 @@ type Config struct {
 	Beam beam.Options
 	// Protocol selects the allocation protocol; default Protocol3PA.
 	Protocol ProtocolKind
+	// Anytime switches the campaign to the round-based streaming
+	// pipeline: the allocation schedule emits waves of experiments, each
+	// wave's causal-graph delta feeds an incremental cycle search, and
+	// the report carries per-round convergence data. A full anytime
+	// campaign reaches exactly the batch campaign's final report.
+	Anytime bool
+	// EarlyStopRounds, when positive, stops an anytime campaign once the
+	// clustered cycle set is non-empty and has been stable for this many
+	// consecutive rounds, saving the remaining budget. Implies Anytime.
+	EarlyStopRounds int
+	// WaveSize is the number of experiments per anytime round (0 = |F|,
+	// i.e. roughly BudgetFactor rounds after the profile runs).
+	WaveSize int
 }
 
 // ProtocolKind selects the budget allocation strategy.
@@ -50,7 +69,18 @@ const (
 	Protocol3PA ProtocolKind = iota
 	// ProtocolRandom is the §8.2 random-allocation comparison baseline.
 	ProtocolRandom
+	// ProtocolAdaptive is 3PA with anytime feedback: at every phase-three
+	// wave boundary the cluster draw weights are recomputed, boosting
+	// clusters that contain faults sitting on near-cycles of the current
+	// causal graph (valid propagation chains one piece of evidence short
+	// of closing) -- the remaining budget chases loops that one more
+	// experiment could close. Implies the round-based pipeline.
+	ProtocolAdaptive
 )
+
+// AdaptiveBoost is the phase-three weight multiplier ProtocolAdaptive
+// applies to clusters containing near-cycle faults.
+const AdaptiveBoost = 4.0
 
 // DefaultConfig returns paper-faithful parameters with the given seed.
 // One deliberate deviation: the default budget factor is 8 rather than the
@@ -87,20 +117,53 @@ type Report struct {
 	CycleClusters []beam.CycleCluster
 	// Sims is the number of simulated executions performed.
 	Sims int
+	// Rounds carries the per-round convergence trajectory of an anytime
+	// campaign (nil for batch campaigns).
+	Rounds []Round
+	// EarlyStopped reports that WithEarlyStop ended the campaign before
+	// the budget was spent.
+	EarlyStopped bool
+}
+
+// Round summarizes one round of an anytime campaign: the wave it
+// executed, the causal-graph delta the wave contributed, and the cycle
+// set known afterwards.
+type Round struct {
+	// Round is the 1-based round number.
+	Round int
+	// Phase is the allocation phase of the wave's last run (0 under the
+	// random protocol).
+	Phase alloc.Phase
+	// Runs is the number of experiments this round executed; Spent the
+	// cumulative count, out of Budget.
+	Runs, Spent, Budget int
+	// NewEdges counts new causal-edge identities the round discovered;
+	// TouchedEdges additionally counts evidence-extended ones, connecting
+	// TouchedFaults distinct faults.
+	NewEdges, TouchedEdges, TouchedFaults int
+	// CycleCount is the number of raw cycles known after this round.
+	CycleCount int
+	// Clusters is the clustered cycle set as of this round, compacted for
+	// retention: each cluster keeps its best-ranked cycle per distinct
+	// injected-fault set (all bug labeling needs), not every raw member --
+	// cycle-dense targets reach six-figure raw counts in late rounds.
+	// CycleCount carries the uncompacted total.
+	Clusters []beam.CycleCluster
 }
 
 // Run executes a full campaign against sys with a fixed Config: it is
 // the one-shot wrapper over the Campaign builder, serial and unobserved.
-func Run(sys sysreg.System, cfg Config) *Report {
-	rep, _ := RunWithDriver(sys, cfg)
-	return rep
+// The error is the campaign's termination error (context cancellation);
+// the report is always returned, partial on error.
+func Run(sys sysreg.System, cfg Config) (*Report, error) {
+	rep, _, err := RunWithDriver(sys, cfg)
+	return rep, err
 }
 
 // RunWithDriver is Run, additionally returning the harness driver so
 // callers (the report tables) can inspect edge provenance.
-func RunWithDriver(sys sysreg.System, cfg Config) (*Report, *harness.Driver) {
-	rep, driver, _ := NewCampaign(sys, WithConfig(cfg)).RunWithDriver()
-	return rep, driver
+func RunWithDriver(sys sysreg.System, cfg Config) (*Report, *harness.Driver, error) {
+	return NewCampaign(sys, WithConfig(cfg)).RunWithDriver()
 }
 
 // NestGroups assigns every loop in a nest (parent and children) to one
@@ -142,8 +205,14 @@ type LabeledCluster struct {
 // attributed to a bug when one of its cycles covers all the bug's core
 // faults.
 func Label(rep *Report, bugs []sysreg.Bug) []LabeledCluster {
-	out := make([]LabeledCluster, 0, len(rep.CycleClusters))
-	for _, cc := range rep.CycleClusters {
+	return LabelClusters(rep.CycleClusters, bugs)
+}
+
+// LabelClusters is Label over a bare cluster list: anytime callers use it
+// to classify each round's intermediate cycle set (Round.Clusters).
+func LabelClusters(clusters []beam.CycleCluster, bugs []sysreg.Bug) []LabeledCluster {
+	out := make([]LabeledCluster, 0, len(clusters))
+	for _, cc := range clusters {
 		label := ""
 		for _, bug := range bugs {
 			if clusterMatches(cc, bug) {

@@ -62,7 +62,10 @@ func TestCampaignDetectsSeededBugs(t *testing.T) {
 		{objstore.New(), []string{"OZONE-2", "OZONE-3"}},
 	}
 	for _, c := range cases {
-		rep := Run(c.sys, lightConfig(42))
+		rep, err := Run(c.sys, lightConfig(42))
+		if err != nil {
+			t.Fatal(err)
+		}
 		got := map[string]bool{}
 		for _, id := range DetectedBugs(rep, c.sys.Bugs()) {
 			got[id] = true
@@ -84,7 +87,10 @@ func TestCampaignHDFS2FindsMajority(t *testing.T) {
 		t.Skip("campaigns are heavyweight")
 	}
 	sys := dfs.NewV2()
-	rep := Run(sys, lightConfig(42))
+	rep, err := Run(sys, lightConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
 	found := DetectedBugs(rep, sys.Bugs())
 	if len(found) < 3 {
 		t.Fatalf("detected %v, want >= 3 of 6", found)
@@ -155,7 +161,10 @@ func TestRandomProtocolRuns(t *testing.T) {
 	}
 	cfg := lightConfig(7)
 	cfg.Protocol = ProtocolRandom
-	rep := Run(kvstore.New(), cfg)
+	rep, err := Run(kvstore.New(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.Alloc != nil {
 		t.Fatal("random protocol must not produce a 3PA result")
 	}

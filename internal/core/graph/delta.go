@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+)
+
+// Delta describes how a graph's dynamic-edge set grew over a window of
+// raw insertions [FromSeq, ToSeq): the artifact one anytime-campaign
+// round publishes so downstream consumers (the incremental beam search,
+// round observers) can re-examine only what the round's experiments
+// actually changed.
+//
+// Determinism contract: a graph's raw insertion sequence is a pure
+// function of the campaign's configuration and seed (the harness merges
+// parallel run results in deterministic order before inserting), so the
+// delta of any [FromSeq, ToSeq) window -- its edge indices, new-record
+// count, and touched fault set -- is identical across serial, parallel,
+// and resumed executions of the same campaign.
+type Delta struct {
+	FromSeq, ToSeq int
+	// New counts dynamic edge records first discovered inside the window.
+	New int
+	// Edges lists the logical indices of every dynamic edge the window
+	// added or whose occurrence evidence it extended, ascending. Merges
+	// wholly rejected by the evidence cap do not count: they cannot change
+	// key sets, materialized edges, or match outcomes.
+	Edges []int
+	// Faults lists the distinct fault ids those edges connect, in interned
+	// (dense-id) order.
+	Faults []faults.ID
+}
+
+// Empty reports whether the window changed nothing a search could see.
+func (d Delta) Empty() bool { return len(d.Edges) == 0 }
+
+// DeltaSince computes the delta of the window [fromSeq, g.RawLen()).
+// fromSeq <= 0 yields a delta covering every dynamic edge.
+func (g *Graph) DeltaSince(fromSeq int) Delta {
+	d := Delta{FromSeq: fromSeq, ToSeq: g.seq}
+	var touched []int32
+	seen := make(map[int32]bool)
+	for i := range g.dyn {
+		r := &g.dyn[i]
+		if r.lastSeq < fromSeq {
+			continue
+		}
+		if r.firstSeq >= fromSeq {
+			d.New++
+		}
+		d.Edges = append(d.Edges, i)
+		for _, f := range [2]int32{r.from, r.to} {
+			if !seen[f] {
+				seen[f] = true
+				touched = append(touched, f)
+			}
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	d.Faults = make([]faults.ID, len(touched))
+	for i, f := range touched {
+		d.Faults[i] = g.faultIDs[f]
+	}
+	return d
+}

@@ -57,8 +57,15 @@ type edgeRec struct {
 	fromDelay bool
 	toDelay   bool
 	firstSeq  int // raw sequence of the first insertion (-1 for static)
-	fromOcc   []occEntry
-	toOcc     []occEntry
+	// lastSeq is the raw sequence of the last insertion that actually
+	// extended this record's evidence (== firstSeq until a merge grows an
+	// occ list). Deltas and incremental index refreshes use it to decide
+	// which records a window of insertions touched; merges rejected by the
+	// evidence cap do not advance it, because they cannot change any
+	// derived state (key sets, materialized edges, match outcomes).
+	lastSeq int
+	fromOcc []occEntry
+	toOcc   []occEntry
 }
 
 // Graph is the interned causal-edge store. The zero value is not usable;
@@ -90,7 +97,16 @@ type Graph struct {
 	nestGroup map[int32]int
 
 	sealed bool
-	ix     *Index // cached search index, invalidated on mutation
+	// Cached search index plus the watermarks it was built at. Dynamic
+	// staleness is measured by raw sequence (ixSeq vs seq): a stale index
+	// is refreshed in place of a full rebuild by reusing every entry whose
+	// record the window did not touch. staticGen counts static-section
+	// changes (appends or evidence growth), which are rare and force a
+	// full rebuild.
+	ix        *Index
+	ixSeq     int
+	ixStatics int
+	staticGen int
 }
 
 // New returns an empty mutable graph.
@@ -214,7 +230,6 @@ func (g *Graph) Add(e fca.Edge) {
 	}
 	seq := g.seq
 	g.seq++
-	g.ix = nil
 	k := edgeKey{
 		from: g.internFault(e.From),
 		to:   g.internFault(e.To),
@@ -223,8 +238,12 @@ func (g *Graph) Add(e fca.Edge) {
 	}
 	if ref, ok := g.byKey[k]; ok && ref > 0 {
 		r := &g.dyn[ref-1]
+		nf, nt := len(r.fromOcc), len(r.toOcc)
 		r.fromOcc = g.mergeInto(r.fromOcc, seq, e.FromState.Occ)
 		r.toOcc = g.mergeInto(r.toOcc, seq, e.ToState.Occ)
+		if len(r.fromOcc) > nf || len(r.toOcc) > nt {
+			r.lastSeq = seq
+		}
 		return
 	}
 	g.dyn = append(g.dyn, edgeRec{
@@ -234,6 +253,7 @@ func (g *Graph) Add(e fca.Edge) {
 		fromDelay: e.FromState.DelayFault,
 		toDelay:   e.ToState.DelayFault,
 		firstSeq:  seq,
+		lastSeq:   seq,
 		fromOcc:   g.internOcc(seq, e.FromState.Occ),
 		toOcc:     g.internOcc(seq, e.ToState.Occ),
 	})
@@ -258,7 +278,7 @@ func (g *Graph) AddStatic(edges []fca.Edge) {
 }
 
 func (g *Graph) addStatic(e fca.Edge) {
-	g.ix = nil
+	g.staticGen++
 	k := edgeKey{
 		from: g.internFault(e.From),
 		to:   g.internFault(e.To),
@@ -278,6 +298,7 @@ func (g *Graph) addStatic(e fca.Edge) {
 		fromDelay: e.FromState.DelayFault,
 		toDelay:   e.ToState.DelayFault,
 		firstSeq:  -1,
+		lastSeq:   -1,
 	})
 	g.byKey[k] = -int32(len(g.static)) // -(i+1) offset
 }
@@ -297,6 +318,11 @@ func (g *Graph) Marks() []int {
 
 // Len returns the number of unique edges (dynamic + static).
 func (g *Graph) Len() int { return len(g.dyn) + len(g.static) }
+
+// DynLen returns the number of unique dynamic edges: the size of the
+// logical-index prefix that is stable as the graph grows (static edges
+// order after it and shift with every new dynamic record).
+func (g *Graph) DynLen() int { return len(g.dyn) }
 
 // RawLen returns the number of raw dynamic insertions (pre-dedup).
 func (g *Graph) RawLen() int { return g.seq }
@@ -410,6 +436,13 @@ func (g *Graph) prefixSeq(cut, nMarks int) *Graph {
 		}
 	}
 	s.static = append([]edgeRec(nil), g.static...)
+	if cut >= g.seq && g.ixFresh() {
+		// A full snapshot is structurally identical to its parent: share
+		// the parent's (read-only) index so per-round searches of anytime
+		// campaigns do not rebuild it from scratch.
+		s.ix = g.ix
+		s.ixSeq = s.seq
+	}
 	if g.scores != nil {
 		s.scores = make(map[int32]float64, len(g.scores))
 		for k, v := range g.scores {
@@ -432,6 +465,12 @@ func filterRec(r *edgeRec, cut int) edgeRec {
 	out := *r
 	out.fromOcc = filterOcc(r.fromOcc, cut)
 	out.toOcc = filterOcc(r.toOcc, cut)
+	out.lastSeq = out.firstSeq
+	for _, entries := range [2][]occEntry{out.fromOcc, out.toOcc} {
+		if n := len(entries); n > 0 && entries[n-1].seq > out.lastSeq {
+			out.lastSeq = entries[n-1].seq
+		}
+	}
 	return out
 }
 
@@ -611,14 +650,34 @@ type Index struct {
 	Edges []fca.Edge
 }
 
+// ixFresh reports whether the cached index still describes the graph.
+func (g *Graph) ixFresh() bool {
+	return g.ix != nil && g.ixSeq == g.seq && g.ixStatics == g.staticGen
+}
+
 // Index returns (building and caching on first use) the columnar search
-// view. The cache is invalidated by any mutation.
+// view. A cached index left stale by dynamic insertions is refreshed
+// delta-aware: entries of records the insertion window did not touch are
+// reused (no key-set recomputation, no evidence re-materialization), only
+// new and evidence-extended records are filled from scratch. Static-
+// section changes (rare: Merge, construction) force a full rebuild.
 func (g *Graph) Index() *Index {
-	if g.ix != nil {
+	if g.ixFresh() {
 		return g.ix
 	}
-	n := g.Len()
-	ix := &Index{
+	if g.ix != nil && g.ixStatics == g.staticGen {
+		g.ix = g.updateIndex(g.ix, g.ixSeq)
+	} else {
+		g.ix = g.buildIndex()
+	}
+	g.ixSeq = g.seq
+	g.ixStatics = g.staticGen
+	return g.ix
+}
+
+// newIndexShell allocates an index with empty columns of length n.
+func (g *Graph) newIndexShell(n int) *Index {
+	return &Index{
 		N:         n,
 		From:      make([]int32, n),
 		To:        make([]int32, n),
@@ -634,20 +693,70 @@ func (g *Graph) Index() *Index {
 		ToFull:    make([][]int32, n),
 		ByFrom:    make([][]int32, len(g.faultIDs)),
 		FaultOf:   g.faultIDs,
-		Edges:     g.Edges(),
+		Edges:     make([]fca.Edge, n),
 	}
+}
+
+// fillIndexAt computes entry i of the index from its record: the only
+// place per-edge derived state (key sets, the materialized edge) is born.
+func (g *Graph) fillIndexAt(ix *Index, i int, r *edgeRec) {
+	ix.From[i], ix.To[i] = r.from, r.to
+	ix.Kind[i] = r.kind
+	ix.FromClass[i], ix.ToClass[i] = r.fromClass, r.toClass
+	ix.FromDelay[i], ix.ToDelay[i] = r.fromDelay, r.toDelay
+	ix.Connector[i] = r.kind.Static()
+	ix.FromStack[i], ix.FromFull[i] = keySets(r.fromOcc)
+	ix.ToStack[i], ix.ToFull[i] = keySets(r.toOcc)
+	ix.Edges[i] = g.materialize(r)
+}
+
+// copyIndexAt moves entry j of src to entry i of dst. Inner slices (key
+// sets, occurrence lists) are immutable once built, so sharing them across
+// index generations is safe.
+func copyIndexAt(dst *Index, i int, src *Index, j int) {
+	dst.From[i], dst.To[i] = src.From[j], src.To[j]
+	dst.Kind[i] = src.Kind[j]
+	dst.FromClass[i], dst.ToClass[i] = src.FromClass[j], src.ToClass[j]
+	dst.FromDelay[i], dst.ToDelay[i] = src.FromDelay[j], src.ToDelay[j]
+	dst.Connector[i] = src.Connector[j]
+	dst.FromStack[i], dst.FromFull[i] = src.FromStack[j], src.FromFull[j]
+	dst.ToStack[i], dst.ToFull[i] = src.ToStack[j], src.ToFull[j]
+	dst.Edges[i] = src.Edges[j]
+}
+
+func (g *Graph) buildIndex() *Index {
+	n := g.Len()
+	ix := g.newIndexShell(n)
 	for i := 0; i < n; i++ {
 		r := g.rec(i)
-		ix.From[i], ix.To[i] = r.from, r.to
-		ix.Kind[i] = r.kind
-		ix.FromClass[i], ix.ToClass[i] = r.fromClass, r.toClass
-		ix.FromDelay[i], ix.ToDelay[i] = r.fromDelay, r.toDelay
-		ix.Connector[i] = r.kind.Static()
-		ix.FromStack[i], ix.FromFull[i] = keySets(r.fromOcc)
-		ix.ToStack[i], ix.ToFull[i] = keySets(r.toOcc)
+		g.fillIndexAt(ix, i, r)
 		ix.ByFrom[r.from] = append(ix.ByFrom[r.from], int32(i))
 	}
-	g.ix = ix
+	return ix
+}
+
+// updateIndex refreshes a stale base index built at raw-sequence baseSeq,
+// with an unchanged static section. Dynamic records the window [baseSeq,
+// seq) touched -- plus the records it added -- are refilled; everything
+// else, including the static tail (whose logical indices shift as the
+// dynamic section grows), is copied entry-wise from the base. ByFrom is
+// rebuilt, as new edges may depart any fault.
+func (g *Graph) updateIndex(base *Index, baseSeq int) *Index {
+	n := g.Len()
+	nDyn := len(g.dyn)
+	baseDyn := base.N - len(g.static)
+	ix := g.newIndexShell(n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i < nDyn && (i >= baseDyn || g.dyn[i].lastSeq >= baseSeq):
+			g.fillIndexAt(ix, i, &g.dyn[i])
+		case i < nDyn:
+			copyIndexAt(ix, i, base, i)
+		default:
+			copyIndexAt(ix, i, base, baseDyn+(i-nDyn))
+		}
+		ix.ByFrom[ix.From[i]] = append(ix.ByFrom[ix.From[i]], int32(i))
+	}
 	return ix
 }
 

@@ -503,6 +503,36 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	return intf
 }
 
+// ExecuteWave executes one scheduled wave of experiments in order --
+// each internally fanning its (magnitude x rep) grid across the worker
+// pool -- and returns the completed run records together with the causal-
+// graph delta the wave contributed: the new and evidence-extended edges
+// plus the fault ids they touch. The delta is the handoff artifact of the
+// anytime pipeline (incremental search, round observers); like everything
+// else the driver produces, it is deterministic for a given campaign
+// configuration, serial or parallel.
+//
+// Wave entries execute serially relative to each other (the Execute
+// contract: concurrent experiments would interleave edge insertions
+// between mark boundaries), so a wave-driven campaign accumulates exactly
+// the graph a blocking one does.
+func (d *Driver) ExecuteWave(wave []alloc.PlannedRun) ([]alloc.RunRecord, graph.Delta) {
+	d.mu.Lock()
+	start := d.g.RawLen()
+	d.mu.Unlock()
+	recs := make([]alloc.RunRecord, len(wave))
+	for i, pr := range wave {
+		recs[i] = alloc.RunRecord{
+			Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
+			Intf: d.Execute(pr.Fault, pr.Test),
+		}
+	}
+	d.mu.Lock()
+	delta := d.g.DeltaSince(start)
+	d.mu.Unlock()
+	return recs, delta
+}
+
 // Marks returns the cumulative raw dynamic-edge count after each Execute
 // call, in call order. Combined with the allocation's run records this
 // attributes every edge to the experiment (and hence 3PA phase) that
@@ -516,10 +546,14 @@ func (d *Driver) Marks() []int {
 // Graph returns a sealed snapshot of the full causal graph accumulated so
 // far (dynamic edges plus the static ICFG/CFG loop edges): the indexed,
 // serializable artifact the beam search, report tables, and cross-
-// campaign stitching consume.
+// campaign stitching consume. The live graph's search index is refreshed
+// (delta-aware) before snapshotting, so successive snapshots of a round-
+// based campaign share incrementally-maintained indexes instead of each
+// rebuilding one from scratch.
 func (d *Driver) Graph() *graph.Graph {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.g.Index()
 	return d.g.Snapshot()
 }
 

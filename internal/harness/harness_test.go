@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core/alloc"
 	"repro/internal/core/fca"
 	"repro/internal/faults"
 	"repro/internal/systems/dfs"
@@ -117,6 +118,55 @@ func TestParallelExecuteMatchesSerial(t *testing.T) {
 	}
 	if serial.SimCount() != parallel.SimCount() {
 		t.Fatalf("sim counts diverge: %d vs %d", serial.SimCount(), parallel.SimCount())
+	}
+}
+
+// TestExecuteWaveMatchesSerialExecutes: a wave-driven driver accumulates
+// exactly the graph a call-by-call one does, and the published delta
+// names the wave's edges and faults.
+func TestExecuteWaveMatchesSerialExecutes(t *testing.T) {
+	wave := []alloc.PlannedRun{
+		{Fault: dfs.PtNNIBRProcessLoop, Test: "ibr_storm", Phase: alloc.Phase1},
+		{Fault: dfs.PtDNIBRRPCIOE, Test: "ibr_interval", Phase: alloc.Phase1},
+	}
+
+	ref := lightDriver(t)
+	var refIntf [][]faults.ID
+	for _, pr := range wave {
+		refIntf = append(refIntf, ref.Execute(pr.Fault, pr.Test))
+	}
+
+	d := lightDriver(t)
+	recs, delta := d.ExecuteWave(wave)
+	if len(recs) != len(wave) {
+		t.Fatalf("records = %d, want %d", len(recs), len(wave))
+	}
+	for i, r := range recs {
+		if r.Fault != wave[i].Fault || r.Test != wave[i].Test || r.Phase != wave[i].Phase {
+			t.Fatalf("record %d = %+v, want plan %+v", i, r, wave[i])
+		}
+		if !reflect.DeepEqual(r.Intf, refIntf[i]) {
+			t.Fatalf("record %d interference diverges from serial Execute", i)
+		}
+	}
+	if !reflect.DeepEqual(d.Edges(), ref.Edges()) {
+		t.Fatal("wave-driven edge set diverges from serial Executes")
+	}
+	if !reflect.DeepEqual(d.Marks(), ref.Marks()) {
+		t.Fatal("wave-driven marks diverge from serial Executes")
+	}
+
+	if delta.FromSeq != 0 || delta.ToSeq != d.Graph().RawLen() {
+		t.Fatalf("delta window [%d, %d) does not span the wave", delta.FromSeq, delta.ToSeq)
+	}
+	if delta.New == 0 || len(delta.Edges) == 0 || len(delta.Faults) == 0 {
+		t.Fatalf("empty delta for an edge-producing wave: %+v", delta)
+	}
+
+	// A second wave's delta covers only its own window.
+	recs2, delta2 := d.ExecuteWave(wave[:0])
+	if len(recs2) != 0 || !delta2.Empty() {
+		t.Fatalf("empty wave produced work: %v %+v", recs2, delta2)
 	}
 }
 

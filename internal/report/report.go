@@ -3,7 +3,8 @@
 // self-sustaining cascading failures with allocation phase, random-
 // allocation and naive-strategy comparisons), Table 4 (cycle/cluster/TP
 // counts, unlimited vs one-delay beam search), the §8.2.1 fuzzing
-// comparison, and the §8.5 instrumentation overhead measurement.
+// comparison, the §8.5 instrumentation overhead measurement, and the
+// anytime-campaign convergence table (cycles found vs budget spent).
 package report
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/baselines"
+	"repro/internal/core/alloc"
 	"repro/internal/core/beam"
 	"repro/internal/core/csnake"
 	"repro/internal/faults"
@@ -278,6 +280,67 @@ func WriteTable4(w io.Writer, rows []Table4Row) {
 			fmt.Sprintf("%d (%d)", r.Cycles, r.Cycles1),
 			fmt.Sprintf("%d (%d)", r.Clusters, r.Clusters1),
 			fmt.Sprintf("%d (%d)", r.TP, r.TP1))
+	}
+}
+
+// ConvergenceRow is one anytime-campaign round in the convergence table:
+// how much of the detection surfaced after what fraction of the budget.
+type ConvergenceRow struct {
+	System string
+	Round  int
+	Phase  alloc.Phase
+	// Spent / Budget is the cumulative experiment count; SpentFrac the
+	// fraction of budget consumed after this round.
+	Spent, Budget int
+	SpentFrac     float64
+	Cycles        int
+	Clusters      int
+	// Detected lists the ground-truth bugs identifiable from this round's
+	// clustered cycle set, sorted.
+	Detected []string
+}
+
+// Convergence renders an anytime campaign's round trajectory against the
+// system's ground truth: the "cycles found vs budget spent" table. Nil
+// for batch campaigns (no rounds recorded).
+func Convergence(art *CampaignArtifacts) []ConvergenceRow {
+	rep := art.Report
+	var rows []ConvergenceRow
+	for _, r := range rep.Rounds {
+		row := ConvergenceRow{
+			System:   rep.System,
+			Round:    r.Round,
+			Phase:    r.Phase,
+			Spent:    r.Spent,
+			Budget:   r.Budget,
+			Cycles:   r.CycleCount,
+			Clusters: len(r.Clusters),
+		}
+		if r.Budget > 0 {
+			row.SpentFrac = float64(r.Spent) / float64(r.Budget)
+		}
+		seen := map[string]bool{}
+		for _, lc := range csnake.LabelClusters(r.Clusters, art.System.Bugs()) {
+			if lc.Bug != "" && !seen[lc.Bug] {
+				seen[lc.Bug] = true
+				row.Detected = append(row.Detected, lc.Bug)
+			}
+		}
+		sort.Strings(row.Detected)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteConvergence renders the convergence table.
+func WriteConvergence(w io.Writer, rows []ConvergenceRow) {
+	fmt.Fprintf(w, "%-10s %5s %5s %11s %7s %8s %8s  %s\n",
+		"System", "Round", "Phase", "Spent", "Budget%", "Cycles", "Clusters", "Detected")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %5d %5d %11s %6.0f%% %8d %8d  %s\n",
+			r.System, r.Round, r.Phase,
+			fmt.Sprintf("%d/%d", r.Spent, r.Budget), 100*r.SpentFrac,
+			r.Cycles, r.Clusters, strings.Join(r.Detected, ","))
 	}
 }
 

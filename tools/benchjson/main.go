@@ -4,13 +4,22 @@
 // trajectory across PRs:
 //
 //	go test -run '^$' -bench . -benchtime 1x -benchmem ./... | go run ./tools/benchjson > BENCH.json
+//
+// With -delta it instead compares two such documents and prints the
+// per-benchmark ns/op and allocs/op movement -- the CI benchmark-delta
+// step runs it against the previous PR's committed baseline
+// (non-blocking: deltas inform, they do not gate):
+//
+//	go run ./tools/benchjson -delta BENCH_old.json BENCH_new.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -26,7 +35,85 @@ type Result struct {
 	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
+// document is the on-disk BENCH_*.json shape.
+type document struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func loadDoc(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.Benchmarks, nil
+}
+
+// printDelta renders the per-benchmark movement between two documents.
+// Benchmarks present on only one side are listed as added/removed rather
+// than failing the comparison: the suite grows PR over PR.
+func printDelta(oldPath, newPath string) error {
+	oldB, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newB, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(newB))
+	for name := range newB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	pct := func(oldV, newV float64) string {
+		if oldV == 0 {
+			return "     n/a"
+		}
+		return fmt.Sprintf("%+7.1f%%", 100*(newV/oldV-1))
+	}
+	fmt.Printf("benchmark delta: %s -> %s\n", oldPath, newPath)
+	fmt.Printf("%-44s %14s %9s %12s %9s\n", "benchmark", "ns/op", "vs old", "allocs/op", "vs old")
+	for _, name := range names {
+		n := newB[name]
+		o, ok := oldB[name]
+		if !ok {
+			fmt.Printf("%-44s %14.0f %9s %12.0f %9s\n", name, n.NsPerOp, "new", n.Allocs, "new")
+			continue
+		}
+		fmt.Printf("%-44s %14.0f %9s %12.0f %9s\n",
+			name, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp), n.Allocs, pct(o.Allocs, n.Allocs))
+	}
+	var removed []string
+	for name := range oldB {
+		if _, ok := newB[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Printf("%-44s %14s %9s %12s %9s\n", name, "-", "removed", "-", "removed")
+	}
+	return nil
+}
+
 func main() {
+	delta := flag.Bool("delta", false, "compare two BENCH_*.json documents: benchjson -delta OLD NEW")
+	flag.Parse()
+	if *delta {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -delta OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := printDelta(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	results := map[string]Result{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
