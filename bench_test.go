@@ -26,6 +26,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/inject"
 	"repro/internal/report"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/systems/dfs"
@@ -141,6 +142,57 @@ func BenchmarkCampaign_MetaStoreAnytime(b *testing.B) {
 func BenchmarkCampaign_MetaStoreAnytimeEarlyStop(b *testing.B) {
 	benchCampaignMetaStore(b, csnake.WithEarlyStop(3), csnake.WithWaveSize(4))
 }
+
+// --- E2d: the campaign service -- shared worker budget across jobs ---
+
+// benchServiceCampaigns submits four HBase campaigns to a csnaked job
+// manager and awaits them all. maxJobs=4 runs them concurrently under
+// the shared worker-token pool; maxJobs=1 is the sequential baseline.
+// The gap is the service's concurrency win at equal total work (results
+// are byte-identical either way -- the determinism tests pin that).
+func benchServiceCampaigns(b *testing.B, maxJobs int) {
+	specs := make([]service.CampaignSpec, 4)
+	for i := range specs {
+		seed := int64(42 + i)
+		specs[i] = service.CampaignSpec{
+			System:            "hbase",
+			Seed:              &seed,
+			Reps:              3,
+			DelayMagnitudesMS: []int64{500, 2000, 8000},
+			Parallelism:       runtime.NumCPU(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := service.NewManager(service.Config{Workers: runtime.NumCPU(), MaxJobs: maxJobs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, len(specs))
+		for j, spec := range specs {
+			st, err := m.Submit(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[j] = st.ID
+		}
+		var sims int
+		for _, id := range ids {
+			st, err := m.Await(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.State != service.StateSucceeded {
+				b.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+			}
+			sims += st.Sims
+		}
+		b.ReportMetric(float64(sims), "sims")
+	}
+}
+
+func BenchmarkService_ConcurrentCampaigns(b *testing.B) { benchServiceCampaigns(b, 4) }
+func BenchmarkService_SequentialCampaigns(b *testing.B) { benchServiceCampaigns(b, 1) }
 
 // --- E3: Table 4 (cycle clustering, unlimited vs one-delay search) ---
 

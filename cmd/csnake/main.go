@@ -40,6 +40,7 @@ import (
 	"repro/internal/core/csnake"
 	"repro/internal/core/graph"
 	"repro/internal/faults"
+	"repro/internal/report"
 	"repro/internal/systems/sysreg"
 
 	_ "repro/internal/systems/dfs"
@@ -105,6 +106,7 @@ func main() {
 	list := flag.Bool("list", false, "list registered systems and exit")
 	edgesOut := flag.String("edges-out", "", "write the campaign's causal graph (or the -edges-in merge) as JSON")
 	edgesIn := flag.String("edges-in", "", "comma-separated persisted graphs: skip the campaign, stitch them, and re-search")
+	jsonOut := flag.Bool("json", false, "print the machine-readable campaign report (the csnaked report schema) to stdout")
 	flag.Parse()
 
 	if *list {
@@ -169,6 +171,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote causal graph (%d edges, %d faults) to %s\n",
 			rep.Graph.Len(), rep.Graph.NumFaults(), *edgesOut)
+	}
+	if *jsonOut {
+		// Same document GET /v1/campaigns/{id}/report serves: one schema
+		// for scripted consumers, whether the campaign ran here or in
+		// csnaked. The human-readable summary moves to stderr.
+		if err := report.WriteJSON(os.Stdout, rep, sys.Bugs()); err != nil {
+			log.Fatalf("json: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "system=%s |F|=%d experiments=%d sims=%d edges=%d cycles=%d clusters=%d wall=%v\n",
+			rep.System, rep.Space.Size(), len(rep.Runs), rep.Sims, len(rep.Edges), len(rep.Cycles), len(rep.CycleClusters), time.Since(start).Round(time.Millisecond))
+		return
 	}
 	fmt.Printf("system=%s |F|=%d experiments=%d sims=%d edges=%d cycles=%d clusters=%d parallel=%d wall=%v\n",
 		rep.System, rep.Space.Size(), len(rep.Runs), rep.Sims, len(rep.Edges), len(rep.Cycles), len(rep.CycleClusters), *parallel, time.Since(start).Round(time.Millisecond))

@@ -1,0 +1,65 @@
+// Command csnaked is the CSnake campaign server: a long-running daemon
+// that accepts campaign jobs over HTTP, executes them concurrently
+// under one shared simulation budget, streams round progress as
+// server-sent events, and serves every finished campaign's causal graph
+// as a persisted, mergeable artifact.
+//
+// Endpoints (see docs/API.md for the full reference):
+//
+//	POST   /v1/campaigns             submit a campaign spec
+//	GET    /v1/campaigns             list jobs
+//	GET    /v1/campaigns/{id}        job status + rounds so far
+//	DELETE /v1/campaigns/{id}        cancel
+//	GET    /v1/campaigns/{id}/events SSE round/state stream
+//	GET    /v1/campaigns/{id}/report machine-readable campaign report
+//	GET    /v1/campaigns/{id}/cycles clustered cycles only
+//	GET    /v1/graphs                stored graph artifacts
+//	GET    /v1/graphs/{id}           one raw schema-v1 graph document
+//	POST   /v1/graphs/merge          stitch stored graphs (+ re-search)
+//	GET    /metrics                  text metrics
+//	GET    /healthz                  liveness + counter snapshot
+//
+// Usage: csnaked [-addr HOST:PORT] [-workers N] [-max-jobs N] [-data DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/service"
+	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/dfs"
+	_ "repro/internal/systems/kvstore"
+	_ "repro/internal/systems/metastore"
+	_ "repro/internal/systems/objstore"
+	_ "repro/internal/systems/stream"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8344", "listen address")
+	workers := flag.Int("workers", 0, "shared simulation worker tokens across all jobs (0 = GOMAXPROCS)")
+	maxJobs := flag.Int("max-jobs", 4, "campaign jobs running at once; the rest queue by priority")
+	dataDir := flag.String("data", "", "directory for persisted graph artifacts (empty = in-memory only)")
+	flag.Parse()
+
+	m, err := service.NewManager(service.Config{
+		Workers: *workers,
+		MaxJobs: *maxJobs,
+		DataDir: *dataDir,
+	})
+	if err != nil {
+		log.Fatalf("csnaked: %v", err)
+	}
+	if n := m.Store().Len(); n > 0 {
+		log.Printf("csnaked: reloaded %d graph artifact(s) from %s", n, *dataDir)
+	}
+	log.Printf("csnaked: serving on http://%s (workers=%d, max-jobs=%d, systems: %s)",
+		*addr, m.Pool().Cap(), *maxJobs, strings.Join(sysreg.Names(), ", "))
+	if err := http.ListenAndServe(*addr, service.NewServer(m)); err != nil {
+		log.Fatal(fmt.Errorf("csnaked: %w", err))
+	}
+}

@@ -1,0 +1,164 @@
+// service walks through the csnaked campaign server as a client would
+// use it, with the server running in-process on a loopback port: submit
+// two MetaStore early-stop campaigns, watch the first one's rounds
+// arrive over the SSE stream while it runs, read both machine-readable
+// reports, and then merge the two persisted causal graphs server-side --
+// re-searching the stitched evidence for cycles.
+//
+//	go run ./examples/service
+//
+// Everything shown here works identically against a standalone daemon
+// (`go run ./cmd/csnaked`) with curl; see docs/API.md.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/service"
+
+	_ "repro/internal/systems/metastore"
+)
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service example:", err)
+		os.Exit(1)
+	}
+}
+
+func post(url string, body, out any) {
+	data, err := json.Marshal(body)
+	fatal(err)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	fatal(err)
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("POST %s: %s: %s", url, resp.Status, msg))
+	}
+	fatal(json.NewDecoder(resp.Body).Decode(out))
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	fatal(err)
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(resp.Body)
+		fatal(fmt.Errorf("GET %s: %s: %s", url, resp.Status, msg))
+	}
+	fatal(json.NewDecoder(resp.Body).Decode(out))
+}
+
+func spec(seed int64) map[string]any {
+	return map[string]any{
+		"system":            "metastore",
+		"seed":              seed,
+		"reps":              3,
+		"delayMagnitudesMs": []int64{500, 2000, 8000},
+		"earlyStopRounds":   3,
+		"waveSize":          4,
+	}
+}
+
+func main() {
+	// An in-process server: the same handler `go run ./cmd/csnaked`
+	// serves, on an ephemeral loopback port.
+	m, err := service.NewManager(service.Config{Workers: 4, MaxJobs: 2})
+	fatal(err)
+	srv := httptest.NewServer(service.NewServer(m))
+	defer srv.Close()
+	fmt.Printf("csnaked serving at %s\n\n", srv.URL)
+
+	// Submit the first campaign and follow its SSE stream: rounds arrive
+	// while the campaign is still running, the terminal state event ends
+	// the stream.
+	var sub service.SubmitResponse
+	post(srv.URL+"/v1/campaigns", spec(42), &sub)
+	fmt.Printf("submitted %s (MetaStore, early stop after 3 stable rounds)\n", sub.ID)
+
+	stream, err := http.Get(srv.URL + "/v1/campaigns/" + sub.ID + "/events")
+	fatal(err)
+	sc := bufio.NewScanner(stream.Body)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "data: ") {
+			data = strings.TrimPrefix(line, "data: ")
+			continue
+		}
+		if line != "" || data == "" {
+			continue
+		}
+		var ev service.Event
+		fatal(json.Unmarshal([]byte(data), &ev))
+		data = ""
+		if ev.Type == "round" {
+			r := ev.Round
+			fmt.Printf("  round %2d: %3d/%d budget, +%2d edges, %5d cycles, %d clusters, detected %v\n",
+				r.Round, r.Spent, r.Budget, r.NewEdges, r.Cycles, r.Clusters, r.Detected)
+			continue
+		}
+		fmt.Printf("  %s -> %s\n\n", ev.Job, ev.State)
+		break
+	}
+	stream.Body.Close()
+
+	// A second campaign with a different seed, awaited by polling -- the
+	// other way to follow a job.
+	var sub2 service.SubmitResponse
+	post(srv.URL+"/v1/campaigns", spec(43), &sub2)
+	st2, err := m.Await(sub2.ID)
+	fatal(err)
+	fmt.Printf("submitted %s (seed 43): %s after %d sims\n\n", sub2.ID, st2.State, st2.Sims)
+
+	// Both reports use the same schema `csnake -json` prints.
+	var g1, g2 string
+	for _, id := range []string{sub.ID, sub2.ID} {
+		var rep struct {
+			DetectedBugs []string `json:"detectedBugs"`
+			Sims         int      `json:"sims"`
+			Edges        int      `json:"edges"`
+			GraphID      string
+		}
+		get(srv.URL+"/v1/campaigns/"+id+"/report", &rep)
+		var st service.JobStatus
+		get(srv.URL+"/v1/campaigns/"+id, &st)
+		fmt.Printf("%s report: %d sims, %d edges, detected %v, graph %s\n",
+			id, rep.Sims, rep.Edges, rep.DetectedBugs, st.GraphID)
+		if id == sub.ID {
+			g1 = st.GraphID
+		} else {
+			g2 = st.GraphID
+		}
+	}
+
+	// Server-side merge: stitch both campaigns' graphs and re-search the
+	// combined evidence.
+	var merged service.MergeResponse
+	post(srv.URL+"/v1/graphs/merge", service.MergeRequest{Graphs: []string{g1, g2}, Research: true}, &merged)
+	fmt.Printf("\nmerged %s + %s -> %s: %d edges, %d cycles, %d clusters\n",
+		g1, g2, merged.Graph.ID, merged.Graph.Edges, merged.Cycles, len(merged.Clusters))
+
+	var health struct {
+		Metrics service.Metrics `json:"metrics"`
+	}
+	get(srv.URL+"/healthz", &health)
+	fmt.Printf("daemon totals: %d jobs succeeded, %d sims, %d rounds, %d graphs stored\n",
+		health.Metrics.JobsSucceeded, health.Metrics.SimsTotal,
+		health.Metrics.RoundsTotal, health.Metrics.GraphsStored)
+
+	if len(merged.Clusters) == 0 || health.Metrics.JobsSucceeded != 2 {
+		fmt.Fprintln(os.Stderr, "walkthrough did not complete as expected")
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: jobs, streaming, reports, and server-side graph merge all working")
+}

@@ -129,6 +129,12 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 	clusters = beam.ClusterCycles(cycles, clusterOf)
 	rep.Cycles = cycles
 	rep.CycleClusters = clusters
+	// Same teardown contract as the batch path: a cancellation racing the
+	// final re-rank still returns context.Canceled, and CampaignFinished
+	// never fires for a cancelled campaign.
+	if err := c.ctx.Err(); err != nil {
+		return rep, driver, err
+	}
 	if c.obs != nil {
 		for _, cy := range rep.Cycles {
 			c.obs.CycleFound(cy)

@@ -190,6 +190,17 @@ func WithParallelism(n int) Option {
 	}
 }
 
+// WithWorkerPool layers a shared simulation budget under the campaign's
+// parallelism: every simulated run must hold both a campaign worker slot
+// (WithParallelism) and a token from pool while it executes, so several
+// campaigns sharing one pool are bounded by its capacity in total. The
+// pool affects only scheduling, never results -- a campaign squeezed
+// through a shared pool is byte-identical to the same campaign running
+// alone. nil keeps the campaign unshared.
+func WithWorkerPool(pool *harness.TokenPool) Option {
+	return func(c *Campaign) { c.cfg.Harness.Pool = pool }
+}
+
 // WithObserver installs a campaign observer (nil disables events).
 func WithObserver(o Observer) Option { return func(c *Campaign) { c.obs = o } }
 
@@ -215,9 +226,12 @@ func (c *Campaign) System() sysreg.System { return c.sys }
 
 // Run executes the campaign: profile runs, budgeted fault injection, FCA,
 // and the beam search. On cancellation it returns the partial report and
-// the context error.
+// the context error. The internal driver is torn down before returning
+// (its pooled traces released); callers that need the driver afterwards
+// use RunWithDriver and own the teardown.
 func (c *Campaign) Run() (*Report, error) {
-	rep, _, err := c.RunWithDriver()
+	rep, driver, err := c.RunWithDriver()
+	driver.Release()
 	return rep, err
 }
 
@@ -313,6 +327,12 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 		gi, ok := rep.Alloc.ClusterOf[f]
 		return gi, ok
 	})
+	// A cancellation racing the final search must still surface: the
+	// contract is that a cancelled campaign always returns the context
+	// error and never fires CampaignFinished.
+	if err := c.ctx.Err(); err != nil {
+		return rep, driver, err
+	}
 	if c.obs != nil {
 		for _, cy := range rep.Cycles {
 			c.obs.CycleFound(cy)

@@ -52,6 +52,12 @@ type Config struct {
 	// 0 or 1 means strictly serial execution. Results are independent of
 	// the value (deterministic merge order).
 	Parallelism int
+	// Pool, when set, layers a shared cross-campaign simulation budget
+	// under Parallelism: every run additionally holds one pool token
+	// while it executes, so many drivers sharing a pool are bounded in
+	// total. Results are independent of the pool (and of contention on
+	// it); see TokenPool.
+	Pool *TokenPool
 }
 
 // DefaultConfig returns the paper's execution parameters.
@@ -256,6 +262,12 @@ func FanOut(parallelism, n int, fn func(int)) {
 // semaphore acquired in runOnce) when the driver is parallel, or runs
 // inline when serial. Unlike FanOut it may nest: outer levels (workloads)
 // hold no pool token while inner levels (seeded runs) execute.
+//
+// A panic on a worker goroutine is captured and re-raised on the calling
+// goroutine after all workers finish, so a crashing simulation surfaces
+// where the campaign runs (and a service wrapping campaigns in jobs can
+// recover it per job) instead of killing the whole process from an
+// anonymous goroutine.
 func (d *Driver) each(n int, fn func(int)) {
 	if d.sem == nil || n <= 1 {
 		for i := 0; i < n; i++ {
@@ -263,15 +275,27 @@ func (d *Driver) each(n int, fn func(int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
 	wg.Add(n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
 			fn(i)
 		}(i)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }
 
 // runOnce executes a single simulated run of workload w under plan.
@@ -281,6 +305,15 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	if d.sem != nil {
 		d.sem <- struct{}{}
 		defer func() { <-d.sem }()
+	}
+	if p := d.cfg.Pool; p != nil {
+		// The local worker slot is held while waiting for a shared token;
+		// tokens are always released after a finite run, so the layered
+		// acquisition cannot deadlock.
+		if !p.Acquire(d.ctx) {
+			return nil
+		}
+		defer p.Release()
 	}
 	if d.cancelled() {
 		return nil

@@ -1,0 +1,190 @@
+// This file is the machine-readable campaign report: one JSON schema
+// shared by the csnake CLI (-json) and the csnaked campaign service, so
+// scripted consumers read the same document whether a campaign ran as a
+// one-shot process or as a served job. The encoding is a pure function
+// of the report -- no wall-clock, no map iteration order -- so two
+// byte-identical campaigns encode to byte-identical JSON.
+
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"repro/internal/core/beam"
+	"repro/internal/core/csnake"
+	"repro/internal/systems/sysreg"
+)
+
+// JSONSchema is the version tag of the machine-readable report format.
+const JSONSchema = 1
+
+// JSONReport is the wire form of a campaign report.
+type JSONReport struct {
+	Schema int    `json:"schema"`
+	System string `json:"system"`
+	// Faults is |F|, the filtered fault-space size.
+	Faults int `json:"faults"`
+	// Budget is the experiment budget (0 when the protocol recorded none).
+	Budget int `json:"budget,omitempty"`
+	// Experiments is the number of injection experiments executed; Sims
+	// the number of simulated executions behind them.
+	Experiments int `json:"experiments"`
+	Sims        int `json:"sims"`
+	// Edges is the deduplicated causal-edge count.
+	Edges int `json:"edges"`
+	// EarlyStopped marks an anytime campaign that converged before the
+	// budget ran out.
+	EarlyStopped bool `json:"earlyStopped,omitempty"`
+	// Cycles is the raw reported cycle count; Clusters groups them.
+	Cycles   int           `json:"cycles"`
+	Clusters []JSONCluster `json:"clusters"`
+	// DetectedBugs are the distinct ground-truth bug ids identified,
+	// sorted ("" entries never appear).
+	DetectedBugs []string `json:"detectedBugs"`
+	// Rounds is the anytime round trajectory (absent for batch).
+	Rounds []JSONRound `json:"rounds,omitempty"`
+}
+
+// JSONCluster is one reported cycle cluster with its best representative.
+type JSONCluster struct {
+	Key string `json:"key"`
+	// Bug is the matched ground-truth id ("" = unlabelled, omitted).
+	Bug string `json:"bug,omitempty"`
+	// Cycles is the cluster's raw member count.
+	Cycles int       `json:"cycles"`
+	Best   JSONCycle `json:"best"`
+}
+
+// JSONCycle is one self-sustaining cycle.
+type JSONCycle struct {
+	Score float64 `json:"score"`
+	// Faults are the distinct injected faults in cycle order.
+	Faults []string `json:"faults"`
+	// Chain renders the full edge chain (f1 -kind-> f2 -> ... -> f1).
+	Chain string `json:"chain"`
+}
+
+// JSONRound is one anytime round.
+type JSONRound struct {
+	Round         int `json:"round"`
+	Phase         int `json:"phase"`
+	Runs          int `json:"runs"`
+	Spent         int `json:"spent"`
+	Budget        int `json:"budget"`
+	NewEdges      int `json:"newEdges"`
+	TouchedEdges  int `json:"touchedEdges"`
+	TouchedFaults int `json:"touchedFaults"`
+	Cycles        int `json:"cycles"`
+	Clusters      int `json:"clusters"`
+	// Detected lists the ground-truth bugs identifiable from this round's
+	// clustered cycle set, sorted.
+	Detected []string `json:"detected,omitempty"`
+}
+
+// JSONCycleOf encodes one cycle.
+func JSONCycleOf(c beam.Cycle) JSONCycle {
+	fs := c.Faults()
+	out := JSONCycle{Score: c.Score, Faults: make([]string, len(fs)), Chain: c.String()}
+	for i, f := range fs {
+		out.Faults[i] = string(f)
+	}
+	return out
+}
+
+// JSONClustersOf encodes a clustered cycle set, labelling each cluster
+// against the given ground truth (pass nil bugs for unlabelled output,
+// e.g. when re-searching a merged cross-campaign graph).
+func JSONClustersOf(clusters []beam.CycleCluster, bugs []sysreg.Bug) []JSONCluster {
+	out := make([]JSONCluster, 0, len(clusters))
+	for _, lc := range csnake.LabelClusters(clusters, bugs) {
+		cc := lc.Cluster
+		jc := JSONCluster{Key: cc.Key, Bug: lc.Bug, Cycles: len(cc.Cycles)}
+		if len(cc.Cycles) > 0 {
+			jc.Best = JSONCycleOf(cc.Cycles[0])
+		}
+		out = append(out, jc)
+	}
+	return out
+}
+
+// JSONRoundOf encodes one anytime round, classifying its cluster set
+// against the ground truth.
+func JSONRoundOf(r csnake.Round, bugs []sysreg.Bug) JSONRound {
+	out := JSONRound{
+		Round:         r.Round,
+		Phase:         int(r.Phase),
+		Runs:          r.Runs,
+		Spent:         r.Spent,
+		Budget:        r.Budget,
+		NewEdges:      r.NewEdges,
+		TouchedEdges:  r.TouchedEdges,
+		TouchedFaults: r.TouchedFaults,
+		Cycles:        r.CycleCount,
+		Clusters:      len(r.Clusters),
+	}
+	seen := map[string]bool{}
+	for _, lc := range csnake.LabelClusters(r.Clusters, bugs) {
+		if lc.Bug != "" && !seen[lc.Bug] {
+			seen[lc.Bug] = true
+			out.Detected = append(out.Detected, lc.Bug)
+		}
+	}
+	sort.Strings(out.Detected)
+	return out
+}
+
+// NewJSON encodes a finished (possibly partial) campaign report against
+// the system's ground-truth bugs.
+func NewJSON(rep *csnake.Report, bugs []sysreg.Bug) *JSONReport {
+	out := &JSONReport{
+		Schema:       JSONSchema,
+		System:       rep.System,
+		Experiments:  len(rep.Runs),
+		Sims:         rep.Sims,
+		Edges:        len(rep.Edges),
+		EarlyStopped: rep.EarlyStopped,
+		Cycles:       len(rep.Cycles),
+		Clusters:     JSONClustersOf(rep.CycleClusters, bugs),
+		DetectedBugs: []string{},
+	}
+	if rep.Space != nil {
+		out.Faults = rep.Space.Size()
+	}
+	if rep.Alloc != nil {
+		out.Budget = rep.Alloc.Budget
+	} else if n := len(rep.Rounds); n > 0 {
+		out.Budget = rep.Rounds[n-1].Budget
+	}
+	for _, jc := range out.Clusters {
+		if jc.Bug != "" {
+			found := false
+			for _, b := range out.DetectedBugs {
+				if b == jc.Bug {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out.DetectedBugs = append(out.DetectedBugs, jc.Bug)
+			}
+		}
+	}
+	sort.Strings(out.DetectedBugs)
+	for _, r := range rep.Rounds {
+		out.Rounds = append(out.Rounds, JSONRoundOf(r, bugs))
+	}
+	return out
+}
+
+// WriteJSON writes the indented machine-readable report to w.
+func WriteJSON(w io.Writer, rep *csnake.Report, bugs []sysreg.Bug) error {
+	data, err := json.MarshalIndent(NewJSON(rep, bugs), "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,405 @@
+// This file is the job manager: campaigns submitted to the service
+// become jobs in a priority queue, at most MaxJobs run at once, and all
+// running jobs share one harness.TokenPool so the total number of
+// in-flight simulations is bounded no matter how many campaigns are
+// active. Each job runs on its own goroutine with a recover barrier
+// (a panicking campaign fails its job, never the daemon), owns a
+// cancellation context (DELETE), and fans completed rounds out to
+// event subscribers.
+
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core/csnake"
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/systems/sysreg"
+)
+
+// Config tunes the service.
+type Config struct {
+	// Workers is the shared simulation-token budget across all running
+	// jobs (default: GOMAXPROCS).
+	Workers int
+	// MaxJobs bounds concurrently running jobs (default 4); further
+	// submissions queue by priority.
+	MaxJobs int
+	// DataDir persists graph artifacts ("" = in-memory only).
+	DataDir string
+	// SubBuffer is the per-subscriber event buffer (default 64); a
+	// subscriber that falls further behind drops rounds.
+	SubBuffer int
+}
+
+func (c *Config) defaults() {
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobs < 1 {
+		c.MaxJobs = 4
+	}
+	if c.SubBuffer < 1 {
+		c.SubBuffer = 64
+	}
+}
+
+// Job is one campaign job. All mutable fields are guarded by the
+// manager's mutex; Done is closed exactly once, on entry to a terminal
+// state.
+type Job struct {
+	ID   string
+	Spec CampaignSpec
+
+	state    JobState
+	err      string
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	seq      int // submission order, the FIFO key within a priority
+
+	cancel context.CancelFunc
+
+	rounds       []report.JSONRound
+	rep          *csnake.Report
+	json         *report.JSONReport
+	bugs         []sysreg.Bug
+	graphID      string
+	earlyStopped bool
+	sims         int
+
+	subs []*subscriber
+	done chan struct{}
+}
+
+// Manager owns the job table, the run queue, and the shared worker pool.
+type Manager struct {
+	cfg   Config
+	pool  *harness.TokenPool
+	store *GraphStore
+	start time.Time
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	order   []string // submission order, for listing
+	queue   []*Job   // waiting jobs; popBest picks (priority desc, seq asc)
+	running int
+	nextID  int
+
+	// lifetime counters for /metrics
+	simsTotal   int64
+	roundsTotal int64
+	succeeded   int
+	failed      int
+	cancelled   int
+}
+
+func errUnknownJob(id string) error { return fmt.Errorf("unknown job %q", id) }
+
+// NewManager builds a manager (and its graph store) from cfg.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg.defaults()
+	store, err := NewGraphStore(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:   cfg,
+		pool:  harness.NewTokenPool(cfg.Workers),
+		store: store,
+		start: time.Now(),
+		jobs:  make(map[string]*Job),
+	}, nil
+}
+
+// Store returns the graph artifact store.
+func (m *Manager) Store() *GraphStore { return m.store }
+
+// Pool returns the shared worker-token pool.
+func (m *Manager) Pool() *harness.TokenPool { return m.pool }
+
+// Submit validates spec, enqueues a job for it, and starts it
+// immediately if a run slot is free.
+func (m *Manager) Submit(spec CampaignSpec) (*JobStatus, error) {
+	if _, _, err := spec.Resolve(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", m.nextID),
+		Spec:    spec,
+		state:   StateQueued,
+		created: time.Now(),
+		seq:     m.nextID,
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j.ID)
+	m.queue = append(m.queue, j)
+	m.mu.Unlock()
+	m.schedule()
+	return m.Status(j.ID)
+}
+
+// schedule starts queued jobs while run slots are free.
+func (m *Manager) schedule() {
+	for {
+		m.mu.Lock()
+		if m.running >= m.cfg.MaxJobs || len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		j := m.popBest()
+		m.running++
+		j.state = StateRunning
+		j.started = time.Now()
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		m.mu.Unlock()
+		go m.runJob(j, ctx)
+	}
+}
+
+// popBest removes and returns the highest-priority (then oldest) queued
+// job. Caller holds m.mu.
+func (m *Manager) popBest() *Job {
+	best := 0
+	for i, j := range m.queue[1:] {
+		b := m.queue[best]
+		if j.Spec.Priority > b.Spec.Priority || (j.Spec.Priority == b.Spec.Priority && j.seq < b.seq) {
+			best = i + 1
+		}
+	}
+	j := m.queue[best]
+	m.queue = append(m.queue[:best], m.queue[best+1:]...)
+	return j
+}
+
+// runJob executes one campaign job to a terminal state. The recover
+// barrier is the crash-isolation boundary: a panic anywhere in the
+// campaign (the harness re-raises worker-goroutine panics here) marks
+// the job failed and leaves the daemon and its other jobs untouched.
+func (m *Manager) runJob(j *Job, ctx context.Context) {
+	defer func() {
+		if r := recover(); r != nil {
+			m.finish(j, nil, nil, fmt.Errorf("campaign panicked: %v", r))
+		}
+		m.mu.Lock()
+		m.running--
+		m.mu.Unlock()
+		m.schedule()
+	}()
+
+	sys, opts, err := j.Spec.Resolve()
+	if err != nil { // validated at submit; re-resolution cannot regress
+		m.finish(j, nil, nil, err)
+		return
+	}
+	bugs := sys.Bugs()
+	m.mu.Lock()
+	j.bugs = bugs
+	m.mu.Unlock()
+
+	opts = append(opts,
+		csnake.WithContext(ctx),
+		csnake.WithWorkerPool(m.pool),
+		csnake.WithObserver(&jobObserver{m: m, j: j}),
+	)
+	rep, driver, err := csnake.NewCampaign(sys, opts...).RunWithDriver()
+	driver.Release() // return pooled traces: jobs outlive their drivers
+	m.finish(j, rep, driver, err)
+}
+
+// finish moves a job into a terminal state, encodes its report,
+// persists its graph, and notifies subscribers. Safe to call once per
+// job; later calls (e.g. a cancel racing completion) are ignored.
+func (m *Manager) finish(j *Job, rep *csnake.Report, driver *harness.Driver, err error) {
+	m.mu.Lock()
+	if j.state.Terminal() {
+		m.mu.Unlock()
+		return
+	}
+	switch {
+	case err == nil:
+		j.state = StateSucceeded
+		m.succeeded++
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err.Error()
+		m.cancelled++
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+		m.failed++
+	}
+	j.finished = time.Now()
+	if driver != nil {
+		j.sims = driver.SimCount()
+		m.simsTotal += int64(driver.SimCount())
+	}
+	if rep != nil {
+		j.rep = rep
+		j.earlyStopped = rep.EarlyStopped
+		j.json = report.NewJSON(rep, j.bugs)
+	}
+	var toStore *csnake.Report
+	if j.state == StateSucceeded && rep != nil && rep.Graph != nil {
+		toStore = rep
+	}
+	st, errMsg, id := j.state, j.err, j.ID
+	m.mu.Unlock()
+
+	if toStore != nil {
+		if art, perr := m.store.Put("campaign:"+id, toStore.Graph); perr == nil {
+			m.mu.Lock()
+			j.graphID = art.Info.ID
+			m.mu.Unlock()
+		}
+	}
+	m.publish(j, Event{Type: "state", Job: id, State: st, Error: errMsg})
+	m.closeSubs(j)
+	close(j.done)
+}
+
+// Cancel cancels a job: a queued job moves straight to cancelled, a
+// running one has its context cancelled (the campaign unwinds and the
+// job finishes as cancelled). Cancelling a terminal job is a no-op that
+// reports the job's existence.
+func (m *Manager) Cancel(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return nil, errUnknownJob(id)
+	}
+	if j.state == StateQueued {
+		for i, q := range m.queue {
+			if q == j {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		m.finish(j, nil, nil, context.Canceled)
+		return m.Status(id)
+	}
+	cancel := j.cancel
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return m.Status(id)
+}
+
+// Await blocks until the job reaches a terminal state and returns its
+// final status.
+func (m *Manager) Await(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, errUnknownJob(id)
+	}
+	<-j.done
+	return m.Status(id)
+}
+
+// Status returns a point-in-time copy of one job's status.
+func (m *Manager) Status(id string) (*JobStatus, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, errUnknownJob(id)
+	}
+	return m.statusLocked(j), nil
+}
+
+// List returns every job's status in submission order.
+func (m *Manager) List() []*JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*JobStatus, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.jobs[id]))
+	}
+	return out
+}
+
+func (m *Manager) statusLocked(j *Job) *JobStatus {
+	st := &JobStatus{
+		ID:           j.ID,
+		State:        j.state,
+		Spec:         j.Spec,
+		Created:      j.created,
+		Error:        j.err,
+		Sims:         j.sims,
+		Rounds:       append([]report.JSONRound(nil), j.rounds...),
+		EarlyStopped: j.earlyStopped,
+		GraphID:      j.graphID,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.state == StateQueued {
+		// Position among waiting jobs in dispatch order.
+		pos := 1
+		for _, q := range m.queue {
+			if q == j {
+				continue
+			}
+			if q.Spec.Priority > j.Spec.Priority || (q.Spec.Priority == j.Spec.Priority && q.seq < j.seq) {
+				pos++
+			}
+		}
+		st.QueuePosition = pos
+	}
+	return st
+}
+
+// Report returns the finished job's machine-readable report.
+func (m *Manager) Report(id string) (*report.JSONReport, *JobStatus, error) {
+	st, err := m.Status(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.mu.Lock()
+	j := m.jobs[id]
+	rj := j.json
+	m.mu.Unlock()
+	if rj == nil {
+		return nil, st, fmt.Errorf("job %s has no report (state %s)", id, st.State)
+	}
+	return rj, st, nil
+}
+
+// jobObserver bridges campaign events into the job: it captures the
+// driver-independent progress (rounds) and fans it out to subscribers.
+// Campaign observers may be called from pool goroutines; everything here
+// locks through the manager.
+type jobObserver struct {
+	csnake.NopObserver
+	m *Manager
+	j *Job
+}
+
+func (o *jobObserver) RoundCompleted(r csnake.Round) {
+	jr := report.JSONRoundOf(r, o.j.bugs)
+	o.m.mu.Lock()
+	o.j.rounds = append(o.j.rounds, jr)
+	o.m.roundsTotal++
+	o.m.mu.Unlock()
+	o.m.publish(o.j, Event{Type: "round", Job: o.j.ID, Round: &jr})
+}

@@ -1,0 +1,77 @@
+// This file is the observability surface: a Prometheus-style text
+// exposition at /metrics (hand-rolled -- no client library dependency)
+// and a JSON liveness summary at /healthz.
+
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Metrics is a point-in-time snapshot of the service counters.
+type Metrics struct {
+	JobsRunning   int   `json:"jobsRunning"`
+	JobsQueued    int   `json:"jobsQueued"`
+	JobsSucceeded int   `json:"jobsSucceeded"`
+	JobsFailed    int   `json:"jobsFailed"`
+	JobsCancelled int   `json:"jobsCancelled"`
+	PoolCapacity  int   `json:"poolCapacity"`
+	PoolInUse     int   `json:"poolInUse"`
+	SimsTotal     int64 `json:"simsTotal"`
+	RoundsTotal   int64 `json:"roundsTotal"`
+	GraphsStored  int   `json:"graphsStored"`
+	UptimeSeconds int64 `json:"uptimeSeconds"`
+}
+
+// Snapshot collects the current metrics.
+func (m *Manager) Snapshot() Metrics {
+	m.mu.Lock()
+	s := Metrics{
+		JobsRunning:   m.running,
+		JobsQueued:    len(m.queue),
+		JobsSucceeded: m.succeeded,
+		JobsFailed:    m.failed,
+		JobsCancelled: m.cancelled,
+		SimsTotal:     m.simsTotal,
+		RoundsTotal:   m.roundsTotal,
+	}
+	m.mu.Unlock()
+	s.PoolCapacity = m.pool.Cap()
+	s.PoolInUse = m.pool.InUse()
+	s.GraphsStored = m.store.Len()
+	s.UptimeSeconds = int64(time.Since(m.start).Seconds())
+	return s
+}
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s := m.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	lines := []struct {
+		name, help string
+		value      int64
+	}{
+		{"csnaked_jobs_running", "Campaign jobs currently executing.", int64(s.JobsRunning)},
+		{"csnaked_jobs_queued", "Campaign jobs waiting for a run slot.", int64(s.JobsQueued)},
+		{"csnaked_jobs_succeeded_total", "Campaign jobs finished successfully.", int64(s.JobsSucceeded)},
+		{"csnaked_jobs_failed_total", "Campaign jobs finished in error.", int64(s.JobsFailed)},
+		{"csnaked_jobs_cancelled_total", "Campaign jobs cancelled.", int64(s.JobsCancelled)},
+		{"csnaked_pool_capacity", "Shared simulation worker tokens.", int64(s.PoolCapacity)},
+		{"csnaked_pool_inuse", "Shared worker tokens currently held.", int64(s.PoolInUse)},
+		{"csnaked_sims_total", "Simulated executions across finished jobs.", s.SimsTotal},
+		{"csnaked_rounds_total", "Anytime rounds completed across all jobs.", s.RoundsTotal},
+		{"csnaked_graphs_stored", "Graph artifacts in the store.", int64(s.GraphsStored)},
+		{"csnaked_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds},
+	}
+	for _, l := range lines {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", l.name, l.help, l.name, l.name, l.value)
+	}
+}
+
+func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string  `json:"status"`
+		Metrics Metrics `json:"metrics"`
+	}{Status: "ok", Metrics: m.Snapshot()})
+}

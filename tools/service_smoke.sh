@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Daemon smoke test for csnaked: build and start the server, then drive
+# the full client journey with curl -- submit a MetaStore early-stop
+# campaign, stream its rounds over SSE, read the report (both seeded
+# Raft storms must be detected), run a second campaign, merge the two
+# persisted graphs server-side, and fetch the merged artifact. CI runs
+# this; it also works locally:
+#
+#   ./tools/service_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:${CSNAKED_PORT:-8344}"
+BASE="http://$ADDR"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/csnaked"
+
+cleanup() {
+  [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "--- build"
+go build -o "$BIN" ./cmd/csnaked
+
+echo "--- start csnaked on $ADDR"
+"$BIN" -addr "$ADDR" -data "$WORKDIR/graphs" &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+    echo "daemon died before becoming healthy" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "daemon never became healthy" >&2; exit 1; }
+
+SPEC='{"system":"metastore","seed":42,"reps":3,"delayMagnitudesMs":[500,2000,8000],"earlyStopRounds":3,"waveSize":4}'
+
+echo "--- submit campaign"
+JOB=$(curl -sf -X POST "$BASE/v1/campaigns" -d "$SPEC" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "submit returned no job id" >&2; exit 1; }
+echo "job: $JOB"
+
+echo "--- stream events (SSE)"
+# The stream ends on its own after the terminal state event.
+EVENTS=$(curl -sf -N --max-time 120 "$BASE/v1/campaigns/$JOB/events")
+echo "$EVENTS" | grep -q '^event: round' || { echo "no round events in SSE stream" >&2; exit 1; }
+echo "$EVENTS" | grep -q '"state":"succeeded"' || { echo "stream did not end in success" >&2; exit 1; }
+echo "rounds streamed: $(echo "$EVENTS" | grep -c '^event: round')"
+
+echo "--- status + report"
+# The stream's terminal event and the status update are one transition,
+# but give the final write a moment on slow runners.
+for i in $(seq 1 20); do
+  curl -sf "$BASE/v1/campaigns/$JOB" | grep -q '"state": "succeeded"' && break
+  sleep 0.2
+done
+curl -sf "$BASE/v1/campaigns/$JOB" | grep -q '"state": "succeeded"'
+REPORT=$(curl -sf "$BASE/v1/campaigns/$JOB/report")
+echo "$REPORT" | grep -q 'RAFT-1' || { echo "report missing RAFT-1" >&2; exit 1; }
+echo "$REPORT" | grep -q 'RAFT-2' || { echo "report missing RAFT-2" >&2; exit 1; }
+echo "detected both seeded storms"
+
+echo "--- second campaign (seed 43)"
+SPEC2='{"system":"metastore","seed":43,"reps":3,"delayMagnitudesMs":[500,2000,8000],"earlyStopRounds":3,"waveSize":4}'
+JOB2=$(curl -sf -X POST "$BASE/v1/campaigns" -d "$SPEC2" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/v1/campaigns/$JOB2" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+  [ "$STATE" = succeeded ] && break
+  case "$STATE" in failed|cancelled) echo "second campaign $STATE" >&2; exit 1 ;; esac
+  sleep 0.5
+done
+[ "$STATE" = succeeded ] || { echo "second campaign never finished" >&2; exit 1; }
+
+echo "--- merge graphs server-side"
+G1=$(curl -sf "$BASE/v1/campaigns/$JOB" | sed -n 's/.*"graphId": "\([^"]*\)".*/\1/p')
+G2=$(curl -sf "$BASE/v1/campaigns/$JOB2" | sed -n 's/.*"graphId": "\([^"]*\)".*/\1/p')
+[ -n "$G1" ] && [ -n "$G2" ] || { echo "missing graph artifacts" >&2; exit 1; }
+MERGE=$(curl -sf -X POST "$BASE/v1/graphs/merge" -d "{\"graphs\":[\"$G1\",\"$G2\"],\"research\":true}")
+echo "$MERGE" | grep -q '"cycles"' || { echo "merge re-search returned no cycles" >&2; exit 1; }
+MERGED=$(echo "$MERGE" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
+
+echo "--- fetch merged graph $MERGED"
+curl -sf "$BASE/v1/graphs/$MERGED" | grep -q '"version"' || { echo "merged graph not served" >&2; exit 1; }
+curl -sf "$BASE/metrics" | grep -q '^csnaked_jobs_succeeded_total 2' || { echo "metrics wrong" >&2; exit 1; }
+
+echo "OK: daemon smoke passed"
