@@ -58,6 +58,14 @@ type Config struct {
 	// total. Results are independent of the pool (and of contention on
 	// it); see TokenPool.
 	Pool *TokenPool
+	// NoPrefixShare disables fork-at-injection prefix sharing: every
+	// injected run simulates from scratch. Results are byte-identical
+	// either way; the flag is an escape hatch and the benchmark baseline.
+	NoPrefixShare bool
+	// CheckpointBytes bounds the retained prefix-checkpoint cache; the
+	// least recently used probe sets are evicted past it (evicted forks
+	// fall back to from-scratch runs). Zero means the default (64 MiB).
+	CheckpointBytes int64
 }
 
 // DefaultConfig returns the paper's execution parameters.
@@ -83,6 +91,9 @@ func (c *Config) defaults() {
 	if c.Parallelism < 1 {
 		c.Parallelism = 1
 	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 64 << 20
+	}
 }
 
 // Observer receives driver-level progress events. The driver serializes
@@ -103,9 +114,13 @@ type Observer interface {
 }
 
 // profileEntry caches one workload's profile run set and coverage map.
-// The once gate means concurrent lookups compute the set exactly once.
+// The once gate means concurrent lookups compute the set exactly once;
+// done flips (with release semantics) after the set is complete, so the
+// prefix layer -- which must never *trigger* a build while holding a
+// worker slot -- can read the cached runs without blocking on the gate.
 type profileEntry struct {
 	once sync.Once
+	done atomic.Bool
 	set  *trace.Set
 	cov  map[faults.ID]bool
 }
@@ -130,10 +145,20 @@ type Driver struct {
 	// campaign's steady state allocates no new trace state per run.
 	pool *trace.Pool
 
-	// mu guards the edge graph and the profiles map (the entries gate
-	// themselves via sync.Once).
+	// mu guards the edge graph and the profiles/prefixes maps (the
+	// entries gate themselves via sync.Once).
 	mu       sync.Mutex
 	profiles map[string]*profileEntry
+
+	// prefixes holds the per-(workload, seed) prefix-sharing entries;
+	// ckc is the byte-bounded checkpoint cache behind them, and noCkpt
+	// marks workloads whose system never sets RunContext.Ckpt (see
+	// prefix.go).
+	prefixes map[ckKey]*prefixEntry
+	ckc      *ckptCache
+	noCkpt   map[string]bool
+
+	pfRuns, pfHits, pfClones, pfMisses atomic.Int64
 	// g accumulates the interned causal graph: static ICFG/CFG loop edges
 	// are pre-inserted at construction (they order after every dynamic
 	// edge when materialized), dynamic edges insert as FCA discovers them
@@ -158,6 +183,9 @@ func New(sys sysreg.System, space *faults.Space, cfg Config) *Driver {
 		ctx:       context.Background(),
 		workloads: make(map[string]sysreg.Workload),
 		profiles:  make(map[string]*profileEntry),
+		prefixes:  make(map[ckKey]*prefixEntry),
+		ckc:       newCkptCache(cfg.CheckpointBytes),
+		noCkpt:    make(map[string]bool),
 		g:         graph.New(),
 		pool:      trace.NewPool(space),
 	}
@@ -318,6 +346,16 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	if d.cancelled() {
 		return nil
 	}
+	if record && plan.Kind != inject.None && !d.cfg.NoPrefixShare {
+		// Injected runs reuse their (workload, seed) profile prefix: clone
+		// it outright when the target is never covered, fork from the last
+		// checkpoint below the divergence time otherwise. Both paths are
+		// byte-identical to the scratch run below; a miss falls through.
+		if rec, ok := d.forkOnce(w, plan, seed); ok {
+			return rec
+		}
+		d.pfMisses.Add(1)
+	}
 	var rec *trace.Run
 	if record {
 		rec = d.pool.Get(w.Name, seed)
@@ -330,6 +368,7 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	res := eng.Run(w.Horizon)
 	eng.Close()
 	d.sims.Add(1)
+	res.Events = eng.Events()
 	if rec != nil {
 		rec.Result = res
 		rec.Wall = time.Since(start)
@@ -337,16 +376,26 @@ func (d *Driver) runOnce(w sysreg.Workload, plan inject.Plan, seed int64, record
 	return rec
 }
 
-// runSets executes cfg.Reps seeded runs for every plan, fanning the
-// (plan, rep) grid across the worker pool, and merges the results in
-// deterministic (plan, seed-index) order.
-func (d *Driver) runSets(w sysreg.Workload, plans []inject.Plan, salts []int64) []*trace.Set {
+// seedsOf expands a salt into the cfg.Reps consecutive run seeds of a
+// run set: the (salt, rep) grid every profile and injection set draws
+// from.
+func (d *Driver) seedsOf(salt int64) []int64 {
+	seeds := make([]int64, d.cfg.Reps)
+	for ri := range seeds {
+		seeds[ri] = d.cfg.BaseSeed + salt*1_000_003 + int64(ri)
+	}
+	return seeds
+}
+
+// runSets executes the seeded runs of every plan (seeds[pi] lists plan
+// pi's run seeds), fanning the (plan, rep) grid across the worker pool,
+// and merges the results in deterministic (plan, seed-index) order.
+func (d *Driver) runSets(w sysreg.Workload, plans []inject.Plan, seeds [][]int64) []*trace.Set {
 	reps := d.cfg.Reps
 	runs := make([]*trace.Run, len(plans)*reps)
 	d.each(len(runs), func(j int) {
 		pi, ri := j/reps, j%reps
-		seed := d.cfg.BaseSeed + salts[pi]*1_000_003 + int64(ri)
-		runs[j] = d.runOnce(w, plans[pi], seed, true)
+		runs[j] = d.runOnce(w, plans[pi], seeds[pi][ri], true)
 	})
 	sets := make([]*trace.Set, len(plans))
 	for pi := range plans {
@@ -363,7 +412,7 @@ func (d *Driver) runSets(w sysreg.Workload, plans []inject.Plan, salts []int64) 
 
 // runSet executes cfg.Reps seeded runs of (w, plan).
 func (d *Driver) runSet(w sysreg.Workload, plan inject.Plan, salt int64) *trace.Set {
-	return d.runSets(w, []inject.Plan{plan}, []int64{salt})[0]
+	return d.runSets(w, []inject.Plan{plan}, [][]int64{d.seedsOf(salt)})[0]
 }
 
 // entry returns the cache slot of a workload's profile, creating it on
@@ -389,6 +438,7 @@ func (d *Driver) profile(test string) *profileEntry {
 		w := d.workloads[test]
 		e.set = d.runSet(w, inject.Profile(), saltOf(test, ""))
 		e.cov = e.set.Coverage()
+		e.done.Store(true)
 		d.emitProfile(test, len(e.set.Runs))
 	})
 	return e
@@ -485,18 +535,26 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	}
 	profile := d.Profile(test)
 
+	// Every injection plan runs at the workload's *profile* seeds (the
+	// same salt the profile cache uses): each injected run is then an
+	// exact counterfactual twin of a cached profile run -- same workload,
+	// same seed, only the fault differs -- which both sharpens FCA's
+	// profile-vs-injection diff and is the precondition for prefix
+	// sharing (an injected run is byte-identical to its profile twin up
+	// to the injection's first reach time, so it can fork from a profile
+	// checkpoint instead of re-simulating the warm-up).
 	var plans []inject.Plan
-	var salts []int64
+	var seeds [][]int64
 	if pt.Kind == faults.Loop {
 		for mi, mag := range d.cfg.DelayMagnitudes {
 			plans = append(plans, inject.PlanFor(pt, mag))
-			salts = append(salts, saltOf(test, string(f))+int64(mi+1))
+			seeds = append(seeds, d.planSeeds(test, f, mi))
 		}
 	} else {
 		plans = append(plans, inject.PlanFor(pt, 0))
-		salts = append(salts, saltOf(test, string(f)))
+		seeds = append(seeds, d.planSeeds(test, f, 0))
 	}
-	sets := d.runSets(w, plans, salts)
+	sets := d.runSets(w, plans, seeds)
 	// Injection runs are consumed by FCA below (which copies out the
 	// occurrence evidence it keeps); recycle them once analysed. Profile
 	// runs are cached for the campaign's lifetime and never released.
@@ -621,6 +679,32 @@ func (d *Driver) Edges() []fca.Edge {
 // is set (roughly half of all inputs), so all run seeds -- and hence the
 // exact edge sets of campaigns replayed from before this change -- moved;
 // within any one build, campaigns remain fully reproducible.
+// seedPoolSize is the per-workload seed pool width as a multiple of
+// cfg.Reps. All plans of a workload draw their rep seeds from one pool
+// of seedPoolSize*Reps seeds (rotated by fault and magnitude), so many
+// injected runs share each (workload, seed) pair -- the precondition
+// for prefix sharing -- while each experiment still sees a
+// fault-and-magnitude-dependent seed subset (detection quality degrades
+// measurably when all experiments are forced onto one shared subset).
+const seedPoolSize = 6
+
+// planSeeds returns the cfg.Reps run seeds for one plan of the (test,
+// fault) experiment; mi is the magnitude index (0 for non-loop plans).
+// Seeds are drawn from the workload's shared seed pool -- the same
+// arithmetic family the profile set occupies (pool indices 0..Reps-1
+// are exactly the profile seeds) -- with a rotation start derived from
+// the fault id and magnitude.
+func (d *Driver) planSeeds(test string, f faults.ID, mi int) []int64 {
+	pool := seedPoolSize * d.cfg.Reps
+	start := int((saltOf(test, string(f)) + int64(mi)*7919) % int64(pool))
+	salt := saltOf(test, "")
+	out := make([]int64, d.cfg.Reps)
+	for ri := range out {
+		out[ri] = d.cfg.BaseSeed + salt*1_000_003 + int64((start+ri)%pool)
+	}
+	return out
+}
+
 func saltOf(test, fault string) int64 {
 	h := uint64(1469598103934665603)
 	for _, s := range []string{test, fault} {

@@ -22,7 +22,10 @@ func lightDriverParallel(t *testing.T, parallelism int) *Driver {
 	t.Helper()
 	sys := dfs.NewV2()
 	return New(sys, sysreg.Space(sys), Config{
-		Reps:            2,
+		Reps: 2,
+		// With only two reps and one magnitude the fixture is seed-marginal:
+		// BaseSeed is pinned to a value whose plan seeds provoke the storm.
+		BaseSeed:        2,
 		DelayMagnitudes: []time.Duration{2 * time.Second},
 		Parallelism:     parallelism,
 	})

@@ -1,0 +1,540 @@
+// Prefix-sharing simulation: fork-at-injection checkpoints for seeded
+// run sets.
+//
+// Every injection plan runs at seeds drawn from its workload's shared
+// seed pool, so an injected run is byte-identical to the *profile* run
+// at the same (workload, seed) until the injection's first reach time --
+// the first instant the instrumented target point is evaluated. The
+// driver exploits that twice:
+//
+//   - clone: if the cached profile twin of the injected run never
+//     covered the target, the injection can never arm, and the injected
+//     run IS the profile run; the driver copies the cached record
+//     instead of simulating at all.
+//
+//   - fork: otherwise the driver replays only the suffix. A lazy
+//     *prefix engine* per (workload, seed) simulates the shared profile
+//     prefix incrementally: on demand it advances to just below the
+//     injection's divergence time -- known exactly when the profile
+//     twin is cached, estimated from sibling seeds otherwise --
+//     capturing an Engine.Checkpoint plus a system Snapshot and a
+//     recorder copy at the divergence target and the nearest earlier
+//     backbone instant (wherever the engine happens to be quiescent).
+//     An injected run then restores the latest probe whose trace has
+//     not yet covered the target and simulates only the suffix.
+//     Divergence below 1/16 of the horizon goes straight to scratch:
+//     real campaigns are dominated by points that are hot from the
+//     first milliseconds, where a fork cannot repay its fixed cost.
+//
+// The probe-trace coverage test is the correctness gate: a probe that
+// never evaluated the target is by construction byte-identical to the
+// injected run's own prefix, so divergence *estimates* only tune
+// performance, never results. Both paths are byte-identical to
+// from-scratch execution (same traces, edges, cycles, reports, and
+// RunResult; the event budget is cumulative for exactly this reason),
+// so the cache is a pure performance layer: capture failures,
+// evictions, systems that do not implement sysreg.Checkpointable, and
+// Config.NoPrefixShare all simply fall back to scratch simulation.
+package harness
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+	"repro/internal/trace"
+)
+
+// snapSizeBytes is the flat byte estimate for a system state snapshot
+// (an opaque `any` the cache cannot introspect).
+const snapSizeBytes = 8 << 10
+
+// backboneDivisors define the geometric grid of capture instants a
+// prefix engine probes on its way to a divergence target: horizon/256,
+// /64, /16, /4, /2 (ascending). Early instants dominate because fault
+// points overwhelmingly first fire in the opening fraction of a run;
+// the backbone gives overshooting divergence estimates a nearby earlier
+// probe to fall back to.
+var backboneDivisors = []int64{256, 64, 16, 4, 2}
+
+// ckKey identifies one (workload, seed) prefix.
+type ckKey struct {
+	test string
+	seed int64
+}
+
+// prefixProbe is one captured fork point: the engine checkpoint, the
+// system's own state snapshot, and a copy of the trace recorder, all at
+// the same quiescent instant. Forked runs treat every field as
+// read-only; one probe can seed any number of forks, concurrently.
+type prefixProbe struct {
+	at   time.Duration
+	ck   *sim.Checkpoint
+	snap any
+	tr   *trace.Run
+}
+
+// prefixEntry is the per-(workload, seed) prefix engine: a live
+// simulation of the shared profile prefix, advanced lazily and only as
+// far as some injected run's divergence estimate requires. The entry
+// owns the engine and its probe list; the byte-bounded cache decides
+// which entries stay resident (an evicted entry is closed and never
+// rebuilt -- later forks on its key fall back to scratch runs).
+type prefixEntry struct {
+	mu      sync.Mutex
+	key     ckKey
+	started bool
+	dead    bool
+	eng     *sim.Engine
+	ctx     *sysreg.RunContext
+	sys     sysreg.Checkpointable
+	rec     *trace.Run    // the live prefix recorder
+	at      time.Duration // how far the engine has simulated
+	probes  []*prefixProbe
+	bytes   int64
+}
+
+// CheckpointStats reports the prefix-sharing cache counters. All numbers
+// are performance telemetry: they vary with Parallelism and eviction
+// pressure, while campaign results stay byte-identical.
+type CheckpointStats struct {
+	// PrefixRuns is the number of live prefix engines started. Each
+	// simulates the shared profile prefix only up to its deepest probe,
+	// not the full horizon, and is not counted in SimCount.
+	PrefixRuns int64
+	// Hits is the number of injected runs forked from a checkpoint.
+	Hits int64
+	// Clones is the number of injected runs cloned outright because the
+	// profile twin never reached the injection target: simulations
+	// avoided entirely.
+	Clones int64
+	// Misses is the number of injected runs that fell back to from-scratch
+	// simulation (no usable checkpoint, restore failure, or eviction).
+	Misses int64
+	// BytesHeld is the current checkpoint cache occupancy.
+	BytesHeld int64
+	// Evictions counts prefix entries dropped to stay under the byte bound.
+	Evictions int64
+}
+
+// Avoided returns the number of shared-prefix simulations the cache
+// saved: clones skip the whole run, forks skip the shared prefix.
+func (s CheckpointStats) Avoided() int64 { return s.Hits + s.Clones }
+
+// CheckpointStats returns a snapshot of the prefix-sharing counters.
+func (d *Driver) CheckpointStats() CheckpointStats {
+	st := CheckpointStats{
+		PrefixRuns: d.pfRuns.Load(),
+		Hits:       d.pfHits.Load(),
+		Clones:     d.pfClones.Load(),
+		Misses:     d.pfMisses.Load(),
+	}
+	if d.ckc != nil {
+		st.BytesHeld, st.Evictions = d.ckc.usage()
+	}
+	return st
+}
+
+// --- checkpoint cache ---
+
+// ckptCache is a byte-bounded LRU over the prefix entries' probe
+// footprints. It tracks sizes and decides evictions but never locks an
+// entry itself: update returns the victims and the *caller* drops them
+// after releasing its own entry lock, so the cache mutex and the entry
+// mutexes are never held together.
+type ckptCache struct {
+	mu        sync.Mutex
+	limit     int64
+	bytes     int64
+	entries   map[ckKey]*ckptCacheEntry
+	head      *ckptCacheEntry // most recently used
+	tail      *ckptCacheEntry // least recently used
+	evictions int64
+}
+
+type ckptCacheEntry struct {
+	key        ckKey
+	pe         *prefixEntry
+	bytes      int64
+	prev, next *ckptCacheEntry
+}
+
+func newCkptCache(limit int64) *ckptCache {
+	return &ckptCache{limit: limit, entries: make(map[ckKey]*ckptCacheEntry)}
+}
+
+// unlink removes e from the LRU list (e must be linked).
+func (c *ckptCache) unlink(e *ckptCacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// pushFront links e as most recently used.
+func (c *ckptCache) pushFront(e *ckptCacheEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// update records pe's current probe footprint and marks it most
+// recently used, then evicts least-recently-used entries until the byte
+// bound holds again. It returns the evicted entries for the caller to
+// drop; the just-updated entry itself is evicted (last) only when it
+// alone exceeds the bound.
+func (c *ckptCache) update(pe *prefixEntry, bytes int64) []*prefixEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[pe.key]
+	switch {
+	case ok && bytes <= 0:
+		c.unlink(e)
+		delete(c.entries, pe.key)
+		c.bytes -= e.bytes
+		return nil
+	case ok:
+		c.bytes += bytes - e.bytes
+		e.bytes = bytes
+		c.unlink(e)
+		c.pushFront(e)
+	case bytes <= 0:
+		return nil
+	default:
+		e = &ckptCacheEntry{key: pe.key, pe: pe, bytes: bytes}
+		c.entries[pe.key] = e
+		c.pushFront(e)
+		c.bytes += bytes
+	}
+	var victims []*prefixEntry
+	for c.bytes > c.limit && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.key)
+		c.bytes -= victim.bytes
+		c.evictions++
+		victims = append(victims, victim.pe)
+	}
+	return victims
+}
+
+func (c *ckptCache) usage() (bytes, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.evictions
+}
+
+// reset forgets every entry (driver teardown; the entries are dropped
+// by the caller).
+func (c *ckptCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[ckKey]*ckptCacheEntry)
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+}
+
+// --- prefix engine lifecycle ---
+
+// prefixFor returns the (workload, seed) prefix entry, creating the
+// (unstarted) slot on first use.
+func (d *Driver) prefixFor(key ckKey) *prefixEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pe := d.prefixes[key]
+	if pe == nil {
+		pe = &prefixEntry{key: key}
+		d.prefixes[key] = pe
+	}
+	return pe
+}
+
+// isNoCkpt reports whether the workload's system was found not to set
+// RunContext.Ckpt, so fork attempts can short-circuit without taking
+// entry locks.
+func (d *Driver) isNoCkpt(test string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.noCkpt[test]
+}
+
+func (d *Driver) markNoCkpt(test string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.noCkpt[test] = true
+}
+
+// ensure starts the prefix engine (pe.mu held): it constructs the
+// workload on a checkpointing engine under the profile plan without
+// simulating anything yet. A system that does not opt into
+// Checkpointable kills the entry immediately.
+func (pe *prefixEntry) ensure(d *Driver, w sysreg.Workload) {
+	if pe.started || pe.dead {
+		return
+	}
+	pe.started = true
+	rec := d.pool.Get(w.Name, pe.key.seed)
+	rt := inject.New(inject.Profile(), rec)
+	eng := sim.NewEngine(sim.Options{Seed: pe.key.seed, Checkpointing: true})
+	ctx := &sysreg.RunContext{Engine: eng, RT: rt}
+	w.Run(ctx)
+	if ctx.Ckpt == nil {
+		eng.Close()
+		d.pool.Put(rec)
+		pe.dead = true
+		d.markNoCkpt(w.Name)
+		return
+	}
+	pe.eng, pe.ctx, pe.sys, pe.rec = eng, ctx, ctx.Ckpt, rec
+	d.pfRuns.Add(1)
+}
+
+// capturePoints lists the instants to simulate-and-capture next: the
+// backbone points inside (from, tstar), then tstar itself, ascending.
+func capturePoints(from, tstar, horizon time.Duration) []time.Duration {
+	// Only the closest backbone instant below tstar is captured en route:
+	// a probe costs a full recorder copy plus a system snapshot, and on
+	// real campaigns dense early probes were almost pure overhead (the
+	// engine is forward-only, so a later attempt with a smaller tstar can
+	// only use probes that already exist -- losing it to coverage costs
+	// one scratch run, while capturing every grid point costs every
+	// engine). One fallback probe below tstar absorbs an overshooting
+	// divergence estimate.
+	var last time.Duration
+	for _, div := range backboneDivisors {
+		if t := horizon / time.Duration(div); t > from && t < tstar {
+			last = t
+		}
+	}
+	var pts []time.Duration
+	if last > 0 {
+		pts = append(pts, last)
+	}
+	if tstar > from {
+		pts = append(pts, tstar)
+	}
+	return pts
+}
+
+// advance simulates the prefix engine forward to tstar (pe.mu held),
+// capturing a probe at (or just past) every backbone instant en route
+// where the engine is quiescent. Busy instants are handled by creeping:
+// a failed capture steps the simulation forward a small increment and
+// retries, never past tstar -- quiescence checks fail fast, and the
+// simulated time is spent on the way to tstar regardless. A run that
+// ends before the horizon has no forkable suffix past that point, so
+// the entry is closed (existing probes stay usable).
+func (pe *prefixEntry) advance(d *Driver, w sysreg.Workload, tstar time.Duration) {
+	if pe.dead || pe.eng == nil {
+		return
+	}
+	step := w.Horizon / 1024
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	wanted := capturePoints(pe.at, tstar, w.Horizon)
+	for len(wanted) > 0 {
+		if d.cancelled() {
+			return
+		}
+		next := wanted[0]
+		if next <= pe.at {
+			next = pe.at + step // busy at the wanted instant: creep on
+		}
+		if next > tstar {
+			return
+		}
+		res := pe.eng.Run(next)
+		pe.at = next
+		if res.Reason != sim.StopHorizon {
+			pe.close(d)
+			return
+		}
+		ck, err := pe.eng.Checkpoint()
+		if errors.Is(err, sim.ErrNotQuiescent) {
+			continue
+		}
+		if err != nil {
+			pe.close(d) // usage error: stop probing this prefix
+			return
+		}
+		tr := d.pool.Get(w.Name, pe.key.seed)
+		tr.CopyFrom(pe.rec)
+		pe.probes = append(pe.probes, &prefixProbe{at: pe.at, ck: ck, snap: pe.ctx.Ckpt.Snapshot(), tr: tr})
+		pe.bytes += int64(ck.SizeBytes()) + int64(tr.SizeBytes()) + snapSizeBytes
+		for len(wanted) > 0 && wanted[0] <= pe.at {
+			wanted = wanted[1:]
+		}
+	}
+}
+
+// close stops the live engine (pe.mu held), keeping captured probes.
+func (pe *prefixEntry) close(d *Driver) {
+	if pe.eng != nil {
+		pe.eng.Close()
+		pe.eng = nil
+	}
+	if pe.rec != nil {
+		d.pool.Put(pe.rec)
+		pe.rec = nil
+	}
+	pe.ctx = nil
+	pe.dead = true
+}
+
+// drop releases the whole entry: the engine and the probe footprint
+// (eviction and driver teardown). Probe traces are not returned to the
+// run pool -- in-flight forks may still hold references; the collector
+// reclaims them.
+func (pe *prefixEntry) drop(d *Driver) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	pe.close(d)
+	pe.probes = nil
+	pe.bytes = 0
+}
+
+// --- forking ---
+
+// forkOnce attempts to satisfy one injected run from the prefix layer.
+// It returns (record, true) on a clone or fork, and (nil, false) when
+// the caller must simulate from scratch. The caller already holds the
+// worker and pool slots, so this must never trigger a nested simulation
+// through the profile cache -- it only *reads* a completed profile set.
+func (d *Driver) forkOnce(w sysreg.Workload, plan inject.Plan, seed int64) (*trace.Run, bool) {
+	e := d.entry(w.Name)
+	if !e.done.Load() {
+		return nil, false // profile not cached yet; scratch is always correct
+	}
+
+	// The divergence oracle: the profile twin's first reach time when this
+	// seed is a profile seed (exact), the earliest sibling reach otherwise
+	// (an estimate the probe coverage gate makes safe).
+	var own *trace.Run
+	reach := time.Duration(-1)
+	exact := false
+	for _, r := range e.set.Runs {
+		if r.Seed == seed {
+			own = r
+		}
+		if at, ok := r.FirstReach(plan.Target); ok && (reach < 0 || at < reach) {
+			reach = at
+		}
+	}
+	if own != nil {
+		at, ok := own.FirstReach(plan.Target)
+		if !ok {
+			// The twin never evaluated the target, so the injection never
+			// arms and the injected run IS the profile run.
+			rec := d.pool.Get(w.Name, seed)
+			rec.CopyFrom(own)
+			d.sims.Add(1)
+			d.pfClones.Add(1)
+			return rec, true
+		}
+		reach, exact = at, true
+	}
+	if reach <= 0 || d.isNoCkpt(w.Name) {
+		return nil, false
+	}
+
+	// Aim just below the divergence time. An estimate from sibling seeds
+	// can overshoot this seed's true reach; the probe coverage gate below
+	// rejects such probes, so the margin tunes performance, not
+	// correctness.
+	margin := reach / 16
+	if exact || margin < time.Millisecond {
+		margin = time.Millisecond
+	}
+	tstar := reach - margin
+	// Profitability floor: forking only skips the simulated prefix, so a
+	// divergence in the opening fraction of the horizon cannot repay the
+	// fixed fork cost (engine construction, restore, recorder copies) --
+	// let alone the prefix engine it would spin up. Points that are hot
+	// from the start (the common case in real campaigns: replication and
+	// IO loops reach within milliseconds) go straight to scratch.
+	if tstar <= w.Horizon/16 {
+		return nil, false
+	}
+
+	pe := d.prefixFor(ckKey{test: w.Name, seed: seed})
+	pe.mu.Lock()
+	pe.ensure(d, w)
+	covered := false
+	for _, p := range pe.probes {
+		if p.tr.Covered(plan.Target) {
+			covered = true
+			break
+		}
+	}
+	if !covered && pe.at < tstar {
+		pe.advance(d, w, tstar)
+	}
+	// The latest probe that has not yet evaluated the target (coverage is
+	// monotone, so probes past the first covering one are unusable too).
+	var best *prefixProbe
+	for _, p := range pe.probes {
+		if p.tr.Covered(plan.Target) {
+			break
+		}
+		best = p
+	}
+	sys := pe.sys
+	bytes := pe.bytes
+	pe.mu.Unlock()
+
+	evicted := false
+	for _, v := range d.ckc.update(pe, bytes) {
+		v.drop(d)
+		if v == pe {
+			evicted = true
+		}
+	}
+	if best == nil || sys == nil || evicted {
+		return nil, false
+	}
+
+	rec := d.pool.Get(w.Name, seed)
+	rec.CopyFrom(best.tr)
+	rt := inject.New(plan, rec)
+	eng := sim.NewEngine(sim.Options{Seed: seed, Checkpointing: true})
+	start := time.Now()
+	sess, err := best.ck.RestoreInto(eng)
+	if err == nil {
+		err = sys.Restore(&sysreg.RunContext{Engine: eng, RT: rt, Session: sess}, best.snap)
+	}
+	if err == nil {
+		err = sess.Finish()
+	}
+	if err != nil {
+		// A restore failure means the system's Checkpointable contract is
+		// broken for this capture; fall back to a from-scratch run, which
+		// is always correct.
+		eng.Close()
+		d.pool.Put(rec)
+		return nil, false
+	}
+	res := eng.Run(w.Horizon)
+	eng.Close()
+	d.sims.Add(1)
+	res.Events = eng.Events()
+	rec.Result = res
+	rec.Wall = time.Since(start)
+	d.pfHits.Add(1)
+	return rec, true
+}

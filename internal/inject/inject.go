@@ -148,7 +148,7 @@ func (rt *Runtime) Guard(p *sim.Proc, id faults.ID, cond bool) bool {
 		injected = true
 	}
 	if rt.Rec != nil {
-		rt.Rec.Cover(id)
+		rt.Rec.Cover(id, p.Now())
 		// Note: the guard's own outcome is deliberately NOT added to the
 		// frame's local branch trace. The compatibility check compares
 		// the context *around* a fault (the explicit monitor points of
@@ -186,7 +186,7 @@ func (rt *Runtime) Negate(p *sim.Proc, id faults.ID, v, errVal bool) bool {
 		out = !v
 	}
 	if rt.Rec != nil {
-		rt.Rec.Cover(id)
+		rt.Rec.Cover(id, p.Now())
 		if injected && !rt.negFired {
 			rt.negFired = true
 			rt.Rec.InjFired = true
@@ -207,7 +207,7 @@ func (rt *Runtime) Negate(p *sim.Proc, id faults.ID, v, errVal bool) bool {
 // iteration, and applies the planned spinning delay.
 func (rt *Runtime) Loop(p *sim.Proc, id faults.ID) {
 	if rt.Rec != nil {
-		rt.Rec.Cover(id)
+		rt.Rec.Cover(id, p.Now())
 		rt.Rec.LoopIter(id)
 		rt.Rec.SeeLoop(id, trace.Occurrence{Stack: p.Stack()})
 		p.ResetLocalBranches()
@@ -227,7 +227,7 @@ func (rt *Runtime) Loop(p *sim.Proc, id faults.ID) {
 //	if env.Branch(p, "dfs.createTmp.last_found", current == last) { ... }
 func (rt *Runtime) Branch(p *sim.Proc, id faults.ID, cond bool) bool {
 	if rt.Rec != nil {
-		rt.Rec.Cover(id)
+		rt.Rec.Cover(id, p.Now())
 		p.RecordBranch(string(id), cond)
 	}
 	return cond

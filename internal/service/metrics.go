@@ -21,21 +21,32 @@ type Metrics struct {
 	PoolInUse     int   `json:"poolInUse"`
 	SimsTotal     int64 `json:"simsTotal"`
 	RoundsTotal   int64 `json:"roundsTotal"`
-	GraphsStored  int   `json:"graphsStored"`
-	UptimeSeconds int64 `json:"uptimeSeconds"`
+	// Prefix-sharing counters, summed over finished jobs: full
+	// simulations avoided by forking from checkpoints (hits) or cloning
+	// cached profile runs (clones), versus fallbacks to scratch (misses).
+	PrefixRunsTotal   int64 `json:"prefixRunsTotal"`
+	PrefixHitsTotal   int64 `json:"prefixHitsTotal"`
+	PrefixClonesTotal int64 `json:"prefixClonesTotal"`
+	PrefixMissesTotal int64 `json:"prefixMissesTotal"`
+	GraphsStored      int   `json:"graphsStored"`
+	UptimeSeconds     int64 `json:"uptimeSeconds"`
 }
 
 // Snapshot collects the current metrics.
 func (m *Manager) Snapshot() Metrics {
 	m.mu.Lock()
 	s := Metrics{
-		JobsRunning:   m.running,
-		JobsQueued:    len(m.queue),
-		JobsSucceeded: m.succeeded,
-		JobsFailed:    m.failed,
-		JobsCancelled: m.cancelled,
-		SimsTotal:     m.simsTotal,
-		RoundsTotal:   m.roundsTotal,
+		JobsRunning:       m.running,
+		JobsQueued:        len(m.queue),
+		JobsSucceeded:     m.succeeded,
+		JobsFailed:        m.failed,
+		JobsCancelled:     m.cancelled,
+		SimsTotal:         m.simsTotal,
+		RoundsTotal:       m.roundsTotal,
+		PrefixRunsTotal:   m.prefix.PrefixRuns,
+		PrefixHitsTotal:   m.prefix.Hits,
+		PrefixClonesTotal: m.prefix.Clones,
+		PrefixMissesTotal: m.prefix.Misses,
 	}
 	m.mu.Unlock()
 	s.PoolCapacity = m.pool.Cap()
@@ -61,6 +72,10 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"csnaked_pool_inuse", "Shared worker tokens currently held.", int64(s.PoolInUse)},
 		{"csnaked_sims_total", "Simulated executions across finished jobs.", s.SimsTotal},
 		{"csnaked_rounds_total", "Anytime rounds completed across all jobs.", s.RoundsTotal},
+		{"csnaked_prefix_runs_total", "Prefix engines started for checkpoint sharing.", s.PrefixRunsTotal},
+		{"csnaked_prefix_hits_total", "Injected runs forked from a prefix checkpoint.", s.PrefixHitsTotal},
+		{"csnaked_prefix_clones_total", "Injected runs cloned from cached profile runs.", s.PrefixClonesTotal},
+		{"csnaked_prefix_misses_total", "Injected runs that fell back to scratch simulation.", s.PrefixMissesTotal},
 		{"csnaked_graphs_stored", "Graph artifacts in the store.", int64(s.GraphsStored)},
 		{"csnaked_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds},
 	}

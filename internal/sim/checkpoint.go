@@ -1,0 +1,529 @@
+package sim
+
+// Checkpoint/RestoreInto implement fork-at-injection prefix sharing: a
+// profile run's engine state is captured at a quiescent point and later
+// restored into fresh engines, one per injected run that shares the
+// profile prefix. The capture is declarative rather than a byte copy of
+// goroutine stacks -- Go gives no way to snapshot a parked goroutine --
+// so a checkpoint is only valid when every runnable process is parked at
+// a self-describing park site (SleepQ/RecvQ with a tag) and the event
+// queue holds only re-creatable value events (timer wakes and plain
+// message deliveries, no pending After closures and no in-flight RPC
+// envelopes, whose reply-mailbox pointers cannot be remapped).
+//
+// The restore side is a three-step session: RestoreInto primes a fresh
+// engine with clock, RNG, fault surface, and counters; the system then
+// re-creates its mailboxes (in original creation order, so ids line up)
+// and Adopts each runnable process with a rebuilt body; Finish replants
+// mailbox queues and waiters, re-inserts the captured events with their
+// original sequence numbers, and verifies nothing was missed. A restored
+// engine then continues byte-identically to the original: same event
+// order, same RNG stream, same virtual timestamps, same event counts.
+//
+// Contracts a Checkpointable system must honour (violations either fail
+// Checkpoint with ErrNotQuiescent or fail Finish with a hard error; the
+// harness treats both as "run from scratch instead", so they cost
+// performance, never correctness):
+//   - park only in SleepQ/RecvQ at capture instants; loop bodies are
+//     work-first so a body re-entered from the top at the wake instant
+//     continues like the original;
+//   - message bodies are plain values: no *Mailbox, *Proc, or other
+//     engine references (sim.Req/sim.Resp are rejected mechanically),
+//     and receivers treat them as immutable, since captured bodies are
+//     shared by reference across every fork;
+//   - restore re-creates mailboxes in original creation order and calls
+//     only NewMailbox/Adopt before Finish -- no Spawn, After, or Send.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNotQuiescent is wrapped by Checkpoint errors that mean "this instant
+// is not capturable": some process is parked outside a declared quiescent
+// site or the event queue holds non-recreatable work. Callers treat it as
+// a skippable condition, not a failure.
+var ErrNotQuiescent = errors.New("sim: engine not quiescent")
+
+// notQ builds a Checkpoint validity error.
+func notQ(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrNotQuiescent, fmt.Sprintf(format, args...))
+}
+
+// ckEvent is a captured pending event. Wakes reference their target by
+// pid and deliveries their mailbox by id; both are remapped on restore.
+type ckEvent struct {
+	at   time.Duration
+	seq  uint64
+	kind eventKind
+	pid  int // evWake target
+	gen  uint64
+	mbID int // evDeliver target
+	body interface{}
+	src  string
+}
+
+// ckMailbox is a captured mailbox with pending content: its queued
+// messages and the FIFO order of adoptable waiters.
+type ckMailbox struct {
+	id      int
+	node    string
+	name    string
+	msgs    []interface{}
+	waiters []int // pids, FIFO
+}
+
+// ckProc is a captured process record. Runnable processes are adopted on
+// restore; dead ones (done, killed, or on a crashed node) exist only so
+// their stale wake events can be re-inserted against a tombstone that
+// skips identically.
+type ckProc struct {
+	pid      int
+	node     string
+	name     string
+	runnable bool
+	tag      string
+	wakeGen  uint64
+}
+
+type ckHeld struct {
+	mbID int
+	body interface{}
+}
+
+// Checkpoint is a deep, self-contained copy of an Engine's dynamic state
+// at a quiescent instant. It holds no pointers into the source engine
+// (message bodies are shared by reference under the value-body contract),
+// so it stays valid after the source engine runs on or is closed, and one
+// checkpoint can seed any number of restored engines.
+type Checkpoint struct {
+	now           time.Duration
+	seq           uint64
+	executed      int
+	rng           SourceState
+	nextPID       int
+	nextMailboxID int
+
+	events    []ckEvent
+	mailboxes []ckMailbox
+	procs     []ckProc
+	procByPID map[int]*ckProc
+
+	partitions map[[2]string]bool
+	paused     map[string]bool
+	crashed    map[string]bool
+	held       map[string][]ckHeld
+
+	stackKeys []stackKey
+}
+
+// Now returns the virtual time the checkpoint was captured at.
+func (ck *Checkpoint) Now() time.Duration { return ck.now }
+
+// Events returns the cumulative processed-event count at capture.
+func (ck *Checkpoint) Events() int { return ck.executed }
+
+// SizeBytes estimates the checkpoint's retained memory. Message bodies
+// are opaque interface values and accounted at a flat rate, so the
+// estimate is for cache budgeting, not exact accounting.
+func (ck *Checkpoint) SizeBytes() int {
+	const (
+		eventSz = 96
+		boxSz   = 96
+		msgSz   = 48
+		procSz  = 96
+		keySz   = 48
+	)
+	n := 256 + len(ck.events)*eventSz + len(ck.procs)*procSz + len(ck.stackKeys)*keySz
+	for i := range ck.mailboxes {
+		mb := &ck.mailboxes[i]
+		n += boxSz + len(mb.msgs)*msgSz + len(mb.waiters)*8
+	}
+	n += (len(ck.partitions) + len(ck.paused) + len(ck.crashed)) * 48
+	for _, hs := range ck.held {
+		n += 48 + len(hs)*msgSz
+	}
+	return n
+}
+
+// Checkpoint captures the engine's state at the current instant. It must
+// be called between Run calls (never from inside a simulated process) on
+// an engine created with Options.Checkpointing. Errors wrapping
+// ErrNotQuiescent mean the instant is not capturable and the caller
+// should simply run on; any other error is a usage bug.
+func (e *Engine) Checkpoint() (*Checkpoint, error) {
+	switch {
+	case e.running:
+		return nil, errors.New("sim: Checkpoint during Run")
+	case e.closed:
+		return nil, errors.New("sim: Checkpoint after Close")
+	case !e.checkpointing:
+		return nil, errors.New("sim: engine not created with Options.Checkpointing")
+	}
+
+	ck := &Checkpoint{
+		now:           e.now,
+		seq:           e.seq,
+		executed:      e.executed,
+		rng:           e.src.Snapshot(),
+		nextPID:       e.nextPID,
+		nextMailboxID: e.nextMailboxID,
+		procByPID:     make(map[int]*ckProc, len(e.procs)),
+	}
+
+	// Processes: every runnable process must be parked at a declared
+	// quiescent site. Dead processes are captured as tombstone records so
+	// their stale wakes replay with identical skip semantics.
+	ck.procs = make([]ckProc, 0, len(e.procs))
+	for _, p := range e.procs {
+		dead := p.done || p.killed || e.crashed[p.node]
+		if !dead && !p.started {
+			return nil, notQ("process %s/%s (pid %d) spawned but not yet started", p.node, p.name, p.pid)
+		}
+		if !dead && p.parkTag == "" {
+			return nil, notQ("process %s/%s (pid %d) parked outside SleepQ/RecvQ", p.node, p.name, p.pid)
+		}
+		ck.procs = append(ck.procs, ckProc{
+			pid:      p.pid,
+			node:     p.node,
+			name:     p.name,
+			runnable: !dead,
+			tag:      p.parkTag,
+			wakeGen:  p.wakeGen,
+		})
+	}
+	for i := range ck.procs {
+		ck.procByPID[ck.procs[i].pid] = &ck.procs[i]
+	}
+
+	// Events: only value events survive a capture. After closures cannot
+	// be re-created and RPC envelopes embed reply-mailbox pointers.
+	ck.events = make([]ckEvent, 0, e.events.len())
+	for i := range e.events.ev {
+		ev := &e.events.ev[i]
+		switch ev.kind {
+		case evApply:
+			return nil, notQ("pending After closure at t=%s", ev.at)
+		case evDeliver:
+			if err := checkBody(ev.body); err != nil {
+				return nil, err
+			}
+			ck.events = append(ck.events, ckEvent{
+				at: ev.at, seq: ev.seq, kind: evDeliver,
+				mbID: ev.mb.id, body: ev.body, src: ev.src,
+			})
+		case evWake:
+			ck.events = append(ck.events, ckEvent{
+				at: ev.at, seq: ev.seq, kind: evWake,
+				pid: ev.proc.pid, gen: ev.gen,
+			})
+		}
+	}
+
+	// Mailboxes: capture queue contents and waiter order for every box
+	// with pending state. Boxes that are empty and waiterless (completed
+	// RPC reply boxes, idle channels) need no record -- the restore side
+	// re-creates boxes by construction order and Finish checks ids.
+	for _, mb := range e.mailboxes {
+		if mb.Len() == 0 && len(mb.waiters) == 0 {
+			continue
+		}
+		cm := ckMailbox{id: mb.id, node: mb.node, name: mb.name}
+		for _, w := range mb.waiters {
+			if w.done || w.killed || e.crashed[w.node] {
+				// deliver() skips dead waiters without waking anyone;
+				// omitting them from the capture is observationally
+				// identical and keeps restore to adopted processes only.
+				continue
+			}
+			cm.waiters = append(cm.waiters, w.pid)
+		}
+		if len(cm.waiters) == 0 {
+			// With no live waiter, two kinds of queued content are garbage
+			// that no process can ever observe, so the box is captured as
+			// empty rather than poisoning every future capture:
+			//   - a crashed node's backlog: everything that could drain it
+			//     died with the node (systems only Recv node-locally);
+			//   - an orphaned reply box: the Call timed out and moved on,
+			//     then the late Resp arrived. Nothing holds the box.
+			if e.crashed[mb.node] {
+				continue
+			}
+			orphan := true
+			for _, body := range mb.queue[mb.head:] {
+				if _, isResp := body.(Resp); !isResp {
+					orphan = false
+					break
+				}
+			}
+			if orphan {
+				continue
+			}
+		}
+		for _, body := range mb.queue[mb.head:] {
+			if err := checkBody(body); err != nil {
+				return nil, err
+			}
+			cm.msgs = append(cm.msgs, body)
+		}
+		ck.mailboxes = append(ck.mailboxes, cm)
+	}
+
+	// Fault surface and held deliveries.
+	ck.partitions = copyMap(e.partitions)
+	ck.paused = copyMap(e.paused)
+	ck.crashed = copyMap(e.crashed)
+	if len(e.held) > 0 {
+		ck.held = make(map[string][]ckHeld, len(e.held))
+		for node, hs := range e.held {
+			out := make([]ckHeld, 0, len(hs))
+			for _, h := range hs {
+				if err := checkBody(h.body); err != nil {
+					return nil, err
+				}
+				out = append(out, ckHeld{mbID: h.mb.id, body: h.body})
+			}
+			ck.held[node] = out
+		}
+	}
+
+	// Interned stack keys: re-interning them on restore keeps hook
+	// captures returning identical slices without rebuilding lazily.
+	if len(e.stacks) > 0 {
+		ck.stackKeys = make([]stackKey, 0, len(e.stacks))
+		for k := range e.stacks {
+			ck.stackKeys = append(ck.stackKeys, k)
+		}
+	}
+	return ck, nil
+}
+
+// checkBody rejects message bodies that cannot cross a checkpoint.
+func checkBody(body interface{}) error {
+	switch body.(type) {
+	case Req:
+		return notQ("in-flight RPC request")
+	case Resp:
+		return notQ("in-flight RPC response")
+	}
+	return nil
+}
+
+func copyMap[K comparable](m map[K]bool) map[K]bool {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[K]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreSession is the in-progress restoration of a Checkpoint into a
+// fresh engine. Between RestoreInto and Finish the Checkpointable system
+// re-creates its mailboxes and adopts its processes; Finish wires the
+// captured dynamic state back up and validates completeness.
+type RestoreSession struct {
+	eng      *Engine
+	ck       *Checkpoint
+	adopted  map[int]*Proc
+	finished bool
+}
+
+// RestoreInto primes a fresh engine with the checkpoint's clock, RNG
+// stream, fault surface, counters, and interned stacks, and opens a
+// restore session. The engine must be newly created (same Options as the
+// captured engine, Checkpointing included) with no processes, mailboxes,
+// or events.
+func (ck *Checkpoint) RestoreInto(e *Engine) (*RestoreSession, error) {
+	switch {
+	case e.running || e.closed:
+		return nil, errors.New("sim: restore into a running or closed engine")
+	case !e.checkpointing:
+		// Finish resolves captured mailbox ids against the registry, so
+		// the target must track its mailboxes too.
+		return nil, errors.New("sim: restore target must be created with Options.Checkpointing")
+	case len(e.procs) != 0 || len(e.mailboxes) != 0 || e.events.len() != 0 || e.now != 0 || e.executed != 0:
+		return nil, errors.New("sim: restore target must be a fresh engine")
+	}
+	e.now = ck.now
+	e.seq = ck.seq
+	e.executed = ck.executed
+	e.src.Restore(ck.rng)
+	e.partitions = copyMap(ck.partitions)
+	e.paused = copyMap(ck.paused)
+	e.crashed = copyMap(ck.crashed)
+	for _, k := range ck.stackKeys {
+		e.internStack(k.a, k.b, int(k.n))
+	}
+	return &RestoreSession{eng: e, ck: ck, adopted: make(map[int]*Proc, len(ck.procs))}, nil
+}
+
+// ParkTag returns the park-site tag the process carried at capture, so a
+// system can dispatch to the right rotated body when a process parks at
+// more than one site. ok is false for unknown or non-runnable pids.
+func (s *RestoreSession) ParkTag(pid int) (tag string, ok bool) {
+	rec := s.ck.procByPID[pid]
+	if rec == nil || !rec.runnable {
+		return "", false
+	}
+	return rec.tag, true
+}
+
+// Adopt re-creates the captured runnable process pid with a rebuilt body.
+// The adopted process keeps its pid and wake generation; it has no
+// goroutine until its first wake fires, at which point fn runs from the
+// top -- the system's rotated body shape makes that equivalent to the
+// original continuing from its park site.
+func (s *RestoreSession) Adopt(pid int, fn func(p *Proc)) (*Proc, error) {
+	if s.finished {
+		return nil, errors.New("sim: Adopt after Finish")
+	}
+	rec := s.ck.procByPID[pid]
+	if rec == nil {
+		return nil, fmt.Errorf("sim: Adopt of unknown pid %d", pid)
+	}
+	if !rec.runnable {
+		return nil, fmt.Errorf("sim: Adopt of dead process %s/%s (pid %d)", rec.node, rec.name, pid)
+	}
+	if _, dup := s.adopted[pid]; dup {
+		return nil, fmt.Errorf("sim: pid %d adopted twice", pid)
+	}
+	p := &Proc{
+		eng:     s.eng,
+		pid:     pid,
+		node:    rec.node,
+		name:    rec.name,
+		fn:      fn,
+		resume:  make(chan wakeSignal),
+		wakeGen: rec.wakeGen,
+		parkTag: rec.tag,
+	}
+	s.eng.procs = append(s.eng.procs, p)
+	s.adopted[pid] = p
+	return p, nil
+}
+
+// Finish completes the restoration: it verifies every runnable process
+// was adopted and no stray events were scheduled, replants mailbox queues
+// and waiter lists, re-inserts the captured events with their original
+// sequence numbers, and restores the held-delivery map and id counters.
+// After Finish returns nil the engine is ready for Run.
+func (s *RestoreSession) Finish() error {
+	if s.finished {
+		return errors.New("sim: Finish called twice")
+	}
+	s.finished = true
+	e, ck := s.eng, s.ck
+
+	if n := e.events.len(); n != 0 {
+		return fmt.Errorf("sim: restore scheduled %d events before Finish (Spawn/After/Send are not allowed during restore)", n)
+	}
+	for i := range ck.procs {
+		rec := &ck.procs[i]
+		if rec.runnable && s.adopted[rec.pid] == nil {
+			return fmt.Errorf("sim: runnable process %s/%s (pid %d, parked at %q) was not adopted", rec.node, rec.name, rec.pid, rec.tag)
+		}
+	}
+
+	// The captured state is authoritative for every queue, including the
+	// empty ones: a box with no captured record held nothing observable at
+	// capture, so anything a re-creation constructor pre-seeded (a Mutex
+	// delivers its token at construction) must go -- otherwise a token
+	// that was captured in flight as an evDeliver would be doubled.
+	byID := make(map[int]*Mailbox, len(e.mailboxes))
+	for _, mb := range e.mailboxes {
+		byID[mb.id] = mb
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	}
+	resolve := func(id int, what string) (*Mailbox, error) {
+		mb := byID[id]
+		if mb == nil {
+			return nil, fmt.Errorf("sim: %s references mailbox id %d, which the system did not re-create", what, id)
+		}
+		return mb, nil
+	}
+
+	for i := range ck.mailboxes {
+		cm := &ck.mailboxes[i]
+		mb, err := resolve(cm.id, "captured queue")
+		if err != nil {
+			return err
+		}
+		if mb.node != cm.node || mb.name != cm.name {
+			return fmt.Errorf("sim: mailbox id %d is %s/%s, captured as %s/%s (re-creation order mismatch)", cm.id, mb.node, mb.name, cm.node, cm.name)
+		}
+		mb.queue = append([]interface{}(nil), cm.msgs...)
+		mb.head = 0
+		for _, pid := range cm.waiters {
+			p := s.adopted[pid]
+			if p == nil {
+				return fmt.Errorf("sim: mailbox %s/%s waiter pid %d not adopted", cm.node, cm.name, pid)
+			}
+			mb.waiters = append(mb.waiters, p)
+		}
+	}
+
+	// Re-insert events with their original sequence numbers, bypassing
+	// schedule() so e.seq stays at the captured counter. Wakes for dead
+	// processes target a tombstone whose done flag makes Run skip them
+	// while still counting the event, exactly like the original.
+	tombs := make(map[int]*Proc)
+	for i := range ck.events {
+		ce := &ck.events[i]
+		ev := event{at: ce.at, seq: ce.seq, kind: ce.kind}
+		switch ce.kind {
+		case evWake:
+			p := s.adopted[ce.pid]
+			if p == nil {
+				p = tombs[ce.pid]
+			}
+			if p == nil {
+				rec := ck.procByPID[ce.pid]
+				if rec == nil {
+					return fmt.Errorf("sim: captured wake for unknown pid %d", ce.pid)
+				}
+				p = &Proc{eng: e, pid: rec.pid, node: rec.node, name: rec.name, started: true, done: true, wakeGen: rec.wakeGen}
+				tombs[ce.pid] = p
+			}
+			ev.proc, ev.gen = p, ce.gen
+		case evDeliver:
+			mb, err := resolve(ce.mbID, "captured delivery")
+			if err != nil {
+				return err
+			}
+			ev.mb, ev.body, ev.src = mb, ce.body, ce.src
+		}
+		e.events.push(ev)
+	}
+
+	if len(ck.held) > 0 {
+		e.held = make(map[string][]heldDelivery, len(ck.held))
+		for node, hs := range ck.held {
+			out := make([]heldDelivery, 0, len(hs))
+			for _, h := range hs {
+				mb, err := resolve(h.mbID, "held delivery")
+				if err != nil {
+					return err
+				}
+				out = append(out, heldDelivery{mb: mb, body: h.body})
+			}
+			e.held[node] = out
+		}
+	}
+
+	e.nextPID = ck.nextPID
+	e.nextMailboxID = ck.nextMailboxID
+	e.seq = ck.seq
+
+	// A restored engine is never checkpointed again, so stop tracking
+	// mailboxes: this keeps a fork from pinning every reply mailbox it
+	// allocates for the rest of its run. Tracking state has no observable
+	// effect on the schedule, so dropping it preserves byte-identity.
+	e.checkpointing = false
+	e.mailboxes = nil
+	return nil
+}

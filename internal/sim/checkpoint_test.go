@@ -1,0 +1,421 @@
+package sim_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// toy is a small three-node system written to the Checkpointable
+// contract: every park is a tagged SleepQ/RecvQ, every loop is
+// work-first (park last), message bodies are plain ints, and all mutable
+// state lives in the struct so a snapshot plus rebuilt bodies fully
+// reconstructs it.
+type toy struct {
+	in1, in2, in3 *sim.Mailbox
+
+	i, j    int
+	trail   []string
+	ticker  *sim.Proc
+	pulse   *sim.Proc
+	lost    *sim.Proc
+	servers [2]*sim.Proc
+}
+
+type toyState struct {
+	i, j       int
+	trail      []string
+	tickerPID  int
+	pulsePID   int
+	lostPID    int
+	serverPIDs [2]int
+}
+
+func newToy(e *sim.Engine) *toy {
+	t := &toy{}
+	t.makeBoxes(e)
+	t.ticker = e.Spawn("n1", "ticker", t.tickerBody)
+	t.servers[0] = e.Spawn("n2", "server0", t.serverBody)
+	t.servers[1] = e.Spawn("n2", "server1", t.serverBody)
+	t.pulse = e.Spawn("n1", "pulse", t.pulseBody)
+	t.lost = e.Spawn("n3", "lost", t.lostBody)
+	return t
+}
+
+func (t *toy) lostBody(p *sim.Proc) {
+	for {
+		t.log(p, "lost tick")
+		p.SleepQ(3*time.Millisecond, "lost.tick")
+	}
+}
+
+// makeBoxes creates the mailboxes in a fixed order so a restore assigns
+// them the same ids the capture recorded.
+func (t *toy) makeBoxes(e *sim.Engine) {
+	t.in1 = e.NewMailbox("n1", "inbox")
+	t.in2 = e.NewMailbox("n2", "inbox")
+	t.in3 = e.NewMailbox("n3", "inbox")
+}
+
+func (t *toy) log(p *sim.Proc, msg string) {
+	t.trail = append(t.trail, fmt.Sprintf("%s %s/%s %s", p.Now(), p.Node(), p.Name(), msg))
+}
+
+func (t *toy) tickerBody(p *sim.Proc) {
+	for {
+		t.i++
+		v := p.Rand().Intn(1000)
+		t.log(p, fmt.Sprintf("tick %d v=%d", t.i, v))
+		p.Send(t.in2, t.i*1000+v)
+		if t.i%3 == 0 {
+			p.Send(t.in3, t.i)
+		}
+		p.SleepQ(time.Duration(500+p.Rand().Intn(500))*time.Microsecond, "tick")
+	}
+}
+
+func (t *toy) serverBody(p *sim.Proc) {
+	for {
+		m := p.RecvQ(t.in2, "serve")
+		t.log(p, fmt.Sprintf("serve %v", m))
+		p.SleepQ(time.Duration(300+p.Rand().Intn(400))*time.Microsecond, "work")
+	}
+}
+
+// pulse alternates two phases with two distinct park sites, so adoption
+// must dispatch on the captured park tag.
+func (t *toy) pulseBody(p *sim.Proc) {
+	for {
+		t.phaseA(p)
+		p.SleepQ(700*time.Microsecond, "pulse.a")
+		t.phaseB(p)
+		p.SleepQ(900*time.Microsecond, "pulse.b")
+	}
+}
+
+// pulseResumeA is pulseBody rotated to resume after the "pulse.a" park.
+func (t *toy) pulseResumeA(p *sim.Proc) {
+	t.phaseB(p)
+	p.SleepQ(900*time.Microsecond, "pulse.b")
+	t.pulseBody(p)
+}
+
+func (t *toy) phaseA(p *sim.Proc) {
+	t.j++
+	t.log(p, fmt.Sprintf("A %d", t.j))
+}
+
+func (t *toy) phaseB(p *sim.Proc) {
+	t.log(p, fmt.Sprintf("B %d", t.j))
+	p.Send(t.in2, 9000+t.j)
+}
+
+func (t *toy) snapshot() toyState {
+	return toyState{
+		i:          t.i,
+		j:          t.j,
+		trail:      append([]string(nil), t.trail...),
+		tickerPID:  t.ticker.PID(),
+		pulsePID:   t.pulse.PID(),
+		lostPID:    t.lost.PID(),
+		serverPIDs: [2]int{t.servers[0].PID(), t.servers[1].PID()},
+	}
+}
+
+func restoreToy(e *sim.Engine, s *sim.RestoreSession, st toyState) (*toy, error) {
+	t := &toy{i: st.i, j: st.j, trail: append([]string(nil), st.trail...)}
+	t.makeBoxes(e)
+	var err error
+	if t.ticker, err = s.Adopt(st.tickerPID, t.tickerBody); err != nil {
+		return nil, err
+	}
+	for k, pid := range st.serverPIDs {
+		// Both server park sites resume at the loop top, so one body
+		// serves both tags.
+		if t.servers[k], err = s.Adopt(pid, t.serverBody); err != nil {
+			return nil, err
+		}
+	}
+	body := t.pulseBody
+	if tag, ok := s.ParkTag(st.pulsePID); ok && tag == "pulse.a" {
+		body = t.pulseResumeA
+	}
+	if t.pulse, err = s.Adopt(st.pulsePID, body); err != nil {
+		return nil, err
+	}
+	// The n3 "lost" process is only adoptable while n3 is alive; after a
+	// crash its capture record is a tombstone and ParkTag reports !ok.
+	if _, alive := s.ParkTag(st.lostPID); alive {
+		if t.lost, err = s.Adopt(st.lostPID, t.lostBody); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func ckOpts(seed int64) sim.Options {
+	return sim.Options{Seed: seed, Checkpointing: true}
+}
+
+// forkAt runs the toy to capture time tc (crashing n3 at crashAt if
+// non-zero), checkpoints, and returns the original engine+toy (run on to
+// horizon) plus a forked engine+toy restored from the checkpoint and run
+// to the same horizon.
+func forkAt(t *testing.T, seed int64, crashAt, tc, horizon time.Duration) (orig, fork *toy, oe, fe *sim.Engine) {
+	t.Helper()
+	oe = sim.NewEngine(ckOpts(seed))
+	orig = newToy(oe)
+	if crashAt > 0 {
+		oe.Run(crashAt)
+		oe.CrashNode("n3")
+	}
+	oe.Run(tc)
+	ck, err := oe.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint at %s: %v", tc, err)
+	}
+	st := orig.snapshot()
+	oe.Run(horizon)
+
+	fe = sim.NewEngine(ckOpts(seed))
+	sess, err := ck.RestoreInto(fe)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	if fork, err = restoreToy(fe, sess, st); err != nil {
+		t.Fatalf("restoreToy: %v", err)
+	}
+	if err := sess.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	fe.Run(horizon)
+	return orig, fork, oe, fe
+}
+
+func TestCheckpointForkMatchesOriginal(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234, 99999} {
+		for _, tc := range []time.Duration{3 * time.Millisecond, 5 * time.Millisecond, 8 * time.Millisecond} {
+			orig, fork, oe, fe := forkAt(t, seed, 2*time.Millisecond, tc, 12*time.Millisecond)
+			if !reflect.DeepEqual(orig.trail, fork.trail) {
+				t.Fatalf("seed %d fork at %s: trails diverge\norig %d entries, fork %d entries\nfirst diff: %s",
+					seed, tc, len(orig.trail), len(fork.trail), firstDiff(orig.trail, fork.trail))
+			}
+			if oe.Events() != fe.Events() {
+				t.Fatalf("seed %d fork at %s: events %d != %d", seed, tc, oe.Events(), fe.Events())
+			}
+			if oe.Now() != fe.Now() {
+				t.Fatalf("seed %d fork at %s: now %s != %s", seed, tc, oe.Now(), fe.Now())
+			}
+			// The RNG stream must be position-identical after the run.
+			for k := 0; k < 3; k++ {
+				if a, b := oe.Rand().Int63(), fe.Rand().Int63(); a != b {
+					t.Fatalf("seed %d fork at %s: rng diverged at post-draw %d: %d != %d", seed, tc, k, a, b)
+				}
+			}
+			oe.Close()
+			fe.Close()
+		}
+	}
+}
+
+func TestCheckpointTwoForksIdentical(t *testing.T) {
+	oe := sim.NewEngine(ckOpts(5))
+	orig := newToy(oe)
+	oe.Run(4 * time.Millisecond)
+	ck, err := oe.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := orig.snapshot()
+	defer oe.Close()
+
+	run := func() *toy {
+		fe := sim.NewEngine(ckOpts(5))
+		defer fe.Close()
+		sess, err := ck.RestoreInto(fe)
+		if err != nil {
+			t.Fatalf("RestoreInto: %v", err)
+		}
+		fk, err := restoreToy(fe, sess, st)
+		if err != nil {
+			t.Fatalf("restoreToy: %v", err)
+		}
+		if err := sess.Finish(); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+		fe.Run(10 * time.Millisecond)
+		return fk
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.trail, b.trail) {
+		t.Fatalf("two forks from one checkpoint diverge: %s", firstDiff(a.trail, b.trail))
+	}
+}
+
+func TestCheckpointHeldDeliveries(t *testing.T) {
+	oe := sim.NewEngine(ckOpts(11))
+	orig := newToy(oe)
+	oe.PauseNode("n2")
+	oe.Run(3 * time.Millisecond)
+	ck, err := oe.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint with held deliveries: %v", err)
+	}
+	st := orig.snapshot()
+	oe.ResumeNode("n2")
+	oe.Run(8 * time.Millisecond)
+	defer oe.Close()
+
+	fe := sim.NewEngine(ckOpts(11))
+	defer fe.Close()
+	sess, err := ck.RestoreInto(fe)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	fork, err := restoreToy(fe, sess, st)
+	if err != nil {
+		t.Fatalf("restoreToy: %v", err)
+	}
+	if err := sess.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	fe.ResumeNode("n2")
+	fe.Run(8 * time.Millisecond)
+
+	if !reflect.DeepEqual(orig.trail, fork.trail) {
+		t.Fatalf("held-delivery fork diverges: %s", firstDiff(orig.trail, fork.trail))
+	}
+}
+
+func TestCheckpointNotQuiescent(t *testing.T) {
+	t.Run("pending_after", func(t *testing.T) {
+		e := sim.NewEngine(ckOpts(1))
+		defer e.Close()
+		newToy(e)
+		e.Run(time.Millisecond)
+		e.After(time.Millisecond, func() {})
+		if _, err := e.Checkpoint(); !errors.Is(err, sim.ErrNotQuiescent) {
+			t.Fatalf("err = %v, want ErrNotQuiescent", err)
+		}
+	})
+	t.Run("untagged_park", func(t *testing.T) {
+		e := sim.NewEngine(ckOpts(1))
+		defer e.Close()
+		e.Spawn("n1", "plain", func(p *sim.Proc) {
+			for {
+				p.Sleep(time.Millisecond)
+			}
+		})
+		e.Run(500 * time.Microsecond)
+		if _, err := e.Checkpoint(); !errors.Is(err, sim.ErrNotQuiescent) {
+			t.Fatalf("err = %v, want ErrNotQuiescent", err)
+		}
+	})
+	t.Run("queued_rpc_envelope", func(t *testing.T) {
+		e := sim.NewEngine(ckOpts(1))
+		defer e.Close()
+		box := e.NewMailbox("n2", "srv")
+		e.Spawn("n1", "caller", func(p *sim.Proc) {
+			p.Send(box, sim.Req{Body: 1})
+			for {
+				p.SleepQ(time.Millisecond, "idle")
+			}
+		})
+		e.Run(2 * time.Millisecond)
+		if _, err := e.Checkpoint(); !errors.Is(err, sim.ErrNotQuiescent) {
+			t.Fatalf("err = %v, want ErrNotQuiescent", err)
+		}
+	})
+	t.Run("not_enabled", func(t *testing.T) {
+		e := sim.NewEngine(sim.Options{Seed: 1})
+		defer e.Close()
+		_, err := e.Checkpoint()
+		if err == nil || errors.Is(err, sim.ErrNotQuiescent) {
+			t.Fatalf("err = %v, want hard error", err)
+		}
+	})
+}
+
+func TestRestoreFinishRequiresAdoption(t *testing.T) {
+	oe := sim.NewEngine(ckOpts(3))
+	orig := newToy(oe)
+	oe.Run(2 * time.Millisecond)
+	ck, err := oe.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	_ = orig
+	defer oe.Close()
+
+	fe := sim.NewEngine(ckOpts(3))
+	defer fe.Close()
+	sess, err := ck.RestoreInto(fe)
+	if err != nil {
+		t.Fatalf("RestoreInto: %v", err)
+	}
+	if err := sess.Finish(); err == nil {
+		t.Fatal("Finish with no adoptions succeeded")
+	}
+}
+
+func TestRestoreTargetMustBeFresh(t *testing.T) {
+	oe := sim.NewEngine(ckOpts(3))
+	newToy(oe)
+	oe.Run(2 * time.Millisecond)
+	ck, err := oe.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	defer oe.Close()
+
+	used := sim.NewEngine(ckOpts(3))
+	defer used.Close()
+	newToy(used)
+	used.Run(time.Millisecond)
+	if _, err := ck.RestoreInto(used); err == nil {
+		t.Fatal("RestoreInto a used engine succeeded")
+	}
+
+	plain := sim.NewEngine(sim.Options{Seed: 3})
+	defer plain.Close()
+	if _, err := ck.RestoreInto(plain); err == nil {
+		t.Fatal("RestoreInto a non-checkpointing engine succeeded")
+	}
+}
+
+func TestCheckpointSizeBytes(t *testing.T) {
+	e := sim.NewEngine(ckOpts(9))
+	defer e.Close()
+	newToy(e)
+	e.Run(3 * time.Millisecond)
+	ck, err := e.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if ck.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d", ck.SizeBytes())
+	}
+	if ck.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %s", ck.Now())
+	}
+	if ck.Events() <= 0 {
+		t.Fatalf("Events = %d", ck.Events())
+	}
+}
+
+func firstDiff(a, b []string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("index %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d (common prefix equal)", len(a), len(b))
+}

@@ -71,8 +71,12 @@ type Options struct {
 	// Seed initialises the engine RNG. Runs with equal seeds and equal
 	// workloads produce identical schedules.
 	Seed int64
-	// MaxEvents bounds the number of processed events per Run call as a
-	// defence against livelock. Zero means the default (4 million).
+	// MaxEvents bounds the cumulative number of processed events over the
+	// engine's lifetime as a defence against livelock. The bound is
+	// cumulative rather than per Run call so that a run executed in
+	// segments -- or forked mid-way from a checkpoint -- exhausts the
+	// budget at exactly the same event as a single straight Run. Zero
+	// means the default (4 million).
 	MaxEvents int
 	// Latency overrides the default message latency model. When nil, a
 	// fixed DefaultLatency plus uniform Jitter is used.
@@ -85,6 +89,13 @@ type Options struct {
 	// take exactly DefaultLatency and the default latency model never
 	// touches the RNG, which keeps the RNG stream free for workload use.
 	Jitter time.Duration
+	// Checkpointing enables Engine.Checkpoint by keeping a registry of
+	// every mailbox created on the engine. The registry pins reply
+	// mailboxes from completed Calls for the engine's lifetime, so the
+	// flag is off by default and the harness enables it only for profile
+	// runs whose prefixes are worth capturing. Tracking has no observable
+	// effect on a run's schedule, RNG stream, or ids.
+	Checkpointing bool
 }
 
 type eventKind uint8
@@ -193,6 +204,7 @@ type Engine struct {
 	now    time.Duration
 	seq    uint64
 	events eventQueue
+	src    *Source // two-word copyable RNG state behind rng
 	rng    *rand.Rand
 
 	procs    []*Proc
@@ -222,6 +234,12 @@ type Engine struct {
 	fail      *procPanic
 
 	nextMailboxID int
+	// mailboxes registers every mailbox created on this engine, in
+	// creation order, so checkpoints can capture queue contents and remap
+	// them by id on restore. Populated only under Options.Checkpointing,
+	// since the registry pins reply mailboxes for the engine's lifetime.
+	mailboxes     []*Mailbox
+	checkpointing bool
 }
 
 // procPanic carries a user panic from a process goroutine back to the
@@ -247,10 +265,13 @@ func NewEngine(opts Options) *Engine {
 	if opts.Jitter == 0 {
 		opts.Jitter = 200 * time.Microsecond
 	}
+	src := NewSource(opts.Seed)
 	e := &Engine{
-		rng:       rand.New(rand.NewSource(opts.Seed)),
-		parked:    make(chan struct{}),
-		maxEvents: opts.MaxEvents,
+		src:           src,
+		rng:           rand.New(src),
+		parked:        make(chan struct{}),
+		maxEvents:     opts.MaxEvents,
+		checkpointing: opts.Checkpointing,
 	}
 	if opts.Latency != nil {
 		e.latency = opts.Latency
@@ -349,7 +370,11 @@ func (e *Engine) Run(horizon time.Duration) RunResult {
 	defer func() { e.running = false }()
 	processed := 0
 	for e.events.len() > 0 {
-		if processed >= e.maxEvents {
+		// The event budget is cumulative across Run calls: a run executed
+		// in segments (checkpoint probing) or resumed from a checkpoint
+		// (executed is restored) hits the budget at exactly the same event
+		// as the same run executed in one Run call.
+		if e.executed+processed >= e.maxEvents {
 			e.executed += processed
 			return RunResult{Reason: StopEventBudget, Now: e.now, Events: processed}
 		}

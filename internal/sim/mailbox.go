@@ -26,7 +26,11 @@ type Mailbox struct {
 // mailbox are subject to the node's partitions, pauses, and crashes.
 func (e *Engine) NewMailbox(node, name string) *Mailbox {
 	e.nextMailboxID++
-	return &Mailbox{eng: e, id: e.nextMailboxID, node: node, name: name}
+	mb := &Mailbox{eng: e, id: e.nextMailboxID, node: node, name: name}
+	if e.checkpointing {
+		e.mailboxes = append(e.mailboxes, mb)
+	}
+	return mb
 }
 
 // Node returns the hosting node.

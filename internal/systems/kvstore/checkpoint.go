@@ -1,0 +1,183 @@
+package kvstore
+
+// Checkpointable implementation: Snapshot copies every mutable Cluster
+// field into plain values, Restore rebuilds an equivalent cluster on an
+// engine primed from the matching sim.Checkpoint. Mailbox creation order
+// must replay NewCluster's exactly -- master rpc, master pending signal,
+// then per region server its rpc box and its WAL mutex token box.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+)
+
+type clusterState struct {
+	master  masterState
+	rss     []rsState
+	clients []clientState
+}
+
+type masterState struct {
+	regions   map[string]string
+	excluded  map[string]bool
+	pending   []assignment
+	balanceOK bool
+
+	assignPID, balancerPID, rpcPID int
+}
+
+type rsState struct {
+	walPending int
+	walSynced  int
+	walTotal   int
+	lastSync   time.Duration
+	replayed   int
+	regions    map[string]bool
+
+	handlerPIDs                  []int
+	syncPID, flushPID, replayPID int
+}
+
+// clientState covers both client kinds: put drivers first, then table
+// creators, in spawn order within each slice.
+type clientState struct {
+	done int
+	pid  int
+}
+
+func copyStrMap[V comparable](m map[string]V) map[string]V {
+	out := make(map[string]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot implements sysreg.Checkpointable.
+func (c *Cluster) Snapshot() any {
+	m := c.master
+	st := &clusterState{
+		master: masterState{
+			regions:     copyStrMap(m.regions),
+			excluded:    copyStrMap(m.excluded),
+			pending:     append([]assignment(nil), m.pending...),
+			balanceOK:   m.balanceOK,
+			assignPID:   m.assignProc.PID(),
+			balancerPID: m.balancerProc.PID(),
+			rpcPID:      m.rpcProc.PID(),
+		},
+	}
+	for _, rs := range c.rss {
+		rss := rsState{
+			walPending: rs.walPending, walSynced: rs.walSynced, walTotal: rs.walTotal,
+			lastSync: rs.lastSync, replayed: rs.replayed,
+			regions:   copyStrMap(rs.regions),
+			syncPID:   rs.syncProc.PID(),
+			flushPID:  rs.flushProc.PID(),
+			replayPID: -1,
+		}
+		if rs.replayProc != nil {
+			rss.replayPID = rs.replayProc.PID()
+		}
+		for _, p := range rs.handlerProcs {
+			rss.handlerPIDs = append(rss.handlerPIDs, p.PID())
+		}
+		st.rss = append(st.rss, rss)
+	}
+	for _, cl := range c.clients {
+		st.clients = append(st.clients, clientState{done: cl.done, pid: cl.proc.PID()})
+	}
+	for _, cl := range c.creators {
+		st.clients = append(st.clients, clientState{done: cl.done, pid: cl.proc.PID()})
+	}
+	return st
+}
+
+// adoptIf adopts pid with body when the checkpoint holds it as runnable;
+// dead processes (crashed nodes, exited clients) are skipped.
+func adoptIf(s *sim.RestoreSession, pid int, body func(p *sim.Proc)) error {
+	if pid < 0 {
+		return nil
+	}
+	if _, ok := s.ParkTag(pid); !ok {
+		return nil
+	}
+	_, err := s.Adopt(pid, body)
+	return err
+}
+
+// Restore implements sysreg.Checkpointable. The receiver is the *profile*
+// cluster, used purely as a factory for immutable configuration.
+func (c *Cluster) Restore(ctx *sysreg.RunContext, state any) error {
+	st, ok := state.(*clusterState)
+	if !ok {
+		return fmt.Errorf("kvstore: snapshot type %T does not belong to this system", state)
+	}
+	if len(st.rss) != c.cfg.RegionServers || len(st.clients) != len(c.clients)+len(c.creators) {
+		return fmt.Errorf("kvstore: snapshot shape does not match this cluster")
+	}
+	s := ctx.Session
+	nc := &Cluster{cfg: c.cfg, eng: ctx.Engine, rt: ctx.RT}
+	nc.master = newMaster(nc)
+	for i := 0; i < nc.cfg.RegionServers; i++ {
+		nc.rss = append(nc.rss, newRegionServer(nc, i))
+	}
+
+	m := nc.master
+	ms := &st.master
+	m.regions = copyStrMap(ms.regions)
+	m.excluded = copyStrMap(ms.excluded)
+	m.pending = append([]assignment(nil), ms.pending...)
+	m.balanceOK = ms.balanceOK
+	if err := adoptIf(s, ms.assignPID, m.assignmentManager); err != nil {
+		return err
+	}
+	if err := adoptIf(s, ms.balancerPID, func(p *sim.Proc) { m.balancerLoop(p, true) }); err != nil {
+		return err
+	}
+	if err := adoptIf(s, ms.rpcPID, m.rpcHandler); err != nil {
+		return err
+	}
+
+	for i, rs := range nc.rss {
+		rss := &st.rss[i]
+		rs.walPending, rs.walSynced, rs.walTotal = rss.walPending, rss.walSynced, rss.walTotal
+		rs.lastSync, rs.replayed = rss.lastSync, rss.replayed
+		rs.regions = copyStrMap(rss.regions)
+		for _, pid := range rss.handlerPIDs {
+			if err := adoptIf(s, pid, rs.handlerLoop); err != nil {
+				return err
+			}
+		}
+		if err := adoptIf(s, rss.syncPID, func(p *sim.Proc) { rs.walSyncLoop(p, true) }); err != nil {
+			return err
+		}
+		if err := adoptIf(s, rss.flushPID, func(p *sim.Proc) { rs.flushLoop(p, true) }); err != nil {
+			return err
+		}
+		if err := adoptIf(s, rss.replayPID, rs.walReplay); err != nil {
+			return err
+		}
+	}
+
+	for i, src := range c.clients {
+		cs := &st.clients[i]
+		cl := &loadClient{c: nc, name: src.name, ops: src.ops, batch: src.batch, gap: src.gap, done: cs.done}
+		nc.clients = append(nc.clients, cl)
+		if err := adoptIf(s, cs.pid, cl.run); err != nil {
+			return err
+		}
+	}
+	for i, src := range c.creators {
+		cs := &st.clients[len(c.clients)+i]
+		cl := &tableCreator{c: nc, name: src.name, tables: src.tables, regions: src.regions, clone: src.clone, gap: src.gap, done: cs.done}
+		nc.creators = append(nc.creators, cl)
+		if err := adoptIf(s, cs.pid, cl.run); err != nil {
+			return err
+		}
+	}
+	return nil
+}

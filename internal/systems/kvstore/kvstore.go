@@ -124,7 +124,9 @@ const (
 	assignRetryGap  = 500 * time.Millisecond
 )
 
-// Cluster is one simulated HBase deployment.
+// Cluster is one simulated HBase deployment. It implements
+// sysreg.Checkpointable: long-lived processes park only at tagged
+// SleepQ/RecvQ sites and all mutable state lives in struct fields.
 type Cluster struct {
 	cfg Config
 	eng *sim.Engine
@@ -132,6 +134,9 @@ type Cluster struct {
 
 	master *master
 	rss    []*regionServer
+
+	clients  []*loadClient
+	creators []*tableCreator
 }
 
 // NewCluster builds and starts the cluster.
@@ -168,6 +173,8 @@ type master struct {
 	pending   []assignment
 	pendSig   *sim.Mailbox
 	balanceOK bool
+
+	assignProc, balancerProc, rpcProc *sim.Proc
 }
 
 func newMaster(c *Cluster) *master {
@@ -190,9 +197,9 @@ func (m *master) bootstrapRegions() {
 }
 
 func (m *master) start() {
-	m.c.eng.Spawn(m.node, "assignmentManager", m.assignmentManager)
-	m.c.eng.Spawn(m.node, "balancer", m.balancerLoop)
-	m.c.eng.Spawn(m.node, "rpcHandler", m.rpcHandler)
+	m.assignProc = m.c.eng.Spawn(m.node, "assignmentManager", m.assignmentManager)
+	m.balancerProc = m.c.eng.Spawn(m.node, "balancer", func(p *sim.Proc) { m.balancerLoop(p, false) })
+	m.rpcProc = m.c.eng.Spawn(m.node, "rpcHandler", m.rpcHandler)
 }
 
 func (m *master) enqueue(p *sim.Proc, a assignment) {
@@ -207,9 +214,7 @@ func (m *master) assignmentManager(p *sim.Proc) {
 	defer p.Enter("assignmentManager")()
 	rt := m.c.rt
 	for {
-		if _, ok := p.Recv(m.pendSig, -1); !ok {
-			return
-		}
+		p.RecvQ(m.pendSig, "hb.assign.signal")
 		// Each drain is a batched deployment with one overall deadline:
 		// a slow sub-deployment times out the whole batch, the batched-
 		// RPC pattern of §4.3.
@@ -288,11 +293,16 @@ func (m *master) pickServer(p *sim.Proc, a assignment) string {
 }
 
 // balancerLoop periodically rebalances regions; each move is a deployment.
-func (m *master) balancerLoop(p *sim.Proc) {
+// adopted skips the leading park exactly once: a restored body enters at
+// the wake instant, where the original had just finished the same sleep.
+func (m *master) balancerLoop(p *sim.Proc, adopted bool) {
 	defer p.Enter("runBalancer")()
 	rt := m.c.rt
 	for {
-		p.Sleep(balanceEvery + time.Duration(p.Rand().Intn(50))*time.Millisecond)
+		if !adopted {
+			p.SleepQ(balanceEvery+time.Duration(p.Rand().Intn(50))*time.Millisecond, "hb.balancer")
+		}
+		adopted = false
 		counts := map[string]int{}
 		for _, owner := range m.regions {
 			counts[owner]++
@@ -339,10 +349,7 @@ func (m *master) rpcHandler(p *sim.Proc) {
 	defer p.Enter("masterRPC")()
 	rt := m.c.rt
 	for {
-		msg, ok := p.Recv(m.rpc, -1)
-		if !ok {
-			return
-		}
+		msg := p.RecvQ(m.rpc, "hb.master.rpc")
 		req := msg.(sim.Req)
 		switch body := req.Body.(type) {
 		case createTableMsg:
@@ -374,8 +381,12 @@ type regionServer struct {
 	walSynced  int
 	walTotal   int
 	lastSync   time.Duration // when the sync loop last caught up
+	replayed   int           // replay reader's high-water mark
 	regions    map[string]bool
 	walMu      *sim.Mutex
+
+	handlerProcs                    []*sim.Proc
+	syncProc, flushProc, replayProc *sim.Proc
 }
 
 func newRegionServer(c *Cluster, idx int) *regionServer {
@@ -391,22 +402,19 @@ func newRegionServer(c *Cluster, idx int) *regionServer {
 
 func (rs *regionServer) start() {
 	for i := 0; i < 2; i++ {
-		rs.c.eng.Spawn(rs.node, "handler", rs.handlerLoop)
+		rs.handlerProcs = append(rs.handlerProcs, rs.c.eng.Spawn(rs.node, "handler", rs.handlerLoop))
 	}
-	rs.c.eng.Spawn(rs.node, "walSync", rs.walSyncLoop)
-	rs.c.eng.Spawn(rs.node, "memstoreFlush", rs.flushLoop)
+	rs.syncProc = rs.c.eng.Spawn(rs.node, "walSync", func(p *sim.Proc) { rs.walSyncLoop(p, false) })
+	rs.flushProc = rs.c.eng.Spawn(rs.node, "memstoreFlush", func(p *sim.Proc) { rs.flushLoop(p, false) })
 	if rs.c.cfg.Replay {
-		rs.c.eng.Spawn(rs.node, "walReplay", rs.walReplay)
+		rs.replayProc = rs.c.eng.Spawn(rs.node, "walReplay", rs.walReplay)
 	}
 }
 
 func (rs *regionServer) handlerLoop(p *sim.Proc) {
 	rt := rs.c.rt
 	for {
-		msg, ok := p.Recv(rs.rpc, -1)
-		if !ok {
-			return
-		}
+		msg := p.RecvQ(rs.rpc, "hb.rs.rpc")
 		req := msg.(sim.Req)
 		switch body := req.Body.(type) {
 		case openRegionMsg:
@@ -445,11 +453,14 @@ func (rs *regionServer) handlerLoop(p *sim.Proc) {
 // walSyncLoop flushes appended WAL entries to stable storage; a lagging
 // sync leaves the on-disk WAL without its trailer, which the replay reader
 // observes as a premature end-of-file.
-func (rs *regionServer) walSyncLoop(p *sim.Proc) {
+func (rs *regionServer) walSyncLoop(p *sim.Proc, adopted bool) {
 	defer p.Enter("walSync")()
 	rt := rs.c.rt
 	for {
-		p.Sleep(walSyncEvery + time.Duration(p.Rand().Intn(30))*time.Millisecond)
+		if !adopted {
+			p.SleepQ(walSyncEvery+time.Duration(p.Rand().Intn(30))*time.Millisecond, "hb.walSync")
+		}
+		adopted = false
 		if rs.walPending == 0 {
 			rs.lastSync = p.Now()
 			continue
@@ -475,10 +486,12 @@ func (rs *regionServer) walSyncLoop(p *sim.Proc) {
 // walReplay models a WAL split/replay reader (e.g. during region moves):
 // it repeatedly reads the WAL tail; an incomplete file (missing trailer)
 // is retried after a pause, without bound -- the HBASE-1 feedback loop.
+// Both of its park sites sit at the bottom of the loop, so an adopted
+// body re-entered from the top continues exactly like the original
+// regardless of which site it was captured at.
 func (rs *regionServer) walReplay(p *sim.Proc) {
 	defer p.Enter("walReplay")()
 	rt := rs.c.rt
-	replayed := 0
 	for {
 		rs.walMu.Lock(p)
 		// The reader holds the WAL lock while scanning (the loop hook
@@ -497,22 +510,25 @@ func (rs *regionServer) walReplay(p *sim.Proc) {
 			// PrematureEndOfFile: retry from scratch shortly, without
 			// bound -- the HBASE-1 feedback (each retry holds the WAL
 			// lock, making the sync lag it is waiting out even worse).
-			p.Sleep(replayRetryGap)
+			p.SleepQ(replayRetryGap, "hb.replay.retry")
 			continue
 		}
-		if synced > replayed {
-			replayed = synced
+		if synced > rs.replayed {
+			rs.replayed = synced
 		}
-		p.Sleep(replayScanEvery)
+		p.SleepQ(replayScanEvery, "hb.replay.scan")
 	}
 }
 
 // flushLoop drains memstores periodically (background disk load).
-func (rs *regionServer) flushLoop(p *sim.Proc) {
+func (rs *regionServer) flushLoop(p *sim.Proc, adopted bool) {
 	defer p.Enter("memstoreFlush")()
 	rt := rs.c.rt
 	for {
-		p.Sleep(flushEvery + time.Duration(p.Rand().Intn(40))*time.Millisecond)
+		if !adopted {
+			p.SleepQ(flushEvery+time.Duration(p.Rand().Intn(40))*time.Millisecond, "hb.flush")
+		}
+		adopted = false
 		if len(rs.regions) == 0 && rs.walSynced == 0 {
 			continue
 		}
@@ -534,43 +550,83 @@ func (c *Cluster) rsByName(name string) *regionServer {
 
 // --- clients ---
 
+// loadClient is one put-driving client. Progress lives in done so a
+// checkpoint snapshot can rebuild the client mid-stream; its only park
+// site is the loop-last gap sleep (in-flight Call windows are untagged
+// and simply make that instant uncapturable).
+type loadClient struct {
+	c          *Cluster
+	name       string
+	ops, batch int
+	gap        time.Duration
+
+	done int // completed puts (their gap may still be pending)
+	proc *sim.Proc
+}
+
+func (cl *loadClient) run(p *sim.Proc) {
+	defer p.Enter("clientPut")()
+	rt := cl.c.rt
+	c := cl.c
+	for cl.done < cl.ops {
+		rt.Loop(p, PtPutLoop)
+		i := cl.done
+		rs := c.rss[i%len(c.rss)]
+		_, err := p.Call(rs.rpc, putMsg{region: "any", n: cl.batch}, c.cfg.PutTimeout)
+		failures := 0
+		if err != nil {
+			failures++
+			rs2 := c.rss[(i+1)%len(c.rss)]
+			if _, err2 := p.Call(rs2.rpc, putMsg{region: "any", n: cl.batch}, c.cfg.PutTimeout); err2 != nil {
+				failures++
+			}
+		}
+		rt.Guard(p, PtClientIOE, failures >= 2)
+		cl.done++
+		p.SleepQ(cl.gap+time.Duration(p.Rand().Intn(40))*time.Millisecond, "hb.client.gap")
+	}
+}
+
 // SpawnLoadClient drives puts at the cluster.
 func (c *Cluster) SpawnLoadClient(name string, ops, batch int, gap time.Duration) {
-	c.eng.Spawn("client-"+name, name, func(p *sim.Proc) {
-		defer p.Enter("clientPut")()
-		rt := c.rt
-		if gap == 0 {
-			gap = 150 * time.Millisecond
-		}
-		for i := 0; i < ops; i++ {
-			rt.Loop(p, PtPutLoop)
-			rs := c.rss[i%len(c.rss)]
-			_, err := p.Call(rs.rpc, putMsg{region: "any", n: batch}, c.cfg.PutTimeout)
-			failures := 0
-			if err != nil {
-				failures++
-				rs2 := c.rss[(i+1)%len(c.rss)]
-				if _, err2 := p.Call(rs2.rpc, putMsg{region: "any", n: batch}, c.cfg.PutTimeout); err2 != nil {
-					failures++
-				}
-			}
-			rt.Guard(p, PtClientIOE, failures >= 2)
-			p.Sleep(gap + time.Duration(p.Rand().Intn(40))*time.Millisecond)
-		}
-	})
+	if gap == 0 {
+		gap = 150 * time.Millisecond
+	}
+	cl := &loadClient{c: c, name: name, ops: ops, batch: batch, gap: gap}
+	cl.proc = c.eng.Spawn("client-"+name, name, cl.run)
+	c.clients = append(c.clients, cl)
+}
+
+// tableCreator issues table create/clone storms (the §8.3.1 t1
+// condition).
+type tableCreator struct {
+	c               *Cluster
+	name            string
+	tables, regions int
+	clone           bool
+	gap             time.Duration
+
+	done int
+	proc *sim.Proc
+}
+
+func (cl *tableCreator) run(p *sim.Proc) {
+	defer p.Enter("createTable")()
+	c := cl.c
+	for cl.done < cl.tables {
+		p.Call(c.master.rpc, createTableMsg{name: fmt.Sprintf("%s-t%d", cl.name, cl.done), regions: cl.regions, clone: cl.clone}, 10*time.Second)
+		cl.done++
+		p.SleepQ(cl.gap+time.Duration(p.Rand().Intn(60))*time.Millisecond, "hb.create.gap")
+	}
 }
 
 // SpawnTableCreator issues table create/clone storms (the §8.3.1 t1
 // condition).
 func (c *Cluster) SpawnTableCreator(name string, tables, regions int, clone bool, gap time.Duration) {
-	c.eng.Spawn("client-"+name, name, func(p *sim.Proc) {
-		defer p.Enter("createTable")()
-		if gap == 0 {
-			gap = 600 * time.Millisecond
-		}
-		for i := 0; i < tables; i++ {
-			p.Call(c.master.rpc, createTableMsg{name: fmt.Sprintf("%s-t%d", name, i), regions: regions, clone: clone}, 10*time.Second)
-			p.Sleep(gap + time.Duration(p.Rand().Intn(60))*time.Millisecond)
-		}
-	})
+	if gap == 0 {
+		gap = 600 * time.Millisecond
+	}
+	cl := &tableCreator{c: c, name: name, tables: tables, regions: regions, clone: clone, gap: gap}
+	cl.proc = c.eng.Spawn("client-"+name, name, cl.run)
+	c.creators = append(c.creators, cl)
 }

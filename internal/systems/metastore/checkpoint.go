@@ -1,0 +1,241 @@
+package metastore
+
+// Checkpointable implementation: Snapshot copies every mutable Cluster
+// field into plain values, Restore rebuilds an equivalent cluster on an
+// engine primed from the matching sim.Checkpoint. The two must agree on
+// process identity -- Snapshot records pids, Restore adopts them -- and
+// on mailbox creation order, which newNode fixes (rpc then propose, node
+// by node), exactly as NewCluster created them.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+)
+
+// clusterState is the snapshot payload. Everything is a value copy:
+// snapshots outlive the profile cluster and are shared across forks.
+type clusterState struct {
+	nodes     []nodeState
+	clients   []clientState
+	transfers []adminState
+	pausers   []adminState
+	crashers  []adminState
+}
+
+type nodeState struct {
+	state     role
+	term      int
+	votedFor  int
+	votedTerm int
+
+	last      int
+	commit    int
+	applied   int
+	compacted int
+
+	lastHeard   time.Duration
+	leaderHint  int
+	campaigning bool
+
+	next, match []int
+	leadEpoch   int
+
+	rpcPID, timerPID, applyPID, compactPID int
+	propPIDs                               []int
+	replRuns                               []replRun
+}
+
+type clientState struct {
+	done   int
+	target int
+	pid    int
+}
+
+// adminState covers the three admin loops: crashers have no progress
+// counter, so done stays 0 for them.
+type adminState struct {
+	done int
+	pid  int
+}
+
+// Snapshot implements sysreg.Checkpointable.
+func (c *Cluster) Snapshot() any {
+	st := &clusterState{}
+	for _, n := range c.nodes {
+		ns := nodeState{
+			state: n.state, term: n.term, votedFor: n.votedFor, votedTerm: n.votedTerm,
+			last: n.last, commit: n.commit, applied: n.applied, compacted: n.compacted,
+			lastHeard: n.lastHeard, leaderHint: n.leaderHint, campaigning: n.campaigning,
+			next:      append([]int(nil), n.next...),
+			match:     append([]int(nil), n.match...),
+			leadEpoch: n.leadEpoch,
+			rpcPID:    n.rpcProc.PID(),
+			timerPID:  n.timerProc.PID(),
+			applyPID:  n.applyProc.PID(),
+		}
+		ns.compactPID = -1
+		if n.compactProc != nil {
+			ns.compactPID = n.compactProc.PID()
+		}
+		for _, p := range n.propProcs {
+			ns.propPIDs = append(ns.propPIDs, p.PID())
+		}
+		for _, rr := range n.replRuns {
+			ns.replRuns = append(ns.replRuns, *rr)
+		}
+		st.nodes = append(st.nodes, ns)
+	}
+	for _, cl := range c.clients {
+		st.clients = append(st.clients, clientState{done: cl.done, target: cl.target, pid: cl.proc.PID()})
+	}
+	for _, a := range c.transfers {
+		st.transfers = append(st.transfers, adminState{done: a.done, pid: a.proc.PID()})
+	}
+	for _, a := range c.pausers {
+		st.pausers = append(st.pausers, adminState{done: a.done, pid: a.proc.PID()})
+	}
+	for _, a := range c.crashers {
+		st.crashers = append(st.crashers, adminState{pid: a.proc.PID()})
+	}
+	return st
+}
+
+// adoptIf adopts pid with the body built from its captured park tag. Dead
+// processes (crashed nodes, exited clients and admins) are skipped: their
+// stale wakes replay against tombstones the sim layer plants itself.
+func adoptIf(s *sim.RestoreSession, pid int, body func(tag string) func(p *sim.Proc)) error {
+	if pid < 0 {
+		return nil
+	}
+	tag, ok := s.ParkTag(pid)
+	if !ok {
+		return nil
+	}
+	_, err := s.Adopt(pid, body(tag))
+	return err
+}
+
+// Restore implements sysreg.Checkpointable. The receiver is the *profile*
+// cluster, used purely as a factory for immutable configuration; the
+// rebuilt cluster lives on ctx.Engine with ctx.RT and is kept alive by
+// the adopted process bodies.
+func (c *Cluster) Restore(ctx *sysreg.RunContext, state any) error {
+	st, ok := state.(*clusterState)
+	if !ok {
+		return fmt.Errorf("metastore: snapshot type %T does not belong to this system", state)
+	}
+	if len(st.nodes) != c.cfg.Nodes || len(st.clients) != len(c.clients) ||
+		len(st.transfers) != len(c.transfers) || len(st.pausers) != len(c.pausers) ||
+		len(st.crashers) != len(c.crashers) {
+		return fmt.Errorf("metastore: snapshot shape does not match this cluster")
+	}
+	s := ctx.Session
+	nc := &Cluster{cfg: c.cfg, eng: ctx.Engine, rt: ctx.RT}
+	// Mailbox creation order must replay NewCluster's exactly: rpc then
+	// propose for node 0, then node 1, ... Finish verifies the ids.
+	for i := 0; i < nc.cfg.Nodes; i++ {
+		nc.nodes = append(nc.nodes, newNode(nc, i))
+	}
+	for i, n := range nc.nodes {
+		ns := &st.nodes[i]
+		n.state = ns.state
+		n.term, n.votedFor, n.votedTerm = ns.term, ns.votedFor, ns.votedTerm
+		n.last, n.commit, n.applied, n.compacted = ns.last, ns.commit, ns.applied, ns.compacted
+		n.lastHeard, n.leaderHint, n.campaigning = ns.lastHeard, ns.leaderHint, ns.campaigning
+		n.next = append([]int(nil), ns.next...)
+		n.match = append([]int(nil), ns.match...)
+		n.leadEpoch = ns.leadEpoch
+
+		if err := adoptIf(s, ns.rpcPID, func(string) func(p *sim.Proc) {
+			return n.rpcHandler
+		}); err != nil {
+			return err
+		}
+		if err := adoptIf(s, ns.timerPID, func(string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { n.electionTimer(p, true) }
+		}); err != nil {
+			return err
+		}
+		if err := adoptIf(s, ns.applyPID, func(string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { n.applyLoop(p, true) }
+		}); err != nil {
+			return err
+		}
+		if err := adoptIf(s, ns.compactPID, func(string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { n.compactLoop(p, true) }
+		}); err != nil {
+			return err
+		}
+		for _, pid := range ns.propPIDs {
+			if err := adoptIf(s, pid, func(string) func(p *sim.Proc) {
+				return n.proposeHandler
+			}); err != nil {
+				return err
+			}
+		}
+		// Every captured replication record is re-created (the list is
+		// cluster state), but only live loops get a body: a record whose
+		// process was already killed unwinds in the original via the stale
+		// wake, which the fork's tombstone skips identically.
+		for _, rrv := range ns.replRuns {
+			rr := &replRun{pid: rrv.pid, term: rrv.term, epoch: rrv.epoch}
+			n.replRuns = append(n.replRuns, rr)
+			if err := adoptIf(s, rr.pid, func(string) func(p *sim.Proc) {
+				return func(p *sim.Proc) {
+					defer n.dropRepl(rr)
+					n.replicationLoop(p, rr.term, rr.epoch, true)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for i, src := range c.clients {
+		cs := &st.clients[i]
+		cl := &proposer{
+			c: nc, name: src.name, props: src.props, batch: src.batch,
+			gap: src.gap, start: src.start,
+			done: cs.done, target: cs.target,
+		}
+		nc.clients = append(nc.clients, cl)
+		if err := adoptIf(s, cs.pid, func(tag string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { cl.run(p, tag) }
+		}); err != nil {
+			return err
+		}
+	}
+	for i, src := range c.transfers {
+		as := &st.transfers[i]
+		a := &transferLoop{c: nc, name: src.name, start: src.start, every: src.every, times: src.times, done: as.done}
+		nc.transfers = append(nc.transfers, a)
+		if err := adoptIf(s, as.pid, func(tag string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { a.run(p, tag) }
+		}); err != nil {
+			return err
+		}
+	}
+	for i, src := range c.pausers {
+		as := &st.pausers[i]
+		a := &pauserLoop{c: nc, name: src.name, target: src.target, start: src.start, pauseFor: src.pauseFor, every: src.every, times: src.times, done: as.done}
+		nc.pausers = append(nc.pausers, a)
+		if err := adoptIf(s, as.pid, func(tag string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { a.run(p, tag) }
+		}); err != nil {
+			return err
+		}
+	}
+	for i, src := range c.crashers {
+		as := &st.crashers[i]
+		a := &crasher{c: nc, target: src.target, at: src.at}
+		nc.crashers = append(nc.crashers, a)
+		if err := adoptIf(s, as.pid, func(tag string) func(p *sim.Proc) {
+			return func(p *sim.Proc) { a.run(p, tag) }
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

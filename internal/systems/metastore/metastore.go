@@ -139,12 +139,21 @@ const (
 	leader
 )
 
-// Cluster is one simulated MetaStore deployment.
+// Cluster is one simulated MetaStore deployment. It implements
+// sysreg.Checkpointable: all mutable state lives in struct fields, every
+// long-lived process parks only at tagged SleepQ/RecvQ sites, and
+// clients/admins are structs whose progress counters are part of the
+// snapshot.
 type Cluster struct {
 	cfg   Config
 	eng   *sim.Engine
 	rt    *inject.Runtime
 	nodes []*node
+
+	clients   []*proposer
+	transfers []*transferLoop
+	pausers   []*pauserLoop
+	crashers  []*crasher
 }
 
 // NewCluster builds and starts the cluster.
@@ -164,9 +173,7 @@ func NewCluster(ctx *sysreg.RunContext, cfg Config) *Cluster {
 		for i := range n0.next {
 			n0.next[i] = 1
 		}
-		c.eng.Spawn(n0.name, "replicationLoop", func(p *sim.Proc) {
-			n0.replicationLoop(p, 1, n0.leadEpoch)
-		})
+		n0.spawnReplication(1, n0.leadEpoch)
 	}
 	for _, n := range c.nodes {
 		n.start()
@@ -239,6 +246,20 @@ type node struct {
 	// replicationLoop after re-election.
 	next, match []int
 	leadEpoch   int
+
+	// Process handles and live replication-loop records, kept so a
+	// checkpoint snapshot can name every process to adopt on restore.
+	// replRuns can briefly hold several entries: a deposed leader's stale
+	// loop exits lazily at its next tick.
+	rpcProc, timerProc, applyProc, compactProc *sim.Proc
+	propProcs                                  []*sim.Proc
+	replRuns                                   []*replRun
+}
+
+// replRun records one live replicationLoop process with the term/epoch
+// pair its body closed over.
+type replRun struct {
+	pid, term, epoch int
 }
 
 func newNode(c *Cluster, idx int) *node {
@@ -256,14 +277,35 @@ func newNode(c *Cluster, idx int) *node {
 }
 
 func (n *node) start() {
-	n.c.eng.Spawn(n.name, "rpcHandler", n.rpcHandler)
-	n.c.eng.Spawn(n.name, "electionTimer", n.electionTimer)
-	n.c.eng.Spawn(n.name, "applyLoop", n.applyLoop)
+	n.rpcProc = n.c.eng.Spawn(n.name, "rpcHandler", n.rpcHandler)
+	n.timerProc = n.c.eng.Spawn(n.name, "electionTimer", func(p *sim.Proc) { n.electionTimer(p, false) })
+	n.applyProc = n.c.eng.Spawn(n.name, "applyLoop", func(p *sim.Proc) { n.applyLoop(p, false) })
 	for i := 0; i < 2; i++ {
-		n.c.eng.Spawn(n.name, "proposeHandler", n.proposeHandler)
+		n.propProcs = append(n.propProcs, n.c.eng.Spawn(n.name, "proposeHandler", n.proposeHandler))
 	}
 	if n.c.cfg.Compaction {
-		n.c.eng.Spawn(n.name, "compactLoop", n.compactLoop)
+		n.compactProc = n.c.eng.Spawn(n.name, "compactLoop", func(p *sim.Proc) { n.compactLoop(p, false) })
+	}
+}
+
+// spawnReplication starts a replicationLoop for (term, epoch) and tracks
+// it in replRuns until the loop exits.
+func (n *node) spawnReplication(term, epoch int) {
+	rr := &replRun{term: term, epoch: epoch}
+	pr := n.c.eng.Spawn(n.name, "replicationLoop", func(p *sim.Proc) {
+		defer n.dropRepl(rr)
+		n.replicationLoop(p, term, epoch, false)
+	})
+	rr.pid = pr.PID()
+	n.replRuns = append(n.replRuns, rr)
+}
+
+func (n *node) dropRepl(rr *replRun) {
+	for i, x := range n.replRuns {
+		if x == rr {
+			n.replRuns = append(n.replRuns[:i], n.replRuns[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -291,10 +333,7 @@ func (n *node) observeTerm(term int) {
 
 func (n *node) rpcHandler(p *sim.Proc) {
 	for {
-		m, ok := p.Recv(n.rpc, -1)
-		if !ok {
-			return
-		}
+		m := p.RecvQ(n.rpc, "ms.rpc")
 		switch msg := m.(type) {
 		case appendMsg:
 			n.handleAppend(p, msg)
@@ -494,13 +533,18 @@ func (n *node) startCampaign(p *sim.Proc) {
 
 // electionTimer is the follower-side failure detector: at every randomized
 // timeout tick it checks heartbeat freshness and campaigns when the leader
-// has gone silent.
-func (n *node) electionTimer(p *sim.Proc) {
+// has gone silent. adopted skips the leading park exactly once: a restored
+// body enters at the wake instant, where the original had just finished
+// the same sleep.
+func (n *node) electionTimer(p *sim.Proc, adopted bool) {
 	defer p.Enter("electionTimer")()
 	rt := n.c.rt
 	cfg := n.c.cfg
 	for {
-		p.Sleep(cfg.ElectionTimeout + time.Duration(p.Rand().Int63n(int64(cfg.ElectionJitter))))
+		if !adopted {
+			p.SleepQ(cfg.ElectionTimeout+time.Duration(p.Rand().Int63n(int64(cfg.ElectionJitter))), "ms.electionTimer")
+		}
+		adopted = false
 		if n.state == leader {
 			continue
 		}
@@ -574,7 +618,7 @@ func (n *node) becomeLeader(p *sim.Proc) {
 		n.next[i] = n.last + 1
 		n.match[i] = 0
 	}
-	p.Spawn("replicationLoop", func(rp *sim.Proc) { n.replicationLoop(rp, term, epoch) })
+	n.spawnReplication(term, epoch)
 }
 
 // --- replication (leader) ---
@@ -585,12 +629,15 @@ func (n *node) becomeLeader(p *sim.Proc) {
 // peers, and a plain heartbeat otherwise. Serializing all three on one
 // process is what turns any per-peer load into missed heartbeats for
 // everyone else.
-func (n *node) replicationLoop(p *sim.Proc, term, epoch int) {
+func (n *node) replicationLoop(p *sim.Proc, term, epoch int, adopted bool) {
 	defer p.Enter("replicationLoop")()
 	rt := n.c.rt
 	c := n.c
 	for {
-		p.Sleep(c.cfg.HeartbeatEvery + time.Duration(p.Rand().Int63n(int64(hbJitter))))
+		if !adopted {
+			p.SleepQ(c.cfg.HeartbeatEvery+time.Duration(p.Rand().Int63n(int64(hbJitter))), "ms.replicationLoop")
+		}
+		adopted = false
 		if n.state != leader || n.term != term || n.leadEpoch != epoch {
 			return
 		}
@@ -658,11 +705,14 @@ func (n *node) sendSnapshot(p *sim.Proc, peer *node, term int) bool {
 // --- apply and compaction ---
 
 // applyLoop advances the state machine to the commit frontier.
-func (n *node) applyLoop(p *sim.Proc) {
+func (n *node) applyLoop(p *sim.Proc, adopted bool) {
 	defer p.Enter("applyLoop")()
 	rt := n.c.rt
 	for {
-		p.Sleep(applyEvery)
+		if !adopted {
+			p.SleepQ(applyEvery, "ms.applyLoop")
+		}
+		adopted = false
 		for n.applied < n.commit {
 			rt.Loop(p, PtApplyLoop)
 			p.Work(applyCost)
@@ -674,12 +724,15 @@ func (n *node) applyLoop(p *sim.Proc) {
 // compactLoop trims the log CompactKeep entries behind the apply frontier.
 // Compaction is what turns a long-lagging follower's catch-up into a full
 // snapshot transfer: once next <= compacted the entries are simply gone.
-func (n *node) compactLoop(p *sim.Proc) {
+func (n *node) compactLoop(p *sim.Proc, adopted bool) {
 	defer p.Enter("compactLoop")()
 	rt := n.c.rt
 	c := n.c
 	for {
-		p.Sleep(compactEvery + time.Duration(p.Rand().Intn(60))*time.Millisecond)
+		if !adopted {
+			p.SleepQ(compactEvery+time.Duration(p.Rand().Intn(60))*time.Millisecond, "ms.compactLoop")
+		}
+		adopted = false
 		target := n.applied - c.cfg.CompactKeep
 		for n.compacted < target {
 			rt.Loop(p, PtCompactLoop)
@@ -708,10 +761,7 @@ func (n *node) proposeHandler(p *sim.Proc) {
 	defer p.Enter("proposeHandler")()
 	c := n.c
 	for {
-		m, ok := p.Recv(n.prop, -1)
-		if !ok {
-			return
-		}
+		m := p.RecvQ(n.prop, "ms.propose")
 		req := m.(sim.Req)
 		pm := req.Body.(proposeMsg)
 		if n.state != leader {
@@ -733,62 +783,134 @@ func (n *node) proposeHandler(p *sim.Proc) {
 	}
 }
 
+// proposer is one proposal client. Its loop progress lives in struct
+// fields so a checkpoint snapshot can rebuild the client mid-stream; the
+// park sites are the start delay and the inter-proposal gap (the in-flight
+// Call windows are deliberately untagged -- a capture attempt while any
+// proposal is outstanding is rejected and the probe simply skipped).
+type proposer struct {
+	c            *Cluster
+	name         string
+	props, batch int
+	gap, start   time.Duration
+
+	done   int // completed proposals (their gap may still be pending)
+	target int
+	proc   *sim.Proc
+}
+
+func (cl *proposer) run(p *sim.Proc, resume string) {
+	defer p.Enter("clientPropose")()
+	rt := cl.c.rt
+	c := cl.c
+	if resume == "" && cl.start > 0 {
+		p.SleepQ(cl.start, "ms.client.start")
+	}
+	// resume "ms.client.start" or "ms.client.gap": the wake lands exactly
+	// where the original finished the corresponding sleep, which is the
+	// loop condition below.
+	for cl.done < cl.props {
+		rt.Loop(p, PtProposeLoop)
+		failures := 0
+		nd := c.nodes[cl.target]
+		for attempt := 0; attempt <= len(c.nodes); attempt++ {
+			body, err := p.Call(nd.prop, proposeMsg{n: cl.batch}, c.cfg.ProposeTimeout)
+			if err == nil {
+				cl.target = nd.idx
+				break
+			}
+			failures++
+			if hint, isHint := body.(int); isHint && hint >= 0 && hint < len(c.nodes) && hint != nd.idx {
+				nd = c.nodes[hint]
+			} else {
+				nd = c.nodes[(nd.idx+1)%len(c.nodes)]
+			}
+		}
+		rt.Guard(p, PtProposeIOE, failures > len(c.nodes))
+		rt.Branch(p, "ms.propose.redirected", failures > 0)
+		cl.done++
+		p.SleepQ(cl.gap+time.Duration(p.Rand().Intn(40))*time.Millisecond, "ms.client.gap")
+	}
+}
+
 // SpawnProposer drives proposal batches at the cluster, following leader
 // hints and retrying failures against the next replica -- at-least-once,
 // so a proposal that was appended but not acknowledged is duplicated.
 func (c *Cluster) SpawnProposer(name string, props, batch int, gap, start time.Duration) {
-	c.eng.Spawn("client-"+name, name, func(p *sim.Proc) {
-		defer p.Enter("clientPropose")()
-		rt := c.rt
-		if gap == 0 {
-			gap = 150 * time.Millisecond
-		}
-		if start > 0 {
-			p.Sleep(start)
-		}
-		target := 0
-		for i := 0; i < props; i++ {
-			rt.Loop(p, PtProposeLoop)
-			failures := 0
-			nd := c.nodes[target]
-			for attempt := 0; attempt <= len(c.nodes); attempt++ {
-				body, err := p.Call(nd.prop, proposeMsg{n: batch}, c.cfg.ProposeTimeout)
-				if err == nil {
-					target = nd.idx
-					break
-				}
-				failures++
-				if hint, isHint := body.(int); isHint && hint >= 0 && hint < len(c.nodes) && hint != nd.idx {
-					nd = c.nodes[hint]
-				} else {
-					nd = c.nodes[(nd.idx+1)%len(c.nodes)]
-				}
+	if gap == 0 {
+		gap = 150 * time.Millisecond
+	}
+	cl := &proposer{c: c, name: name, props: props, batch: batch, gap: gap, start: start}
+	cl.proc = c.eng.Spawn("client-"+name, name, func(p *sim.Proc) { cl.run(p, "") })
+	c.clients = append(c.clients, cl)
+}
+
+// transferLoop is the planned-leadership-transfer admin process.
+type transferLoop struct {
+	c            *Cluster
+	name         string
+	start, every time.Duration
+	times        int
+
+	done int
+	proc *sim.Proc
+}
+
+func (a *transferLoop) run(p *sim.Proc, resume string) {
+	if resume == "" && a.start > 0 {
+		p.SleepQ(a.start, "ms.transfer.start")
+	}
+	for a.done < a.times {
+		for _, n := range a.c.nodes {
+			if n.state == leader && !a.c.eng.Crashed(n.name) {
+				p.Send(n.rpc, transferMsg{})
+				break
 			}
-			rt.Guard(p, PtProposeIOE, failures > len(c.nodes))
-			rt.Branch(p, "ms.propose.redirected", failures > 0)
-			p.Sleep(gap + time.Duration(p.Rand().Intn(40))*time.Millisecond)
 		}
-	})
+		a.done++
+		p.SleepQ(a.every, "ms.transfer.idle")
+	}
 }
 
 // SpawnTransferLoop periodically asks whoever currently leads to hand
 // leadership over (etcd's MoveLeader): planned elections with a healthy
 // heartbeat stream. Rounds where the cluster is leaderless are skipped.
 func (c *Cluster) SpawnTransferLoop(name string, start, every time.Duration, times int) {
-	c.eng.Spawn("admin-"+name, name, func(p *sim.Proc) {
-		if start > 0 {
-			p.Sleep(start)
-		}
-		for i := 0; i < times; i++ {
-			for _, n := range c.nodes {
-				if n.state == leader && !c.eng.Crashed(n.name) {
-					p.Send(n.rpc, transferMsg{})
-					break
-				}
-			}
-			p.Sleep(every)
-		}
-	})
+	a := &transferLoop{c: c, name: name, start: start, every: every, times: times}
+	a.proc = c.eng.Spawn("admin-"+name, name, func(p *sim.Proc) { a.run(p, "") })
+	c.transfers = append(c.transfers, a)
+}
+
+// pauserLoop is the node-freezing admin process. The "paused" park site
+// needs its own resume arm: a body woken there must resume the node
+// before rejoining the cycle.
+type pauserLoop struct {
+	c               *Cluster
+	name, target    string
+	start, pauseFor time.Duration
+	every           time.Duration
+	times           int
+
+	done int
+	proc *sim.Proc
+}
+
+func (a *pauserLoop) run(p *sim.Proc, resume string) {
+	if resume == "" && a.start > 0 {
+		p.SleepQ(a.start, "ms.pauser.start")
+	}
+	if resume == "ms.pauser.paused" {
+		a.c.eng.ResumeNode(a.target)
+		a.done++
+		p.SleepQ(a.every, "ms.pauser.idle")
+	}
+	for a.done < a.times {
+		a.c.eng.PauseNode(a.target)
+		p.SleepQ(a.pauseFor, "ms.pauser.paused")
+		a.c.eng.ResumeNode(a.target)
+		a.done++
+		p.SleepQ(a.every, "ms.pauser.idle")
+	}
 }
 
 // SpawnPauser periodically freezes a node's network (a GC pause or an
@@ -796,27 +918,31 @@ func (c *Cluster) SpawnTransferLoop(name string, start, every time.Duration, tim
 // falls behind and needs catch-up -- or, past the compaction margin, a
 // full snapshot.
 func (c *Cluster) SpawnPauser(name string, nodeIdx int, start, pauseFor, every time.Duration, times int) {
-	target := c.nodes[nodeIdx].name
-	c.eng.Spawn("admin-"+name, name, func(p *sim.Proc) {
-		if start > 0 {
-			p.Sleep(start)
-		}
-		for i := 0; i < times; i++ {
-			c.eng.PauseNode(target)
-			p.Sleep(pauseFor)
-			c.eng.ResumeNode(target)
-			p.Sleep(every)
-		}
-	})
+	a := &pauserLoop{c: c, name: name, target: c.nodes[nodeIdx].name, start: start, pauseFor: pauseFor, every: every, times: times}
+	a.proc = c.eng.Spawn("admin-"+name, name, func(p *sim.Proc) { a.run(p, "") })
+	c.pausers = append(c.pausers, a)
+}
+
+// crasher removes a member at a fixed virtual time, then exits.
+type crasher struct {
+	c      *Cluster
+	target string
+	at     time.Duration
+	proc   *sim.Proc
+}
+
+func (a *crasher) run(p *sim.Proc, resume string) {
+	if resume == "" {
+		p.SleepQ(a.at, "ms.crasher.wait")
+	}
+	a.c.eng.CrashNode(a.target)
 }
 
 // CrashMember permanently removes a member at the given virtual time: the
 // membership shrinks and the survivors keep serving as long as they still
 // form a quorum of the original group.
 func (c *Cluster) CrashMember(nodeIdx int, at time.Duration) {
-	target := c.nodes[nodeIdx].name
-	c.eng.Spawn("admin-crash", "crashMember", func(p *sim.Proc) {
-		p.Sleep(at)
-		c.eng.CrashNode(target)
-	})
+	a := &crasher{c: c, target: c.nodes[nodeIdx].name, at: at}
+	a.proc = c.eng.Spawn("admin-crash", "crashMember", func(p *sim.Proc) { a.run(p, "") })
+	c.crashers = append(c.crashers, a)
 }
