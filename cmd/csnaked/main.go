@@ -4,6 +4,13 @@
 // server-sent events, and serves every finished campaign's causal graph
 // as a persisted, mergeable artifact.
 //
+// With -data the daemon is crash-safe: jobs are journaled, anytime
+// campaigns checkpoint after every round, and a restart (graceful or
+// kill -9) replays the journal and resumes every unfinished job. On
+// SIGINT/SIGTERM the daemon drains gracefully: admissions stop, running
+// campaigns are interrupted at the next round boundary and journaled
+// for resume, and the HTTP server shuts down cleanly.
+//
 // Endpoints (see docs/API.md for the full reference):
 //
 //	POST   /v1/campaigns             submit a campaign spec
@@ -19,15 +26,20 @@
 //	GET    /metrics                  text metrics
 //	GET    /healthz                  liveness + counter snapshot
 //
-// Usage: csnaked [-addr HOST:PORT] [-workers N] [-max-jobs N] [-data DIR]
+// Usage: csnaked [-addr HOST:PORT] [-workers N] [-max-jobs N]
+// [-max-queue N] [-shed-high-water F] [-data DIR] [-drain-timeout D]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/service"
 	"repro/internal/systems/sysreg"
@@ -43,13 +55,18 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8344", "listen address")
 	workers := flag.Int("workers", 0, "shared simulation worker tokens across all jobs (0 = GOMAXPROCS)")
 	maxJobs := flag.Int("max-jobs", 4, "campaign jobs running at once; the rest queue by priority")
-	dataDir := flag.String("data", "", "directory for persisted graph artifacts (empty = in-memory only)")
+	maxQueue := flag.Int("max-queue", 0, "waiting jobs before submissions get 429 (0 = default 256)")
+	shedHW := flag.Float64("shed-high-water", 0, "reject submissions while the pool's in-use fraction is at or above this (0 = disabled)")
+	dataDir := flag.String("data", "", "directory for persisted graph artifacts and the job journal (empty = in-memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for running campaigns to reach a round boundary")
 	flag.Parse()
 
 	m, err := service.NewManager(service.Config{
-		Workers: *workers,
-		MaxJobs: *maxJobs,
-		DataDir: *dataDir,
+		Workers:       *workers,
+		MaxJobs:       *maxJobs,
+		MaxQueue:      *maxQueue,
+		ShedHighWater: *shedHW,
+		DataDir:       *dataDir,
 	})
 	if err != nil {
 		log.Fatalf("csnaked: %v", err)
@@ -57,9 +74,37 @@ func main() {
 	if n := m.Store().Len(); n > 0 {
 		log.Printf("csnaked: reloaded %d graph artifact(s) from %s", n, *dataDir)
 	}
+	if n := m.Snapshot().JobsResumed; n > 0 {
+		log.Printf("csnaked: resumed %d interrupted job(s) from the journal", n)
+	}
 	log.Printf("csnaked: serving on http://%s (workers=%d, max-jobs=%d, systems: %s)",
 		*addr, m.Pool().Cap(), *maxJobs, strings.Join(sysreg.Names(), ", "))
-	if err := http.ListenAndServe(*addr, service.NewServer(m)); err != nil {
-		log.Fatal(fmt.Errorf("csnaked: %w", err))
+
+	srv := &http.Server{Addr: *addr, Handler: service.NewServer(m)}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("csnaked: %v", err)
+	case <-ctx.Done():
 	}
+	stop() // a second signal kills immediately
+
+	// Graceful drain: stop admissions and interrupt running campaigns at
+	// their next round boundary (journaled as interrupted, resumable at
+	// the next boot), then shut the HTTP server down.
+	log.Printf("csnaked: signal received, draining (timeout %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := m.Drain(dctx); err != nil {
+		log.Printf("csnaked: drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("csnaked: http shutdown: %v", err)
+	}
+	m.Close()
+	log.Printf("csnaked: stopped")
 }

@@ -1,0 +1,209 @@
+package alloc
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestCountedSourceTransparent: a rand.Rand over a CountedSource draws
+// the same stream as one over the plain source, through a mixed workload
+// of every method family the schedules use (Intn, Float64, Shuffle,
+// Int63, Uint64).
+func TestCountedSourceTransparent(t *testing.T) {
+	mixed := func(r *rand.Rand) []float64 {
+		var out []float64
+		perm := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		for i := 0; i < 50; i++ {
+			out = append(out, float64(r.Intn(97)), r.Float64(), float64(r.Int63()%1000), float64(r.Uint64()%1000))
+			r.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			out = append(out, float64(perm[0]))
+		}
+		return out
+	}
+	plain := mixed(rand.New(rand.NewSource(99)))
+	counted := mixed(rand.New(NewCountedSource(99)))
+	if !reflect.DeepEqual(plain, counted) {
+		t.Fatal("counted source changed the random stream")
+	}
+}
+
+// TestCountedSourceFastForward: consuming n draws through arbitrary
+// rand.Rand methods, then fast-forwarding a fresh source to n, puts both
+// sources in the same state -- the RNG half of campaign resume.
+func TestCountedSourceFastForward(t *testing.T) {
+	src := NewCountedSource(7)
+	r := rand.New(src)
+	for i := 0; i < 123; i++ {
+		switch i % 4 {
+		case 0:
+			r.Intn(13)
+		case 1:
+			r.Float64()
+		case 2:
+			r.Uint64()
+		default:
+			r.Shuffle(5, func(int, int) {})
+		}
+	}
+	n := src.Draws()
+	if n == 0 {
+		t.Fatal("no draws counted")
+	}
+
+	resumed := NewCountedSource(7)
+	if err := resumed.FastForwardTo(n); err != nil {
+		t.Fatal(err)
+	}
+	r2 := rand.New(resumed)
+	for i := 0; i < 100; i++ {
+		if a, b := r.Int63(), r2.Int63(); a != b {
+			t.Fatalf("draw %d after fast-forward: %d != %d", i, a, b)
+		}
+	}
+	if err := resumed.FastForwardTo(0); err == nil {
+		t.Fatal("rewinding a source succeeded")
+	}
+}
+
+// drivePartial executes up to `waves` fixed-size waves of sched,
+// returning the planned runs in emission order.
+func drivePartial(t *testing.T, sched Scheduler, ex Executor, waves, waveSize int) []PlannedRun {
+	t.Helper()
+	var out []PlannedRun
+	for w := 0; w < waves && !sched.Done(); w++ {
+		wave := sched.Next(waveSize)
+		if len(wave) == 0 {
+			break
+		}
+		recs := make([]RunRecord, len(wave))
+		for i, pr := range wave {
+			recs[i] = RunRecord{Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
+				Intf: ex.Execute(pr.Fault, pr.Test)}
+		}
+		sched.Fold(recs)
+		out = append(out, wave...)
+	}
+	return out
+}
+
+func stateIntf(f faults.ID, test string) []faults.ID {
+	if f < "s.f03" {
+		return []faults.ID{"s.gA"}
+	}
+	return []faults.ID{faults.ID("x." + test)}
+}
+
+// TestScheduleExportRestoreResumes is the alloc-layer resume contract:
+// export a 3PA schedule mid-flight (at several boundaries, crossing both
+// phase barriers), restore into a fresh schedule with a fast-forwarded
+// RNG, and the continuation plans exactly the runs the uninterrupted
+// schedule plans. The state round-trips through JSON, as the service
+// persists it.
+func TestScheduleExportRestoreResumes(t *testing.T) {
+	tests := []string{"t1", "t2", "t3", "t4"}
+	for _, cut := range []int{1, 2, 4, 7} {
+		space := mkSpace(6)
+		mk := func(src rand.Source) *Schedule {
+			return NewSchedule(ScheduleConfig{Space: space, BudgetFactor: 3, Rng: rand.New(src)},
+				uniformExec(t, space, tests, stateIntf))
+		}
+
+		// Uninterrupted baseline.
+		base := mk(NewCountedSource(11))
+		all := drivePartial(t, base, uniformExec(t, space, tests, stateIntf), 1000, 3)
+
+		// Interrupted: cut after `cut` waves, export, JSON round trip.
+		src := NewCountedSource(11)
+		first := mk(src)
+		prefix := drivePartial(t, first, uniformExec(t, space, tests, stateIntf), cut, 3)
+		data, err := json.Marshal(first.ExportState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ScheduleState
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+
+		// Restore into a fresh schedule + fast-forwarded RNG.
+		src2 := NewCountedSource(11)
+		resumed := mk(src2)
+		if err := resumed.RestoreState(&st); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if err := src2.FastForwardTo(src.Draws()); err != nil {
+			t.Fatal(err)
+		}
+		rest := drivePartial(t, resumed, uniformExec(t, space, tests, stateIntf), 1000, 3)
+
+		got := append(append([]PlannedRun(nil), prefix...), rest...)
+		if !reflect.DeepEqual(got, all) {
+			t.Fatalf("cut %d: resumed plan diverged:\n got %v\nwant %v", cut, got, all)
+		}
+		if !reflect.DeepEqual(resumed.Result().Runs, base.Result().Runs) {
+			t.Fatalf("cut %d: resumed result differs from baseline", cut)
+		}
+	}
+}
+
+// TestRandomScheduleExportRestore: same contract for the §8.2 baseline.
+// Construction re-consumes the shuffle draws, so the restored RNG is
+// already at the checkpoint position.
+func TestRandomScheduleExportRestore(t *testing.T) {
+	tests := []string{"t1", "t2", "t3"}
+	space := mkSpace(5)
+	base := NewRandomSchedule(space, 2, rand.New(NewCountedSource(5)),
+		uniformExec(t, space, tests, stateIntf))
+	all := drivePartial(t, base, uniformExec(t, space, tests, stateIntf), 1000, 2)
+
+	src := NewCountedSource(5)
+	first := NewRandomSchedule(space, 2, rand.New(src), uniformExec(t, space, tests, stateIntf))
+	prefix := drivePartial(t, first, uniformExec(t, space, tests, stateIntf), 2, 2)
+	st := first.ExportState()
+
+	src2 := NewCountedSource(5)
+	resumed := NewRandomSchedule(space, 2, rand.New(src2), uniformExec(t, space, tests, stateIntf))
+	if src2.Draws() != src.Draws() {
+		t.Fatalf("construction consumed %d draws, original %d", src2.Draws(), src.Draws())
+	}
+	if err := resumed.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	rest := drivePartial(t, resumed, uniformExec(t, space, tests, stateIntf), 1000, 2)
+	got := append(append([]PlannedRun(nil), prefix...), rest...)
+	if !reflect.DeepEqual(got, all) {
+		t.Fatalf("resumed random plan diverged:\n got %v\nwant %v", got, all)
+	}
+}
+
+// TestRestoreStateRejectsMismatch pins the validation: wrong kind, a
+// started schedule, and a budget mismatch all refuse to restore.
+func TestRestoreStateRejectsMismatch(t *testing.T) {
+	tests := []string{"t1", "t2"}
+	space := mkSpace(4)
+	mk := func() *Schedule {
+		return NewSchedule(ScheduleConfig{Space: space, BudgetFactor: 2, Rng: rand.New(NewCountedSource(1))},
+			uniformExec(t, space, tests, stateIntf))
+	}
+	good := mk()
+	drivePartial(t, good, uniformExec(t, space, tests, stateIntf), 1, 2)
+	st := good.ExportState()
+
+	if err := mk().RestoreState(&ScheduleState{Kind: "random"}); err == nil {
+		t.Fatal("3pa schedule accepted a random checkpoint")
+	}
+	started := mk()
+	drivePartial(t, started, uniformExec(t, space, tests, stateIntf), 1, 2)
+	if err := started.RestoreState(st); err == nil {
+		t.Fatal("started schedule accepted a restore")
+	}
+	bad := *st
+	bad.Budget++
+	if err := mk().RestoreState(&bad); err == nil {
+		t.Fatal("budget mismatch accepted")
+	}
+}

@@ -24,12 +24,52 @@ import (
 
 // runAnytime drives the round loop. capture seals the driver's graph
 // into the report with its annotations; it is shared with the batch path
-// so both finish identically.
+// so both finish identically. The campaign RNG rides a CountedSource so
+// a checkpoint can record the draw position and a resumed campaign can
+// fast-forward to it.
 func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.Driver,
-	rep *Report, rng *rand.Rand, capture func()) (*Report, *harness.Driver, error) {
+	rep *Report, capture func()) (*Report, *harness.Driver, error) {
+
+	src := alloc.NewCountedSource(cfg.Seed)
+	rng := rand.New(src)
+
+	// Resuming: install the checkpointed graph before the scheduler is
+	// built (the random schedule re-shuffles its pool at construction,
+	// consuming the same draws the original did; the adaptive weight hook
+	// closes over the driver's graph).
+	if c.resume != nil {
+		if err := c.adoptResume(c.resume, cfg, driver); err != nil {
+			return rep, driver, err
+		}
+	}
 
 	sched := c.newScheduler(cfg, space, driver, rng)
 	isRandom := cfg.Protocol == ProtocolRandom
+
+	var roundBase, stable int
+	var lastFP string
+	if cp := c.resume; cp != nil {
+		res, ok := sched.(alloc.Resumable)
+		if !ok {
+			return rep, driver, resumeErr("scheduler %T is not resumable", sched)
+		}
+		if err := res.RestoreState(cp.Schedule); err != nil {
+			return rep, driver, resumeErr("%v", err)
+		}
+		if err := src.FastForwardTo(cp.RNGDraws); err != nil {
+			return rep, driver, resumeErr("%v", err)
+		}
+		if err := driver.OffsetSims(cp.Sims - driver.SimCount()); err != nil {
+			return rep, driver, resumeErr("checkpoint sims %d below the campaign's own %d", cp.Sims, driver.SimCount())
+		}
+		roundBase, stable, lastFP = cp.Rounds, cp.Stable, cp.LastFingerprint
+		// The checkpoint may already satisfy the early-stop criterion (the
+		// original crashed between sealing its last round and finishing):
+		// the resumed campaign must not run extra rounds past it.
+		if cfg.EarlyStopRounds > 0 && stable >= cfg.EarlyStopRounds {
+			rep.EarlyStopped = true
+		}
+	}
 
 	// scoreOf and clusterOf mirror the batch path: constant 1 / unknown
 	// until the 3PA schedule has clustered and scored.
@@ -60,10 +100,8 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 	var (
 		cycles   []beam.Cycle
 		clusters []beam.CycleCluster
-		stable   int
-		lastFP   string
 	)
-	for !sched.Done() && c.ctx.Err() == nil {
+	for !rep.EarlyStopped && !sched.Done() && c.ctx.Err() == nil {
 		wave := sched.Next(waveSize)
 		if len(wave) == 0 {
 			break
@@ -81,7 +119,7 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 		clusters = beam.ClusterCycles(cycles, clusterOf)
 
 		r := Round{
-			Round:         len(rep.Rounds) + 1,
+			Round:         roundBase + len(rep.Rounds) + 1,
 			Phase:         wave[len(wave)-1].Phase,
 			Runs:          len(wave),
 			Spent:         sched.Spent(),
@@ -104,6 +142,14 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 			stable = 0
 		}
 		lastFP = fp
+		if c.ckptFn != nil {
+			// Checkpoint persistence is best-effort: a round whose
+			// checkpoint could not be built still completes, the campaign
+			// just resumes from an earlier round after a crash.
+			if cp, err := checkpointOf(c, cfg, driver, sched, src, r.Round, stable, lastFP); err == nil {
+				c.ckptFn(cp)
+			}
+		}
 		if cfg.EarlyStopRounds > 0 && len(cycles) > 0 && stable >= cfg.EarlyStopRounds {
 			rep.EarlyStopped = true
 			break

@@ -60,11 +60,13 @@ func (NopObserver) CampaignFinished(*Report)                       {}
 // NewCampaign and execute it with Run or RunWithDriver; each execution
 // creates a fresh driver, so a Campaign value can be run repeatedly.
 type Campaign struct {
-	sys sysreg.System
-	cfg Config
-	par int
-	obs Observer
-	ctx context.Context
+	sys    sysreg.System
+	cfg    Config
+	par    int
+	obs    Observer
+	ctx    context.Context
+	ckptFn func(*Checkpoint)
+	resume *Checkpoint
 }
 
 // Option mutates a Campaign under construction.
@@ -300,10 +302,15 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 		return finish()
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	if cfg.Anytime || cfg.EarlyStopRounds > 0 || cfg.Protocol == ProtocolAdaptive {
-		return c.runAnytime(cfg, space, driver, rep, rng, capture)
+		return c.runAnytime(cfg, space, driver, rep, capture)
 	}
+	if c.resume != nil {
+		// Batch campaigns re-run from scratch deterministically; a stale
+		// checkpoint on one is a caller bug, not something to ignore.
+		return rep, driver, resumeErr("batch campaigns do not resume")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	switch cfg.Protocol {
 	case ProtocolRandom:
 		rep.Runs = alloc.Random(space, cfg.BudgetFactor, rng, driver)

@@ -1,0 +1,174 @@
+package csnake
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/systems/metastore"
+	"repro/internal/systems/sysreg"
+)
+
+// resumeRun executes one checkpoint-emitting anytime campaign and
+// returns its report plus every per-round checkpoint it emitted.
+func resumeRun(t *testing.T, sys sysreg.System, opts []Option) (*Report, []*Checkpoint) {
+	t.Helper()
+	var cps []*Checkpoint
+	rep, err := NewCampaign(sys,
+		append(append([]Option(nil), opts...), WithCheckpoints(func(cp *Checkpoint) { cps = append(cps, cp) }))...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, cps
+}
+
+// assertResumedIdentical pins the crash-recovery determinism contract:
+// a campaign resumed from the checkpoint of round `cut` finishes with
+// the uninterrupted campaign's report -- same graph bytes, same cycles,
+// and rounds that splice seamlessly onto the baseline's prefix.
+func assertResumedIdentical(t *testing.T, tag string, baseline, resumed *Report, cut int) {
+	t.Helper()
+	assertReportsIdentical(t, tag, resumed, baseline)
+	if !reflect.DeepEqual(resumed.Alloc, baseline.Alloc) {
+		t.Fatalf("%s: allocation results diverge", tag)
+	}
+	bb, err := json.Marshal(baseline.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(resumed.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bb) != string(rb) {
+		t.Fatalf("%s: resumed graph serialization diverges from baseline", tag)
+	}
+	spliced := append(append([]Round(nil), baseline.Rounds[:cut]...), resumed.Rounds...)
+	if !reflect.DeepEqual(spliced, baseline.Rounds) {
+		t.Fatalf("%s: baseline rounds[:%d] + resumed rounds != baseline rounds:\n%+v\nvs\n%+v",
+			tag, cut, spliced, baseline.Rounds)
+	}
+	if resumed.EarlyStopped != baseline.EarlyStopped {
+		t.Fatalf("%s: early-stop flags diverge", tag)
+	}
+}
+
+// TestResumeMatchesUninterrupted: for the 3PA and random protocols, cut
+// the campaign at several round boundaries (crossing phase barriers),
+// resume from the persisted checkpoint (JSON round trip, as the service
+// stores it), and require the result identical to never interrupting.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	protocols := []struct {
+		name string
+		opts []Option
+	}{
+		{"3pa", append(tinyOpts(), WithAnytime(), WithWaveSize(2))},
+		{"random", append(tinyOpts(), WithAnytime(), WithWaveSize(2), WithProtocol(ProtocolRandom))},
+	}
+	for _, p := range protocols {
+		baseline, err := NewCampaign(tinySystem{}, p.opts...).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, cps := resumeRun(t, tinySystem{}, p.opts)
+		assertReportsIdentical(t, p.name+" checkpoint-emitting run", first, baseline)
+		if len(cps) != len(baseline.Rounds) {
+			t.Fatalf("%s: %d checkpoints for %d rounds", p.name, len(cps), len(baseline.Rounds))
+		}
+
+		for _, cut := range []int{1, len(cps) - 1} {
+			if cut < 1 || cut > len(cps) {
+				continue
+			}
+			tag := fmt.Sprintf("%s cut=%d", p.name, cut)
+			data, err := json.Marshal(cps[cut-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var cp Checkpoint
+			if err := json.Unmarshal(data, &cp); err != nil {
+				t.Fatal(err)
+			}
+			if cp.Rounds != cut {
+				t.Fatalf("%s: checkpoint records %d rounds", tag, cp.Rounds)
+			}
+			resumed, err := NewCampaign(tinySystem{}, append(append([]Option(nil), p.opts...), WithResume(&cp))...).Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResumedIdentical(t, tag, baseline, resumed, cut)
+		}
+	}
+}
+
+// TestResumeAfterEarlyStopCheckpoint: on a real system whose campaign
+// early-stops, resume both from a mid-flight checkpoint and from the
+// checkpoint of the round that satisfied the early-stop criterion (the
+// daemon crashed between sealing the round and publishing the report);
+// the latter must finish without executing further rounds. Both match
+// the uninterrupted baseline.
+func TestResumeAfterEarlyStopCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-system campaign skipped in -short mode")
+	}
+	sys := metastore.New()
+	opts := []Option{WithConfig(lightConfig(42)), WithEarlyStop(3), WithWaveSize(4)}
+	baseline, err := NewCampaign(sys, opts...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !baseline.EarlyStopped {
+		t.Fatal("campaign ran the full budget without stabilizing")
+	}
+	_, cps := resumeRun(t, sys, opts)
+
+	mid := cps[len(cps)/2]
+	resumed, err := NewCampaign(sys, append(append([]Option(nil), opts...), WithResume(mid))...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResumedIdentical(t, "early-stop mid", baseline, resumed, mid.Rounds)
+
+	last := cps[len(cps)-1]
+	resumed, err = NewCampaign(sys, append(append([]Option(nil), opts...), WithResume(last))...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.Rounds) != 0 {
+		t.Fatalf("resume past the early-stop round executed %d extra rounds", len(resumed.Rounds))
+	}
+	assertResumedIdentical(t, "early-stop tail", baseline, resumed, last.Rounds)
+}
+
+// TestResumeRejectsMismatchedCheckpoint pins the ErrResume contract:
+// wrong seed, wrong system, wrong schema, and a checkpoint on a batch
+// campaign all fail with an error wrapping ErrResume.
+func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
+	opts := append(tinyOpts(), WithAnytime(), WithWaveSize(2))
+	_, cps := resumeRun(t, tinySystem{}, opts)
+	cp := *cps[0]
+
+	expect := func(tag string, opts []Option) {
+		t.Helper()
+		_, err := NewCampaign(tinySystem{}, opts...).Run()
+		if !errors.Is(err, ErrResume) {
+			t.Fatalf("%s: got %v, want ErrResume", tag, err)
+		}
+	}
+
+	seedCp := cp
+	seedCp.Seed++
+	expect("seed mismatch", append(append([]Option(nil), opts...), WithResume(&seedCp)))
+
+	sysCp := cp
+	sysCp.System = "other-system"
+	expect("system mismatch", append(append([]Option(nil), opts...), WithResume(&sysCp)))
+
+	schemaCp := cp
+	schemaCp.Schema = 99
+	expect("schema mismatch", append(append([]Option(nil), opts...), WithResume(&schemaCp)))
+
+	expect("batch campaign", append(tinyOpts(), WithResume(&cp)))
+}

@@ -149,6 +149,17 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("graph: unsupported version %d (want %d)", jg.Version, Version)
 	}
 	g.system = jg.System
+	// Pre-intern the serialized fault and test tables so the loaded graph
+	// reproduces the source graph's intern order exactly (edge insertion
+	// order alone would intern dynamic-edge faults before static-edge
+	// ones). A marshal -> unmarshal -> marshal round trip is therefore
+	// byte-stable, which campaign resume relies on.
+	for _, f := range jg.Faults {
+		g.internFault(faults.ID(f))
+	}
+	for _, tn := range jg.Tests {
+		g.internTest(tn)
+	}
 	add := func(je jsonEdge, section string, insert func(fca.Edge)) error {
 		if je.From < 0 || je.From >= len(jg.Faults) || je.To < 0 || je.To >= len(jg.Faults) {
 			return fmt.Errorf("graph: %s edge fault index out of range", section)

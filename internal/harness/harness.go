@@ -624,6 +624,39 @@ func (d *Driver) ExecuteWave(wave []alloc.PlannedRun) ([]alloc.RunRecord, graph.
 	return recs, delta
 }
 
+// AdoptGraph replaces the driver's pristine accumulated graph with g --
+// the entry point for resuming a checkpointed campaign, where g is the
+// round-sealed graph restored from persistence. It refuses to discard
+// dynamic edges already accumulated (resume must install the graph
+// before any Execute call) and to adopt a graph from a different
+// system. The restored graph carries no experiment Marks, so per-phase
+// prefix attribution is unavailable after a resume; everything else
+// (edge intern order, evidence, DeltaSince) continues exactly where the
+// checkpointed campaign left off.
+func (d *Driver) AdoptGraph(g *graph.Graph) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.g.RawLen() != 0 {
+		return fmt.Errorf("harness: AdoptGraph after %d dynamic edges accumulated", d.g.RawLen())
+	}
+	if g.System() != d.sys.Name() {
+		return fmt.Errorf("harness: adopting graph for system %q into driver for %q", g.System(), d.sys.Name())
+	}
+	d.g = g
+	return nil
+}
+
+// OffsetSims advances the simulation counter by n without running
+// anything, so a resumed campaign reports cumulative SimCount across the
+// interruption. n must be non-negative.
+func (d *Driver) OffsetSims(n int) error {
+	if n < 0 {
+		return fmt.Errorf("harness: negative sim offset %d", n)
+	}
+	d.sims.Add(int64(n))
+	return nil
+}
+
 // Marks returns the cumulative raw dynamic-edge count after each Execute
 // call, in call order. Combined with the allocation's run records this
 // attributes every edge to the experiment (and hence 3PA phase) that

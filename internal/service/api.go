@@ -62,6 +62,20 @@ type CampaignSpec struct {
 	// Priority orders queued jobs (higher first; equal priorities run in
 	// submission order).
 	Priority int `json:"priority,omitempty"`
+	// MaxAttempts is the total number of times the job may run (initial
+	// attempt plus retries); 0 or 1 means no retries. Failed attempts are
+	// retried with capped exponential backoff.
+	MaxAttempts int `json:"maxAttempts,omitempty"`
+	// DeadlineMS bounds each attempt's wall-clock run time; a stuck job
+	// past its deadline is cancelled by the watchdog and fails with
+	// "deadline_exceeded" (0 = no deadline).
+	DeadlineMS int64 `json:"deadlineMs,omitempty"`
+}
+
+// anytime reports whether the spec resolves to the round-based
+// pipeline, and hence emits round-granular resume checkpoints.
+func (s *CampaignSpec) anytime() bool {
+	return s.Anytime || s.EarlyStopRounds > 0 || s.WaveSize > 0 || s.Protocol == "adaptive"
 }
 
 // Resolve validates the spec and returns the target system plus the
@@ -71,6 +85,12 @@ func (s *CampaignSpec) Resolve() (sysreg.System, []csnake.Option, error) {
 	sys, err := sysreg.Resolve(s.System)
 	if err != nil {
 		return nil, nil, err
+	}
+	if s.MaxAttempts < 0 {
+		return nil, nil, fmt.Errorf("maxAttempts = %d: must be non-negative", s.MaxAttempts)
+	}
+	if s.DeadlineMS < 0 {
+		return nil, nil, fmt.Errorf("deadlineMs = %d: must be non-negative", s.DeadlineMS)
 	}
 	seed := int64(42)
 	if s.Seed != nil {
@@ -116,19 +136,26 @@ func (s *CampaignSpec) Resolve() (sysreg.System, []csnake.Option, error) {
 	return sys, opts, nil
 }
 
-// JobState is the lifecycle state of a campaign job. The state machine
-// is linear with two entry points into the terminal states:
+// JobState is the lifecycle state of a campaign job:
 //
 //	queued -> running -> succeeded | failed | cancelled
 //	queued -> cancelled                  (cancelled before starting)
+//	running -> queued                    (failed attempt awaiting retry)
+//	running -> interrupted               (graceful shutdown mid-campaign)
+//	interrupted -> queued                (re-queued at next boot)
+//
+// interrupted is non-terminal: the job's journal entry and round
+// checkpoint survive the restart and the next boot re-queues it, so it
+// resumes from its last sealed round.
 type JobState string
 
 const (
-	StateQueued    JobState = "queued"
-	StateRunning   JobState = "running"
-	StateSucceeded JobState = "succeeded"
-	StateFailed    JobState = "failed"
-	StateCancelled JobState = "cancelled"
+	StateQueued      JobState = "queued"
+	StateRunning     JobState = "running"
+	StateSucceeded   JobState = "succeeded"
+	StateFailed      JobState = "failed"
+	StateCancelled   JobState = "cancelled"
+	StateInterrupted JobState = "interrupted"
 )
 
 // Terminal reports whether the state is final.
@@ -161,6 +188,13 @@ type JobStatus struct {
 	// GraphID names the persisted causal-graph artifact of a succeeded
 	// job (GET /v1/graphs/{id}).
 	GraphID string `json:"graphId,omitempty"`
+	// Attempt is the number of times the job has started running (> 1
+	// after retries; 0 while first queued).
+	Attempt int `json:"attempt,omitempty"`
+	// Resumed marks a job recovered from the journal after a daemon
+	// restart (it was queued, running, or interrupted when the previous
+	// daemon stopped).
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 // SubmitResponse is the POST /v1/campaigns response.
@@ -178,9 +212,11 @@ type Event struct {
 	Job  string `json:"job"`
 	// Round is set for "round" events.
 	Round *report.JSONRound `json:"round,omitempty"`
-	// State and Error are set for "state" events.
-	State JobState `json:"state,omitempty"`
-	Error string   `json:"error,omitempty"`
+	// State and Error are set for "state" events; Attempt additionally on
+	// retry transitions (running -> queued).
+	State   JobState `json:"state,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
 	// Dropped counts rounds this subscriber lost to backpressure since
 	// its last delivered event (slow consumers drop rounds, never block
 	// the campaign).

@@ -28,6 +28,14 @@ type Metrics struct {
 	PrefixHitsTotal   int64 `json:"prefixHitsTotal"`
 	PrefixClonesTotal int64 `json:"prefixClonesTotal"`
 	PrefixMissesTotal int64 `json:"prefixMissesTotal"`
+	// Self-healing counters: failed attempts retried, jobs resumed from
+	// the journal after a daemon restart, campaign panics contained by
+	// the crash-isolation barrier, and submissions rejected by admission
+	// control (queue full or load shed).
+	JobsRetried       int64 `json:"jobsRetried"`
+	JobsResumed       int64 `json:"jobsResumed"`
+	JobsPanics        int64 `json:"jobsPanics"`
+	AdmissionRejected int64 `json:"admissionRejected"`
 	GraphsStored      int   `json:"graphsStored"`
 	UptimeSeconds     int64 `json:"uptimeSeconds"`
 }
@@ -47,6 +55,10 @@ func (m *Manager) Snapshot() Metrics {
 		PrefixHitsTotal:   m.prefix.Hits,
 		PrefixClonesTotal: m.prefix.Clones,
 		PrefixMissesTotal: m.prefix.Misses,
+		JobsRetried:       m.retries,
+		JobsResumed:       m.resumed,
+		JobsPanics:        m.panics,
+		AdmissionRejected: m.admissionRejected,
 	}
 	m.mu.Unlock()
 	s.PoolCapacity = m.pool.Cap()
@@ -76,6 +88,10 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"csnaked_prefix_hits_total", "Injected runs forked from a prefix checkpoint.", s.PrefixHitsTotal},
 		{"csnaked_prefix_clones_total", "Injected runs cloned from cached profile runs.", s.PrefixClonesTotal},
 		{"csnaked_prefix_misses_total", "Injected runs that fell back to scratch simulation.", s.PrefixMissesTotal},
+		{"csnaked_jobs_retries_total", "Failed attempts retried with backoff.", s.JobsRetried},
+		{"csnaked_jobs_resumed_total", "Jobs recovered from the journal after a restart.", s.JobsResumed},
+		{"csnaked_jobs_panics_total", "Campaign panics contained by the crash-isolation barrier.", s.JobsPanics},
+		{"csnaked_admission_rejected_total", "Submissions rejected by admission control.", s.AdmissionRejected},
 		{"csnaked_graphs_stored", "Graph artifacts in the store.", int64(s.GraphsStored)},
 		{"csnaked_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds},
 	}

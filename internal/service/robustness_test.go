@@ -1,0 +1,543 @@
+// Robustness tests: the durability layer (journal replay, torn tails,
+// idempotence), crash recovery (hard kill mid-campaign, reboot,
+// byte-identical resumed reports), self-healing (retries, panic stacks,
+// deadlines), admission control, and graceful drain.
+
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core/csnake"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/systems/sysreg"
+)
+
+// svc-flaky panics on its first simulation after arming, then behaves
+// exactly like svc-tiny -- a transient fault for the retry tests.
+var flakyArm atomic.Int32
+
+type flakySystem struct{ tinySystem }
+
+func (flakySystem) Name() string { return "svc-flaky" }
+func (f flakySystem) Workloads() []sysreg.Workload {
+	wls := f.tinySystem.Workloads()
+	out := make([]sysreg.Workload, len(wls))
+	for i, wl := range wls {
+		inner := wl.Run
+		wl.Run = func(ctx *sysreg.RunContext) {
+			ctx.Engine.Spawn("srv", "glitch", func(p *sim.Proc) {
+				if flakyArm.CompareAndSwap(1, 0) {
+					panic("transient glitch")
+				}
+			})
+			inner(ctx)
+		}
+		out[i] = wl
+	}
+	return out
+}
+
+func init() {
+	sysreg.Register("svc-flaky", func() sysreg.System { return flakySystem{} })
+}
+
+// isolatedReport runs spec outside the service and returns the report
+// bytes a healthy job would serve -- the baseline for the crash tests.
+func isolatedReport(t *testing.T, spec CampaignSpec) []byte {
+	t.Helper()
+	sys, opts, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := csnake.NewCampaign(sys, opts...).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report.NewJSON(rep, sys.Bugs()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// servedReport fetches a finished job's report bytes from the manager.
+func servedReport(t *testing.T, m *Manager, id string) []byte {
+	t.Helper()
+	rep, st, err := m.Report(id)
+	if err != nil {
+		t.Fatalf("report of %s: %v (state %s, err %q)", id, err, st.State, st.Error)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// holdAtRound arms the manager's round hook (must be called before any
+// submission): the first campaign to seal round n blocks inside the
+// hook and is announced on the returned channel -- deterministically
+// mid-flight until release is called.
+func holdAtRound(m *Manager, n int) (<-chan *Job, func()) {
+	reached := make(chan *Job, 1)
+	gate := make(chan struct{})
+	var once sync.Once
+	m.roundHook = func(j *Job, round int) {
+		if round >= n {
+			once.Do(func() { reached <- j })
+			<-gate
+		}
+	}
+	return reached, func() { close(gate) }
+}
+
+// --- journal ----------------------------------------------------------------
+
+// TestJournalTornTail: a crash mid-append leaves a torn final line;
+// replay returns every complete record and skips exactly the torn one.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	jl, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec(7)
+	recs := []journalRecord{
+		{T: "submit", Job: "job-1", Seq: 1, Spec: &spec, Created: time.Now().UTC()},
+		{T: "state", Job: "job-1", State: StateRunning, Attempt: 1},
+		{T: "round", Job: "job-1", Round: &report.JSONRound{Round: 1, Runs: 4}},
+	}
+	for _, rec := range recs {
+		if err := jl.append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jl.close()
+	f, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"t":"state","job":"job-1","sta`) // torn mid-write
+	f.Close()
+
+	jl2, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.close()
+	got, skipped, err := jl2.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped %d lines, want 1 (the torn tail)", skipped)
+	}
+	if got[2].Round == nil || got[2].Round.Round != 1 || got[2].Round.Runs != 4 {
+		t.Fatalf("round record did not round-trip: %+v", got[2])
+	}
+	// A fresh append after the torn tail is still replayable: the torn
+	// line is skipped, not a poison pill.
+	if err := jl2.append(journalRecord{T: "state", Job: "job-1", State: StateFailed}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = jl2.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs)+1 || got[len(got)-1].State != StateFailed {
+		t.Fatalf("append after torn tail: replayed %d records", len(got))
+	}
+}
+
+// TestJournalReplayIdempotent: a journal whose entire content was
+// duplicated (the worst case of a crash racing compaction) replays into
+// the same job table -- one job, correct terminal state, served report.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{Workers: 2, MaxJobs: 1, DataDir: dir})
+	spec := tinySpec(7)
+	spec.WaveSize = 3
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin, err := m.Await(st.ID); err != nil || fin.State != StateSucceeded {
+		t.Fatalf("job: %v / %v", fin, err)
+	}
+	want := servedReport(t, m, st.ID)
+	m.Close()
+
+	// Double the journal: every record appears twice, in order.
+	jpath := filepath.Join(dir, "jobs", "journal.jsonl")
+	data, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, append(append([]byte(nil), data...), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := newTestManager(t, Config{Workers: 2, MaxJobs: 1, DataDir: dir})
+	list := m2.List()
+	if len(list) != 1 {
+		t.Fatalf("doubled journal replayed into %d jobs, want 1", len(list))
+	}
+	fin, err := m2.Await(st.ID)
+	if err != nil || fin.State != StateSucceeded {
+		t.Fatalf("replayed job: %+v / %v", fin, err)
+	}
+	if got := servedReport(t, m2, st.ID); string(got) != string(want) {
+		t.Fatalf("replayed report differs from the original:\n got: %s\nwant: %s", got, want)
+	}
+	// Fresh submissions continue the id sequence, never reusing job-1.
+	st2, err := m2.Submit(tinySpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st.ID {
+		t.Fatalf("replayed manager reissued id %s", st.ID)
+	}
+	m2.Await(st2.ID)
+}
+
+// --- crash recovery ---------------------------------------------------------
+
+// TestCrashRecoveryByteIdentical is the tentpole contract: hard-kill
+// the daemon mid-campaign (journal frozen exactly as kill -9 would
+// leave it), boot a fresh manager on the same data directory, and the
+// recovered jobs finish with reports byte-identical to never having
+// crashed. The anytime job resumes from its round checkpoint; the
+// queued batch job re-runs from scratch.
+func TestCrashRecoveryByteIdentical(t *testing.T) {
+	anytimeSpec := tinySpec(7)
+	anytimeSpec.WaveSize = 2
+	batchSpec := tinySpec(8)
+	wantAnytime := isolatedReport(t, anytimeSpec)
+	wantBatch := isolatedReport(t, batchSpec)
+
+	dir := t.TempDir()
+	m1 := newTestManager(t, Config{Workers: 1, MaxJobs: 1, DataDir: dir})
+	// Catch the anytime job mid-flight, blocked after its second sealed
+	// round, then pull the plug.
+	reached, release := holdAtRound(m1, 2)
+	a, err := m1.Submit(anytimeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m1.Submit(batchSpec) // queued behind a (MaxJobs 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached
+	m1.HardStop()
+	release()
+
+	// Reboot on the crashed state.
+	m2 := newTestManager(t, Config{Workers: 2, MaxJobs: 2, DataDir: dir})
+	snap := m2.Snapshot()
+	if snap.JobsResumed < 1 {
+		t.Fatalf("jobs resumed = %d, want >= 1", snap.JobsResumed)
+	}
+	list := m2.List()
+	if len(list) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(list))
+	}
+	seen := map[string]bool{}
+	for _, st := range list {
+		if seen[st.ID] {
+			t.Fatalf("duplicate job id %s after recovery", st.ID)
+		}
+		seen[st.ID] = true
+	}
+	if !seen[a.ID] || !seen[b.ID] {
+		t.Fatalf("recovery lost jobs: have %v, want %s and %s", seen, a.ID, b.ID)
+	}
+
+	fa, err := m2.Await(a.ID)
+	if err != nil || fa.State != StateSucceeded {
+		t.Fatalf("resumed anytime job: %+v / %v", fa, err)
+	}
+	if !fa.Resumed {
+		t.Fatal("recovered running job not marked resumed")
+	}
+	fb, err := m2.Await(b.ID)
+	if err != nil || fb.State != StateSucceeded {
+		t.Fatalf("recovered batch job: %+v / %v", fb, err)
+	}
+	if got := servedReport(t, m2, a.ID); string(got) != string(wantAnytime) {
+		t.Fatalf("resumed anytime report differs from uninterrupted run\n got: %s\nwant: %s", got, wantAnytime)
+	}
+	if got := servedReport(t, m2, b.ID); string(got) != string(wantBatch) {
+		t.Fatalf("recovered batch report differs from uninterrupted run\n got: %s\nwant: %s", got, wantBatch)
+	}
+	// Fresh ids continue past the recovered ones.
+	c, err := m2.Submit(tinySpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen[c.ID] {
+		t.Fatalf("fresh submission reused recovered id %s", c.ID)
+	}
+	m2.Await(c.ID)
+}
+
+// TestDrainInterruptsAndResumes: graceful shutdown mid-campaign journals
+// the job as interrupted; the next boot re-queues it and it finishes
+// byte-identical to an uninterrupted run.
+func TestDrainInterruptsAndResumes(t *testing.T) {
+	spec := tinySpec(11)
+	spec.WaveSize = 2
+	want := isolatedReport(t, spec)
+
+	dir := t.TempDir()
+	m1 := newTestManager(t, Config{Workers: 1, MaxJobs: 1, DataDir: dir})
+	reached, release := holdAtRound(m1, 2)
+	st, err := m1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-reached
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- m1.Drain(ctx)
+	}()
+	// Let the campaign out of the hook only once the drain has closed
+	// admissions (and, microseconds later, cancelled the job's context),
+	// so it cannot race ahead and finish.
+	for {
+		m1.mu.Lock()
+		d := m1.draining
+		m1.mu.Unlock()
+		if d {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(10 * time.Millisecond)
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if is, _ := m1.Status(st.ID); is.State != StateInterrupted {
+		t.Fatalf("drained job state = %s (%s), want interrupted", is.State, is.Error)
+	}
+	// Draining managers reject new work.
+	if _, err := m1.Submit(tinySpec(12)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit while draining: %v, want ErrDraining", err)
+	}
+	m1.Close()
+
+	m2 := newTestManager(t, Config{Workers: 2, MaxJobs: 1, DataDir: dir})
+	fin, err := m2.Await(st.ID)
+	if err != nil || fin.State != StateSucceeded {
+		t.Fatalf("resumed job: %+v / %v", fin, err)
+	}
+	if !fin.Resumed {
+		t.Fatal("interrupted job not marked resumed after reboot")
+	}
+	if got := servedReport(t, m2, st.ID); string(got) != string(want) {
+		t.Fatalf("resumed report differs from uninterrupted run\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// --- self-healing -----------------------------------------------------------
+
+// TestRetryAfterTransientFailure: a campaign that panics once succeeds
+// on its retry; the attempt count, retry counter, and panic counter all
+// say what happened.
+func TestRetryAfterTransientFailure(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, MaxJobs: 1, RetryBase: 10 * time.Millisecond})
+	flakyArm.Store(1)
+	spec := tinySpec(7)
+	spec.System = "svc-flaky"
+	spec.MaxAttempts = 3
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Await(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateSucceeded {
+		t.Fatalf("flaky job state = %s (%s), want succeeded after retry", fin.State, fin.Error)
+	}
+	if fin.Error != "" {
+		t.Fatalf("succeeded job still carries error %q", fin.Error)
+	}
+	if fin.Attempt != 2 {
+		t.Fatalf("attempt = %d, want 2", fin.Attempt)
+	}
+	snap := m.Snapshot()
+	if snap.JobsRetried != 1 || snap.JobsPanics != 1 {
+		t.Fatalf("retries=%d panics=%d, want 1/1", snap.JobsRetried, snap.JobsPanics)
+	}
+	if snap.JobsFailed != 0 || snap.JobsSucceeded != 1 {
+		t.Fatalf("failed=%d succeeded=%d", snap.JobsFailed, snap.JobsSucceeded)
+	}
+}
+
+// TestRetriesExhausted: a permanently-failing campaign burns all its
+// attempts and fails.
+func TestRetriesExhausted(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, MaxJobs: 1, RetryBase: time.Millisecond})
+	spec := CampaignSpec{System: "svc-crash", Reps: 2, DelayMagnitudesMS: []int64{200}, MaxAttempts: 3}
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Await(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed || fin.Attempt != 3 {
+		t.Fatalf("state=%s attempt=%d, want failed after 3 attempts", fin.State, fin.Attempt)
+	}
+	if snap := m.Snapshot(); snap.JobsRetried != 2 {
+		t.Fatalf("retries = %d, want 2", snap.JobsRetried)
+	}
+}
+
+// TestPanicCapturesStack: the crash-isolation barrier records the panic
+// value and the goroutine stack, so a crashed campaign is debuggable
+// from the job's error alone.
+func TestPanicCapturesStack(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, MaxJobs: 1})
+	st, err := m.Submit(CampaignSpec{System: "svc-crash", Reps: 2, DelayMagnitudesMS: []int64{200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Await(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed {
+		t.Fatalf("state = %s, want failed", fin.State)
+	}
+	if !strings.Contains(fin.Error, "workload exploded") {
+		t.Fatalf("error %q does not carry the panic value", fin.Error)
+	}
+	if !strings.Contains(fin.Error, "goroutine ") {
+		t.Fatalf("error does not carry a stack trace:\n%s", fin.Error)
+	}
+	if snap := m.Snapshot(); snap.JobsPanics != 1 {
+		t.Fatalf("panics = %d, want 1", snap.JobsPanics)
+	}
+}
+
+// TestDeadlineExceeded: the watchdog cancels a job stuck past its
+// deadline (here: starved of worker tokens) and it fails with the
+// distinguished deadline_exceeded error.
+func TestDeadlineExceeded(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, MaxJobs: 1, WatchInterval: 10 * time.Millisecond})
+	if !m.Pool().Acquire(context.Background()) {
+		t.Fatal("could not starve the pool")
+	}
+	defer m.Pool().Release()
+	spec := tinySpec(7)
+	spec.DeadlineMS = 100
+	st, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := m.Await(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateFailed || fin.Error != "deadline_exceeded" {
+		t.Fatalf("state=%s error=%q, want failed/deadline_exceeded", fin.State, fin.Error)
+	}
+}
+
+// --- admission control ------------------------------------------------------
+
+// TestAdmissionQueueBound: the queue rejects past MaxQueue and the
+// rejection counter advances.
+func TestAdmissionQueueBound(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, MaxJobs: 1, MaxQueue: 1})
+	if !m.Pool().Acquire(context.Background()) {
+		t.Fatal("could not starve the pool")
+	}
+	a, err := m.Submit(tinySpec(7)) // running (blocked on the pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Submit(tinySpec(8)) // fills the queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(tinySpec(9)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+	if snap := m.Snapshot(); snap.AdmissionRejected != 1 {
+		t.Fatalf("admission rejected = %d, want 1", snap.AdmissionRejected)
+	}
+	m.Pool().Release()
+	m.Await(a.ID)
+	m.Await(b.ID)
+}
+
+// TestAdmissionLoadShed: with a shed high-water mark, submissions are
+// rejected while the pool is saturated and accepted once it drains.
+func TestAdmissionLoadShed(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 2, MaxJobs: 2, ShedHighWater: 0.5})
+	if !m.Pool().Acquire(context.Background()) {
+		t.Fatal("could not take a token")
+	}
+	if _, err := m.Submit(tinySpec(7)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit under load: %v, want ErrOverloaded", err)
+	}
+	m.Pool().Release()
+	st, err := m.Submit(tinySpec(7))
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	m.Await(st.ID)
+}
+
+// TestAdmissionHTTP: admission rejections surface as 429 with a
+// Retry-After header.
+func TestAdmissionHTTP(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1, MaxJobs: 1, MaxQueue: 1})
+	srv := httptest.NewServer(NewServer(m))
+	defer srv.Close()
+	if !m.Pool().Acquire(context.Background()) {
+		t.Fatal("could not starve the pool")
+	}
+
+	var a, b SubmitResponse
+	if resp := postJSON(t, srv.URL+"/v1/campaigns", tinySpec(7), &a); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, srv.URL+"/v1/campaigns", tinySpec(8), &b); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: status %d", resp.StatusCode)
+	}
+	resp := postJSON(t, srv.URL+"/v1/campaigns", tinySpec(9), nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	m.Pool().Release()
+	m.Await(a.ID)
+	m.Await(b.ID)
+}

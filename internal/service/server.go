@@ -7,6 +7,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 
@@ -55,7 +56,18 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := m.Submit(spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		// Admission-control rejections are transient: tell clients when to
+		// come back. Everything else is a malformed spec.
+		switch {
+		case errors.Is(err, ErrQueueFull) || errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "%v", err)
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: st.ID, State: st.State})

@@ -114,6 +114,7 @@ func newTestManager(t *testing.T, cfg Config) *Manager {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(m.Close)
 	return m
 }
 

@@ -10,6 +10,7 @@ package service
 
 import (
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -59,13 +60,18 @@ func NewGraphStore(dir string) (*GraphStore, error) {
 	sort.Strings(names)
 	for _, path := range names {
 		id := strings.TrimSuffix(filepath.Base(path), ".graph.json")
+		// A corrupt or unreadable artifact (e.g. torn by a crash predating
+		// atomic writes) is skipped and logged, never fatal: one bad file
+		// must not keep the daemon from booting.
 		g, err := graph.ReadFile(path) // load = well-formedness pass
 		if err != nil {
-			return nil, fmt.Errorf("graph store: reload %s: %w", path, err)
+			log.Printf("csnaked: graph store: skipping corrupt artifact %s: %v", path, err)
+			continue
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
-			return nil, fmt.Errorf("graph store: %w", err)
+			log.Printf("csnaked: graph store: skipping unreadable artifact %s: %v", path, err)
+			continue
 		}
 		fi, _ := os.Stat(path)
 		created := time.Time{}
@@ -110,7 +116,9 @@ func (s *GraphStore) Put(source string, g *graph.Graph) (*GraphArtifact, error) 
 	dir := s.dir
 	s.mu.Unlock()
 	if dir != "" {
-		if err := os.WriteFile(filepath.Join(dir, id+".graph.json"), data, 0o644); err != nil {
+		// Atomic (tmp + fsync + rename): a daemon crash mid-write leaves
+		// either no artifact or a complete one, never a torn file.
+		if err := atomicWriteFile(filepath.Join(dir, id+".graph.json"), data, 0o644); err != nil {
 			return nil, fmt.Errorf("graph store: %w", err)
 		}
 	}

@@ -3,8 +3,10 @@
 # the full client journey with curl -- submit a MetaStore early-stop
 # campaign, stream its rounds over SSE, read the report (both seeded
 # Raft storms must be detected), run a second campaign, merge the two
-# persisted graphs server-side, and fetch the merged artifact. CI runs
-# this; it also works locally:
+# persisted graphs server-side, and fetch the merged artifact. Then the
+# crash journey: kill -9 the daemon mid-campaign, restart it on the same
+# data directory, and require the journal-recovered job to resume and
+# still detect both storms. CI runs this; it also works locally:
 #
 #   ./tools/service_smoke.sh
 set -euo pipefail
@@ -85,6 +87,46 @@ MERGED=$(echo "$MERGE" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
 
 echo "--- fetch merged graph $MERGED"
 curl -sf "$BASE/v1/graphs/$MERGED" | grep -q '"version"' || { echo "merged graph not served" >&2; exit 1; }
-curl -sf "$BASE/metrics" | grep -q '^csnaked_jobs_succeeded_total 2' || { echo "metrics wrong" >&2; exit 1; }
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q '^csnaked_jobs_succeeded_total 2' || { echo "metrics wrong" >&2; exit 1; }
+for counter in csnaked_jobs_retries_total csnaked_jobs_resumed_total csnaked_jobs_panics_total csnaked_admission_rejected_total; do
+  echo "$METRICS" | grep -q "^$counter " || { echo "metrics missing $counter" >&2; exit 1; }
+done
+
+echo "--- crash recovery: kill -9 mid-campaign, restart, resume"
+SPEC3='{"system":"metastore","seed":44,"reps":3,"delayMagnitudesMs":[500,2000,8000],"earlyStopRounds":3,"waveSize":4}'
+JOB3=$(curl -sf -X POST "$BASE/v1/campaigns" -d "$SPEC3" | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$JOB3" ] || { echo "third submit returned no job id" >&2; exit 1; }
+# Catch the campaign mid-flight: wait until at least one round sealed.
+for i in $(seq 1 300); do
+  curl -sf "$BASE/v1/campaigns/$JOB3" | grep -q '"round": 1' && break
+  sleep 0.2
+done
+curl -sf "$BASE/v1/campaigns/$JOB3" | grep -q '"round": 1' || { echo "campaign never sealed a round" >&2; exit 1; }
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+
+"$BIN" -addr "$ADDR" -data "$WORKDIR/graphs" &
+DAEMON_PID=$!
+for i in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "daemon never came back after kill -9" >&2; exit 1; }
+
+# The interrupted job is recovered from the journal and finishes.
+for i in $(seq 1 300); do
+  STATE=$(curl -sf "$BASE/v1/campaigns/$JOB3" | sed -n 's/.*"state": "\([^"]*\)".*/\1/p' | head -1)
+  [ "$STATE" = succeeded ] && break
+  case "$STATE" in failed|cancelled) echo "recovered campaign $STATE" >&2; exit 1 ;; esac
+  sleep 0.5
+done
+[ "$STATE" = succeeded ] || { echo "recovered campaign never finished" >&2; exit 1; }
+REPORT3=$(curl -sf "$BASE/v1/campaigns/$JOB3/report")
+echo "$REPORT3" | grep -q 'RAFT-1' || { echo "resumed report missing RAFT-1" >&2; exit 1; }
+echo "$REPORT3" | grep -q 'RAFT-2' || { echo "resumed report missing RAFT-2" >&2; exit 1; }
+curl -sf "$BASE/v1/campaigns/$JOB3" | grep -q '"resumed": true' || { echo "recovered job not marked resumed" >&2; exit 1; }
+curl -sf "$BASE/metrics" | grep -q '^csnaked_jobs_resumed_total 1' || { echo "resumed counter wrong" >&2; exit 1; }
+echo "resumed after kill -9 and detected both storms"
 
 echo "OK: daemon smoke passed"
