@@ -21,15 +21,28 @@
 // set is stable for N rounds; -wave sets the round granularity; -adaptive
 // reweights phase-3 draws toward near-cycle faults.
 //
+// -trace-out streams the campaign's causal-edge discoveries as monitor
+// JSONL records (the online-monitoring wire format); -monitor replays
+// such a trace through the online cascade monitor without running any
+// simulations, printing closed/broken cycle alerts as the evidence
+// arrives. -monitor-batch sets the replay batch size, -monitor-window /
+// -monitor-buckets bound evidence retention (0 window = keep all, the
+// offline-equivalent configuration).
+//
 // Usage: csnake [-system NAME] [-seed N] [-reps N] [-budget N] [-parallel N]
 //
 //	[-fast] [-progress] [-list] [-edges-out FILE] [-edges-in FILE,...]
 //	[-anytime] [-early-stop N] [-wave N] [-adaptive] [-no-prefix-share]
+//	[-trace-out FILE] [-monitor FILE [-monitor-batch N]
+//	[-monitor-window DUR] [-monitor-buckets N]]
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -40,6 +53,7 @@ import (
 	"repro/internal/core/csnake"
 	"repro/internal/core/graph"
 	"repro/internal/faults"
+	"repro/internal/monitor"
 	"repro/internal/report"
 	"repro/internal/systems/sysreg"
 
@@ -108,6 +122,11 @@ func main() {
 	edgesOut := flag.String("edges-out", "", "write the campaign's causal graph (or the -edges-in merge) as JSON")
 	edgesIn := flag.String("edges-in", "", "comma-separated persisted graphs: skip the campaign, stitch them, and re-search")
 	jsonOut := flag.Bool("json", false, "print the machine-readable campaign report (the csnaked report schema) to stdout")
+	traceOut := flag.String("trace-out", "", "stream the campaign's trace as monitor JSONL records to FILE")
+	monitorIn := flag.String("monitor", "", "replay a JSONL trace through the online cascade monitor (no simulations)")
+	monitorBatch := flag.Int("monitor-batch", 256, "records per monitor replay batch (alerts fire at batch granularity)")
+	monitorWindow := flag.Duration("monitor-window", 0, "monitor evidence retention span (0 = keep everything)")
+	monitorBuckets := flag.Int("monitor-buckets", 0, "monitor decay buckets (0 = default 8)")
 	flag.Parse()
 
 	if *list {
@@ -118,6 +137,11 @@ func main() {
 				fmt.Println(n)
 			}
 		}
+		return
+	}
+
+	if *monitorIn != "" {
+		replayMonitor(*monitorIn, *monitorBatch, *monitorWindow, *monitorBuckets)
 		return
 	}
 
@@ -156,11 +180,26 @@ func main() {
 		// Anytime mode always narrates rounds: live progress is its point.
 		opts = append(opts, csnake.WithObserver(&progress{quiet: !*verbose}))
 	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		traceFile = f
+		opts = append(opts, csnake.WithTraceExport(f))
+	}
 
 	start := time.Now()
 	rep, err := csnake.NewCampaign(sys, opts...).Run()
 	if err != nil {
 		log.Fatalf("campaign: %v", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace-out: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote monitor trace to %s\n", *traceOut)
 	}
 	if rep.EarlyStopped {
 		last := rep.Rounds[len(rep.Rounds)-1]
@@ -258,5 +297,64 @@ func researchGraphs(paths []string, out string) {
 		}
 		best := cc.Cycles[0]
 		fmt.Printf("  [%d cycles] score=%.2f %s\n", len(cc.Cycles), best.Score, best)
+	}
+}
+
+// replayMonitor streams a recorded JSONL trace through the online
+// cascade monitor in fixed-size batches, printing every closed/broken
+// cycle alert as the evidence arrives, then the final monitor state.
+func replayMonitor(path string, batch int, window time.Duration, buckets int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("monitor: %v", err)
+	}
+	defer f.Close()
+	if batch < 1 {
+		batch = 1
+	}
+	mon := monitor.New(monitor.Config{
+		Window:  window,
+		Buckets: buckets,
+		OnAlert: func(a monitor.Alert) {
+			fmt.Printf("alert #%d %s: score=%.2f len=%d faults=%s\n    %s\n",
+				a.Seq, a.Kind, a.Score, a.Len, strings.Join(a.Faults, ","), a.Cycle)
+		},
+	})
+	br := bufio.NewReaderSize(f, 1<<20)
+	var buf bytes.Buffer
+	lines := 0
+	ingest := func() {
+		if buf.Len() == 0 {
+			return
+		}
+		if _, err := mon.Ingest(&buf); err != nil {
+			log.Fatalf("monitor: %v", err)
+		}
+		buf.Reset()
+		lines = 0
+	}
+	for {
+		line, err := br.ReadBytes('\n')
+		buf.Write(line)
+		if len(line) > 0 {
+			lines++
+		}
+		if lines >= batch {
+			ingest()
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			log.Fatalf("monitor: read %s: %v", path, err)
+		}
+	}
+	ingest()
+	s := mon.Stats()
+	fmt.Printf("monitor %s: records=%d skipped=%d edges=%d stale=%d batches=%d alerts=%d cycles=%d rebuilds=%d evicted=%d retained=%d\n",
+		s.System, s.Records, s.Skipped, s.Edges, s.Stale, s.Batches, s.Alerts,
+		s.CyclesActive, s.Rebuilds, s.Evicted, s.Retained)
+	for _, c := range mon.Cycles() {
+		fmt.Printf("  active: score=%.2f %s\n", c.Score, c)
 	}
 }

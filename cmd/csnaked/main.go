@@ -23,6 +23,12 @@
 //	GET    /v1/graphs                stored graph artifacts
 //	GET    /v1/graphs/{id}           one raw schema-v1 graph document
 //	POST   /v1/graphs/merge          stitch stored graphs (+ re-search)
+//	POST   /v1/monitors              create an online cascade monitor
+//	GET    /v1/monitors              list monitors
+//	GET    /v1/monitors/{id}         monitor status + engine counters
+//	DELETE /v1/monitors/{id}         delete a monitor
+//	POST   /v1/monitors/{id}/events  ingest a JSONL trace batch
+//	GET    /v1/monitors/{id}/alerts  SSE alert stream (?follow=0: backlog only)
 //	GET    /metrics                  text metrics
 //	GET    /healthz                  liveness + counter snapshot
 //

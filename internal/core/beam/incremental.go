@@ -309,6 +309,24 @@ func (inc *Incremental) update(m *matcher, opt Options, nDyn int, touched []int)
 	}
 }
 
+// Reset discards all incremental state: the chain store, the graph
+// watermarks, and the pinned nest families. The next Search re-primes
+// from scratch, exactly like a freshly-built searcher, and re-resolves
+// nest families from its options or the searched graph. Callers use it
+// when the graph they feed is rebuilt rather than grown -- the online
+// monitor's evidence window evicting a bucket replaces the whole graph,
+// so watermarks taken against the old graph are meaningless. A beam
+// truncation (full) is NOT cleared: the fallback was triggered by scale,
+// and a rebuilt graph of similar scale would only re-trigger it after
+// one unsound round.
+func (inc *Incremental) Reset() {
+	inc.store = make(map[string]*chainEntry)
+	inc.groups = nil
+	inc.lastSeq = 0
+	inc.lastStatics = 0
+	inc.primed = false
+}
+
 // NearCycleFaults reports every fault sitting on a near-cycle of g: a
 // valid chain whose endpoint returns to its start fault while the closing
 // compatibility check fails -- a cycle one piece of causal evidence short

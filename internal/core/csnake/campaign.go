@@ -9,6 +9,7 @@ package csnake
 
 import (
 	"context"
+	"io"
 	"math/rand"
 	"time"
 
@@ -60,13 +61,14 @@ func (NopObserver) CampaignFinished(*Report)                       {}
 // NewCampaign and execute it with Run or RunWithDriver; each execution
 // creates a fresh driver, so a Campaign value can be run repeatedly.
 type Campaign struct {
-	sys    sysreg.System
-	cfg    Config
-	par    int
-	obs    Observer
-	ctx    context.Context
-	ckptFn func(*Checkpoint)
-	resume *Checkpoint
+	sys      sysreg.System
+	cfg      Config
+	par      int
+	obs      Observer
+	ctx      context.Context
+	ckptFn   func(*Checkpoint)
+	resume   *Checkpoint
+	traceOut io.Writer
 }
 
 // Option mutates a Campaign under construction.
@@ -255,9 +257,6 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 	hcfg.Parallelism = c.par
 	driver := harness.New(c.sys, space, hcfg)
 	driver.Bind(c.ctx)
-	if c.obs != nil {
-		driver.Observe(c.obs)
-	}
 
 	budgetFactor := cfg.BudgetFactor
 	if budgetFactor == 0 {
@@ -273,6 +272,13 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 	// use the same map (including a caller-supplied override).
 	if cfg.Beam.NestGroups == nil {
 		cfg.Beam.NestGroups = NestGroups(space)
+	}
+	// The trace export preamble needs the resolved nest families, so the
+	// observer (progress + optional trace tap) is installed only now,
+	// before any simulation runs.
+	tw, texp := c.installTraceExport(cfg, fca.StaticLoopEdges(space))
+	if o := harness.MultiObserver(c.obs, texp); o != nil {
+		driver.Observe(o)
 	}
 	// capture snapshots the driver's causal graph and annotates it with
 	// everything a detached re-search needs: per-fault SimScores (when the
@@ -291,6 +297,16 @@ func (c *Campaign) RunWithDriver() (*Report, *harness.Driver, error) {
 		rep.Edges = rep.Graph.Edges()
 		rep.Sims = driver.SimCount()
 		rep.Checkpoint = driver.CheckpointStats()
+		if tw != nil {
+			// Scores ride the trace too (last record wins on replay), so a
+			// monitor's re-search ranks cycles like the offline one.
+			if rep.Alloc != nil {
+				for _, f := range space.IDs() {
+					tw.Score(f, rep.Alloc.SimScoreOf(f))
+				}
+			}
+			tw.Flush()
+		}
 	}
 	finish := func() (*Report, *harness.Driver, error) {
 		capture()

@@ -1,0 +1,54 @@
+// This file wires campaigns to the online monitor's trace stream: with
+// WithTraceExport a campaign writes every causal-edge discovery (plus
+// the static preamble, nest families, and final SimScores) as monitor
+// JSONL records, replayable through internal/monitor or POSTable to a
+// csnaked monitor. The export taps the driver's serialized observer
+// stream, so the record order is exactly the graph's raw insertion
+// order and a full-window replay reproduces the campaign graph
+// byte-identically.
+
+package csnake
+
+import (
+	"io"
+
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+	"repro/internal/harness"
+	"repro/internal/monitor"
+)
+
+// WithTraceExport streams the campaign's trace to w as monitor JSONL
+// records. The writer is flushed at every report capture (and at
+// campaign end); write errors are sticky and silently stop the export
+// without affecting the campaign. nil disables export.
+func WithTraceExport(w io.Writer) Option {
+	return func(c *Campaign) { c.traceOut = w }
+}
+
+// traceObserver adapts a TraceWriter to the harness observer interface:
+// edges become edge records, experiment completions become marks.
+type traceObserver struct {
+	tw *monitor.TraceWriter
+}
+
+func (t traceObserver) ProfileCached(string, int) {}
+
+func (t traceObserver) ExperimentExecuted(faults.ID, string, int, int) { t.tw.Mark() }
+
+func (t traceObserver) EdgeDiscovered(e fca.Edge) { t.tw.Edge(e) }
+
+// installTraceExport builds the trace writer, emits the stream preamble
+// (hello, static connector edges, resolved nest families), and returns
+// the observer to fan the driver's edge stream into. Call only after
+// cfg.Beam.NestGroups is resolved.
+func (c *Campaign) installTraceExport(cfg Config, statics []fca.Edge) (*monitor.TraceWriter, harness.Observer) {
+	if c.traceOut == nil {
+		return nil, nil
+	}
+	tw := monitor.NewTraceWriter(c.traceOut)
+	tw.Hello(c.sys.Name())
+	tw.Static(statics)
+	tw.NestGroups(cfg.Beam.NestGroups)
+	return tw, traceObserver{tw: tw}
+}

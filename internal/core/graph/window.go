@@ -1,0 +1,231 @@
+// This file holds Window, the decaying evidence store behind online
+// monitoring: a time-bucketed retention window over dynamic edge
+// observations. Steady-state observations append straight into the live
+// graph (producing the same raw-insertion sequence an offline campaign
+// would), and when time advances past the retention horizon the window
+// rebuilds the graph by replaying only the surviving observations in
+// their original arrival order.
+//
+// Rebuild-by-replay is deliberate: in-place retraction of expired
+// evidence cannot be equivalent to replay, because Add rejects evidence
+// merges past trace.OccCap -- an observation rejected while old evidence
+// held the cap is unrecoverable once that old evidence expires. Replay
+// re-runs the cap admission over exactly the surviving stream, so the
+// rebuilt graph is byte-equivalent to one that only ever saw the
+// retained observations.
+//
+// Determinism contract: bucket assignment and eviction depend only on
+// each observation's timestamp, never on how the stream was batched, so
+// any batching of the same (edge, timestamp) stream yields identical
+// graphs after every observation.
+package graph
+
+import (
+	"time"
+
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+)
+
+// windowObs is one retained dynamic-edge observation.
+type windowObs struct {
+	bucket int64
+	edge   fca.Edge
+}
+
+// Window is a decaying store of dynamic edge evidence over a live graph.
+// Zero value is not usable; construct with NewWindow. Not safe for
+// concurrent use; callers (the monitor) serialize externally.
+type Window struct {
+	width   time.Duration // bucket width; 0 = unbounded (never evict)
+	buckets int64
+
+	g   *Graph
+	obs []windowObs // retained observations, arrival order
+
+	static []fca.Edge
+	nests  map[faults.ID]int
+	scores map[faults.ID]float64
+	system string
+
+	cur    int64 // highest bucket observed
+	seeded bool  // cur is valid
+
+	rebuilds int
+	evicted  int
+	stale    int
+}
+
+// NewWindow builds a window retaining span of evidence in the given
+// number of decay buckets (minimum 1). span = 0 disables decay: the
+// window retains everything, and the graph is the plain accumulation of
+// every observation -- the configuration equivalence tests replay under.
+func NewWindow(span time.Duration, buckets int) *Window {
+	if buckets < 1 {
+		buckets = 1
+	}
+	var width time.Duration
+	if span > 0 {
+		width = span / time.Duration(buckets)
+		if width <= 0 {
+			width = time.Nanosecond
+		}
+	}
+	return &Window{width: width, buckets: int64(buckets), g: New()}
+}
+
+// Graph returns the live graph the window maintains. The pointer is
+// invalidated by the next eviction (the graph is rebuilt, not mutated);
+// callers re-fetch after every Observe that reports a rebuild.
+func (w *Window) Graph() *Graph { return w.g }
+
+// SetSystem records the originating system name.
+func (w *Window) SetSystem(name string) {
+	w.system = name
+	w.g.SetSystem(name)
+}
+
+// AddStatic inserts a static connector edge. Static edges carry no
+// timestamp and survive every eviction.
+func (w *Window) AddStatic(e fca.Edge) {
+	w.static = append(w.static, e)
+	w.g.AddStatic([]fca.Edge{e})
+}
+
+// SetNestGroup records a loop-nest family annotation. It is retained
+// across rebuilds and applied to the live graph (a no-op until the
+// fault appears in an edge; Annotate re-applies pending entries).
+func (w *Window) SetNestGroup(f faults.ID, group int) {
+	if w.nests == nil {
+		w.nests = make(map[faults.ID]int)
+	}
+	w.nests[f] = group
+	w.g.SetNestGroup(f, group)
+}
+
+// SetScore records a SimScore annotation, retained across rebuilds.
+func (w *Window) SetScore(f faults.ID, score float64) {
+	if w.scores == nil {
+		w.scores = make(map[faults.ID]float64)
+	}
+	w.scores[f] = score
+	w.g.SetScore(f, score)
+}
+
+// Annotate re-applies every retained nest/score annotation to the live
+// graph. Graph annotations silently skip faults not yet interned, so
+// the monitor calls this before each search: an annotation that arrived
+// before its fault's first edge becomes effective as soon as the fault
+// appears.
+func (w *Window) Annotate() {
+	for f, grp := range w.nests {
+		w.g.SetNestGroup(f, grp)
+	}
+	for f, s := range w.scores {
+		w.g.SetScore(f, s)
+	}
+}
+
+// bucketOf maps a timestamp to its bucket index (floor division, so
+// pre-epoch timestamps still order correctly).
+func (w *Window) bucketOf(at time.Time) int64 {
+	ns := at.UnixNano()
+	width := int64(w.width)
+	b := ns / width
+	if ns%width < 0 {
+		b--
+	}
+	return b
+}
+
+// Observe folds one dynamic edge observation stamped at into the
+// window. accepted reports whether the observation entered the graph
+// (false when it predates the retention horizon); rebuilt reports
+// whether advancing time evicted a bucket and replaced the graph.
+// Static-kind edges are routed to AddStatic and never expire.
+func (w *Window) Observe(e fca.Edge, at time.Time) (accepted, rebuilt bool) {
+	if e.Kind.Static() {
+		w.AddStatic(e)
+		return true, false
+	}
+	if w.width == 0 {
+		// Unbounded: no retention bookkeeping, the graph is append-only.
+		w.g.Add(e)
+		return true, false
+	}
+	b := w.bucketOf(at)
+	if !w.seeded || b > w.cur {
+		w.cur = b
+		w.seeded = true
+	}
+	min := w.cur - w.buckets + 1
+	if b < min {
+		// Too old for the window that newer observations already advanced
+		// past: dropping is the only batch-size-independent choice.
+		w.stale++
+		return false, rebuilt
+	}
+	if w.evict(min) {
+		rebuilt = true
+	}
+	w.obs = append(w.obs, windowObs{bucket: b, edge: e})
+	w.g.Add(e)
+	return true, rebuilt
+}
+
+// evict drops retained observations below the min bucket and, if any
+// were dropped, rebuilds the graph by replaying the survivors.
+func (w *Window) evict(min int64) bool {
+	keep := w.obs[:0]
+	dropped := 0
+	for _, o := range w.obs {
+		if o.bucket >= min {
+			keep = append(keep, o)
+		} else {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return false
+	}
+	// Zero the tail so evicted edges don't pin their evidence alive.
+	for i := len(keep); i < len(w.obs); i++ {
+		w.obs[i] = windowObs{}
+	}
+	w.obs = keep
+	w.evicted += dropped
+	w.rebuild()
+	return true
+}
+
+// rebuild replays the retained observations into a fresh graph: static
+// edges first (matching the harness's construction order), then every
+// surviving dynamic observation in arrival order, then the annotations.
+func (w *Window) rebuild() {
+	g := New()
+	g.SetSystem(w.system)
+	g.AddStatic(w.static)
+	for _, o := range w.obs {
+		g.Add(o.edge)
+	}
+	w.g = g
+	w.Annotate()
+	w.rebuilds++
+}
+
+// Retained returns the number of observations currently in the window.
+func (w *Window) Retained() int {
+	if w.width == 0 {
+		return w.g.RawLen()
+	}
+	return len(w.obs)
+}
+
+// Rebuilds returns how many evictions have replaced the graph.
+func (w *Window) Rebuilds() int { return w.rebuilds }
+
+// Evicted returns the total observations dropped by expiry.
+func (w *Window) Evicted() int { return w.evicted }
+
+// Stale returns the observations rejected for predating the window.
+func (w *Window) Stale() int { return w.stale }

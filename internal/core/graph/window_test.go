@@ -1,0 +1,149 @@
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core/fca"
+	"repro/internal/core/graph"
+	"repro/internal/faults"
+)
+
+func at(ms int64) time.Time { return time.Unix(0, ms*int64(time.Millisecond)) }
+
+// TestWindowUnbounded checks span=0: every observation is retained and
+// the graph matches a plain accumulation of the same stream.
+func TestWindowUnbounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	edges := randomEdges(rng, 60)
+
+	w := graph.NewWindow(0, 4)
+	w.SetSystem("Toy")
+	ref := graph.New()
+	ref.SetSystem("Toy")
+	for i, e := range edges {
+		accepted, rebuilt := w.Observe(e, at(int64(i)))
+		if !accepted || rebuilt {
+			t.Fatalf("obs %d: accepted=%v rebuilt=%v; unbounded never evicts", i, accepted, rebuilt)
+		}
+		ref.Add(e)
+	}
+	if w.Evicted() != 0 || w.Rebuilds() != 0 || w.Stale() != 0 {
+		t.Fatalf("unbounded window leaked decay stats: evicted=%d rebuilds=%d stale=%d",
+			w.Evicted(), w.Rebuilds(), w.Stale())
+	}
+	if !reflect.DeepEqual(w.Graph().Edges(), ref.Edges()) {
+		t.Fatal("unbounded window diverged from plain accumulation")
+	}
+}
+
+// TestWindowRebuildEquivalence is the core decay invariant: after any
+// eviction, the rebuilt graph is identical to a fresh graph that only
+// ever saw the surviving observations, in their arrival order.
+func TestWindowRebuildEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	edges := randomEdges(rng, 120)
+
+	// 1s window over 4 buckets; stamp 10 observations per 100ms so the
+	// stream crosses the horizon several times.
+	w := graph.NewWindow(time.Second, 4)
+	w.SetSystem("Toy")
+	w.AddStatic(fca.Edge{
+		From: "f.0", To: "f.1", Kind: faults.ICFG,
+		FromClass: faults.ClassException, ToClass: faults.ClassException,
+	})
+
+	type stamped struct {
+		e  fca.Edge
+		ms int64
+	}
+	var applied []stamped
+	for i, e := range edges {
+		ms := int64(i) * 100
+		accepted, _ := w.Observe(e, at(ms))
+		if !accepted {
+			t.Fatalf("forward-only stream must never go stale (obs %d)", i)
+		}
+		applied = append(applied, stamped{e, ms})
+	}
+	if w.Rebuilds() == 0 {
+		t.Fatal("stream was meant to trigger evictions")
+	}
+	if w.Retained()+w.Evicted() != len(edges) {
+		t.Fatalf("retained %d + evicted %d != observed %d", w.Retained(), w.Evicted(), len(edges))
+	}
+
+	// Reference: replay only the observations still inside the final
+	// window into a fresh graph.
+	horizonMS := applied[len(applied)-1].ms
+	width := int64(time.Second / 4 / time.Millisecond)
+	minBucket := horizonMS/width - 3
+	ref := graph.New()
+	ref.SetSystem("Toy")
+	ref.AddStatic([]fca.Edge{{
+		From: "f.0", To: "f.1", Kind: faults.ICFG,
+		FromClass: faults.ClassException, ToClass: faults.ClassException,
+	}})
+	for _, s := range applied {
+		if s.ms/width >= minBucket {
+			ref.Add(s.e)
+		}
+	}
+	if !reflect.DeepEqual(w.Graph().Edges(), ref.Edges()) {
+		t.Fatal("rebuilt graph diverged from replaying the surviving observations")
+	}
+}
+
+// TestWindowStaleAndStatics: observations behind the advanced horizon
+// are rejected and counted; static edges and annotations survive every
+// rebuild.
+func TestWindowStaleAndStatics(t *testing.T) {
+	w := graph.NewWindow(time.Second, 4)
+	w.SetSystem("Toy")
+	st := fca.Edge{
+		From: "s.a", To: "s.b", Kind: faults.ICFG,
+		FromClass: faults.ClassException, ToClass: faults.ClassException,
+	}
+	// Static routed through Observe: accepted, never evicted.
+	if acc, reb := w.Observe(st, at(0)); !acc || reb {
+		t.Fatalf("static observe: accepted=%v rebuilt=%v", acc, reb)
+	}
+	w.SetNestGroup("f.2", 3)
+	w.SetScore("f.2", 0.5)
+
+	dyn := dynEdge("f.1", "f.2", faults.EI, "t1", nil, nil)
+	w.Observe(dyn, at(10))
+	// Jump 10s ahead: the t=10ms observation must be evicted.
+	w.Observe(dynEdge("f.2", "f.3", faults.EI, "t2", nil, nil), at(10_000))
+	if w.Rebuilds() != 1 || w.Evicted() != 1 {
+		t.Fatalf("want 1 rebuild / 1 evicted, got %d / %d", w.Rebuilds(), w.Evicted())
+	}
+	// Annotate re-applies pending annotations, exactly as the monitor
+	// does before each search.
+	w.Annotate()
+	g := w.Graph()
+	if g.Len() != 2 { // the static edge plus the t=10s dynamic
+		t.Fatalf("want 2 edges after rebuild, got %d", g.Len())
+	}
+	if g.System() != "Toy" {
+		t.Fatalf("system lost in rebuild: %q", g.System())
+	}
+	if got := g.NestGroups()["f.2"]; got != 3 {
+		t.Fatalf("nest annotation lost in rebuild: %d", got)
+	}
+	if got := g.Score("f.2"); got != 0.5 {
+		t.Fatalf("score annotation lost in rebuild: %v", got)
+	}
+
+	// Now an observation behind the horizon: rejected, counted, graph
+	// untouched.
+	acc, _ := w.Observe(dyn, at(500))
+	if acc || w.Stale() != 1 {
+		t.Fatalf("stale observe: accepted=%v stale=%d", acc, w.Stale())
+	}
+	if w.Graph().Len() != 2 {
+		t.Fatalf("stale observation mutated the graph: %d edges", w.Graph().Len())
+	}
+}

@@ -1,0 +1,53 @@
+// This file holds observer combinators. The driver accepts exactly one
+// Observer; MultiObserver lets a campaign keep its progress observer
+// while also tapping the edge stream for trace export.
+package harness
+
+import (
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+)
+
+// multiObserver fans every callback out to each member, in order. The
+// driver already serializes callbacks under its emit lock, so members
+// see the same deterministic sequence they would see alone.
+type multiObserver struct {
+	obs []Observer
+}
+
+// MultiObserver combines observers into one. Nil members are dropped;
+// a single survivor is returned unwrapped, and zero survivors yield nil
+// (the driver treats a nil observer as "no observer").
+func MultiObserver(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiObserver{obs: kept}
+}
+
+func (m multiObserver) ProfileCached(test string, sims int) {
+	for _, o := range m.obs {
+		o.ProfileCached(test, sims)
+	}
+}
+
+func (m multiObserver) ExperimentExecuted(fault faults.ID, test string, edges, interference int) {
+	for _, o := range m.obs {
+		o.ExperimentExecuted(fault, test, edges, interference)
+	}
+}
+
+func (m multiObserver) EdgeDiscovered(e fca.Edge) {
+	for _, o := range m.obs {
+		o.EdgeDiscovered(e)
+	}
+}

@@ -1,0 +1,186 @@
+// The equivalence wall: replaying a campaign's exported trace through
+// the online monitor must report exactly the cycle signatures the
+// offline beam search finds on the campaign's final graph -- for any
+// batching of the stream. This is the contract that makes the monitor
+// trustworthy: streaming adds latency, never changes the answer.
+package monitor_test
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core/beam"
+	"repro/internal/core/csnake"
+	"repro/internal/monitor"
+	"repro/internal/systems/sysreg"
+
+	_ "repro/internal/systems/metastore"
+)
+
+// exportedCampaign runs the fast metastore configuration (the one the
+// service smoke uses: both seeded RAFT storms detected in ~16 rounds)
+// with trace export, returning the report and the recorded trace.
+func exportedCampaign(t *testing.T) (*csnake.Report, []byte) {
+	t.Helper()
+	sys, err := sysreg.Resolve("metastore")
+	if err != nil {
+		t.Fatalf("resolve metastore: %v", err)
+	}
+	var buf bytes.Buffer
+	rep, err := csnake.NewCampaign(sys,
+		csnake.WithSeed(42),
+		csnake.WithReps(3),
+		csnake.WithDelayMagnitudes(500*time.Millisecond, 2*time.Second, 8*time.Second),
+		csnake.WithEarlyStop(3),
+		csnake.WithWaveSize(4),
+		csnake.WithTraceExport(&buf),
+	).Run()
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("campaign exported an empty trace")
+	}
+	return rep, buf.Bytes()
+}
+
+func sigSet(cycles []beam.Cycle) []string {
+	seen := make(map[string]bool, len(cycles))
+	for _, c := range cycles {
+		seen[c.Signature()] = true
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// traceLines splits a JSONL trace into its non-empty lines.
+func traceLines(trace []byte) [][]byte {
+	var lines [][]byte
+	for _, l := range bytes.Split(trace, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// replay feeds the lines through a full-retention monitor in the given
+// chunks (each chunk is one Ingest batch) and returns the monitor.
+func replay(t *testing.T, lines [][]byte, chunks []int) *monitor.Monitor {
+	t.Helper()
+	mon := monitor.New(monitor.Config{}) // Window 0: retain everything
+	i := 0
+	for _, n := range chunks {
+		var batch bytes.Buffer
+		for j := 0; j < n && i < len(lines); j++ {
+			batch.Write(lines[i])
+			batch.WriteByte('\n')
+			i++
+		}
+		res, err := mon.Ingest(&batch)
+		if err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if res.Skipped != 0 {
+			t.Fatalf("replay of a clean trace skipped %d records", res.Skipped)
+		}
+	}
+	if i != len(lines) {
+		t.Fatalf("chunks covered %d of %d lines", i, len(lines))
+	}
+	return mon
+}
+
+func TestReplayEquivalence(t *testing.T) {
+	rep, trace := exportedCampaign(t)
+	lines := traceLines(trace)
+
+	// The reference: the offline search over the campaign's final
+	// annotated graph, which also equals the campaign's own reported set.
+	offline := sigSet(beam.SearchGraph(rep.Graph, nil, beam.Options{}))
+	if len(offline) == 0 {
+		t.Fatal("offline search found no cycles")
+	}
+	if got := sigSet(rep.Cycles); !equalStrings(got, offline) {
+		t.Fatalf("campaign cycles != offline re-search:\ncampaign: %v\noffline:  %v", got, offline)
+	}
+
+	chunkings := map[string][]int{
+		"one-batch":  {len(lines)},
+		"per-record": manyChunks(len(lines), 1),
+	}
+	// Shuffled batch boundaries: random chunk sizes, three seeds.
+	for _, seed := range []int64{1, 7, 23} {
+		rng := rand.New(rand.NewSource(seed))
+		var chunks []int
+		rem := len(lines)
+		for rem > 0 {
+			n := 1 + rng.Intn(17)
+			if n > rem {
+				n = rem
+			}
+			chunks = append(chunks, n)
+			rem -= n
+		}
+		chunkings["shuffled-"+string(rune('a'+seed%26))] = chunks
+	}
+
+	for name, chunks := range chunkings {
+		t.Run(name, func(t *testing.T) {
+			mon := replay(t, lines, chunks)
+			got := mon.Signatures()
+			if !equalStrings(got, offline) {
+				t.Fatalf("online signature set diverges from offline search\nonline:  %v\noffline: %v", got, offline)
+			}
+			// The two seeded RAFT storms must both have alerted.
+			wantFaults := []string{"ms.node.election_loop", "ms.leader.snap.send_loop"}
+			faults := make(map[string]bool)
+			for _, c := range mon.Cycles() {
+				for _, f := range c.Faults() {
+					faults[string(f)] = true
+				}
+			}
+			for _, f := range wantFaults {
+				if !faults[f] {
+					t.Errorf("storm fault %s missing from active cycles", f)
+				}
+			}
+			st := mon.Stats()
+			if st.Rebuilds != 0 || st.Evicted != 0 || st.Stale != 0 {
+				t.Fatalf("full-retention replay must never evict: %+v", st)
+			}
+		})
+	}
+}
+
+func manyChunks(total, size int) []int {
+	var chunks []int
+	for total > 0 {
+		n := size
+		if n > total {
+			n = total
+		}
+		chunks = append(chunks, n)
+		total -= n
+	}
+	return chunks
+}

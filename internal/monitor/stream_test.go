@@ -1,0 +1,240 @@
+// Table-driven determinism tests for the decaying evidence window as
+// seen through the monitor: the same (record, timestamp) stream must
+// produce identical evidence and identical cycle sets no matter how it
+// is batched, evidence past the window must break cycles (with broken
+// alerts), and fresh evidence must close them again.
+package monitor_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/monitor"
+)
+
+// edgeLine renders one dynamic EI edge record (exception classes, no
+// occurrence evidence): the minimal shape the beam matcher chains into
+// cycles.
+func edgeLine(t *testing.T, from, to, test string, atMS int64) string {
+	t.Helper()
+	rec := monitor.Record{
+		T:    "edge",
+		AtMS: atMS,
+		Edge: &monitor.EdgeRecord{
+			From: from, To: to,
+			Kind:      int(faults.EI),
+			FromClass: int(faults.ClassException),
+			ToClass:   int(faults.ClassException),
+			Test:      test,
+		},
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return string(data)
+}
+
+// ingestLines feeds lines to mon in one batch and returns the result.
+func ingestLines(t *testing.T, mon *monitor.Monitor, lines ...string) monitor.BatchResult {
+	t.Helper()
+	res, err := mon.Ingest(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	return res
+}
+
+// syntheticStream is a 40-record stream over a 2-cycle (a<->b) plus
+// unrelated c->d noise, with timestamps walking forward far enough to
+// cross several window boundaries under a 1s window.
+func syntheticStream(t *testing.T) []string {
+	t.Helper()
+	var lines []string
+	for i := 0; i < 10; i++ {
+		at := int64(i) * 300 // 0, 300ms, ... 2.7s: crosses 1s-window buckets
+		lines = append(lines,
+			edgeLine(t, "a", "b", "w1", at),
+			edgeLine(t, "b", "a", "w2", at+1),
+			edgeLine(t, "c", "d", "w1", at+2),
+			edgeLine(t, "d", "e", "w2", at+3),
+		)
+	}
+	return lines
+}
+
+// TestWindowBatchIndependence pins the decay determinism contract: the
+// same stream ingested with different batch sizes yields identical
+// evidence, eviction counts, and cycle signatures -- bucket assignment
+// depends only on record timestamps, never on batch boundaries.
+func TestWindowBatchIndependence(t *testing.T) {
+	lines := syntheticStream(t)
+	type outcome struct {
+		sigs    []string
+		edges   int64
+		stale   int64
+		evicted int
+		active  int
+	}
+	run := func(batch int) outcome {
+		mon := monitor.New(monitor.Config{Window: time.Second, Buckets: 4})
+		for i := 0; i < len(lines); i += batch {
+			end := i + batch
+			if end > len(lines) {
+				end = len(lines)
+			}
+			ingestLines(t, mon, lines[i:end]...)
+		}
+		st := mon.Stats()
+		return outcome{
+			sigs:    mon.Signatures(),
+			edges:   st.Edges,
+			stale:   st.Stale,
+			evicted: st.Evicted,
+			active:  st.CyclesActive,
+		}
+	}
+	ref := run(1)
+	if ref.evicted == 0 {
+		t.Fatal("stream must cross window boundaries for this test to bite")
+	}
+	if ref.active == 0 {
+		t.Fatal("the a<->b cycle should be live at stream end")
+	}
+	for _, batch := range []int{2, 3, 7, len(lines)} {
+		got := run(batch)
+		if !equalStrings(got.sigs, ref.sigs) {
+			t.Errorf("batch=%d: signatures diverge: %v vs %v", batch, got.sigs, ref.sigs)
+		}
+		if got.edges != ref.edges || got.stale != ref.stale || got.evicted != ref.evicted {
+			t.Errorf("batch=%d: evidence accounting diverges: %+v vs %+v", batch, got, ref)
+		}
+	}
+}
+
+// TestDecayBreaksAndRearms walks one cycle through its lifecycle:
+// closed by fresh evidence, broken when the window advances past it,
+// re-closed when fresh evidence for the same edges returns.
+func TestDecayBreaksAndRearms(t *testing.T) {
+	var alerts []monitor.Alert
+	mon := monitor.New(monitor.Config{
+		Window:  time.Second,
+		Buckets: 4,
+		OnAlert: func(a monitor.Alert) { alerts = append(alerts, a) },
+	})
+
+	// Close the cycle at t=0.
+	res := ingestLines(t, mon,
+		edgeLine(t, "a", "b", "w1", 0),
+		edgeLine(t, "b", "a", "w2", 1))
+	if res.CyclesActive == 0 {
+		t.Fatalf("a<->b should close a cycle, got %+v", res)
+	}
+	if len(alerts) == 0 || alerts[0].Kind != "closed" {
+		t.Fatalf("want a closed alert first, got %+v", alerts)
+	}
+	closedSig := alerts[0].Signature
+
+	// Far-future evidence for an unrelated edge advances the window past
+	// every cycle edge: the cycle must break.
+	alerts = nil
+	ingestLines(t, mon, edgeLine(t, "c", "d", "w1", 10_000))
+	if mon.Stats().CyclesActive != 0 {
+		t.Fatalf("decayed cycle still active: %v", mon.Signatures())
+	}
+	broken := false
+	for _, a := range alerts {
+		if a.Kind == "broken" && a.Signature == closedSig {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatalf("no broken alert for %s, alerts: %+v", closedSig, alerts)
+	}
+
+	// Evidence older than the advanced window is stale-dropped, not
+	// resurrected.
+	res = ingestLines(t, mon, edgeLine(t, "a", "b", "w1", 5))
+	if res.Stale != 1 {
+		t.Fatalf("pre-window record must count stale, got %+v", res)
+	}
+	if mon.Stats().CyclesActive != 0 {
+		t.Fatal("stale evidence must not re-close the cycle")
+	}
+
+	// Fresh evidence for the same edges re-closes the same signature.
+	alerts = nil
+	ingestLines(t, mon,
+		edgeLine(t, "a", "b", "w1", 10_100),
+		edgeLine(t, "b", "a", "w2", 10_101))
+	reclosed := false
+	for _, a := range alerts {
+		if a.Kind == "closed" && a.Signature == closedSig {
+			reclosed = true
+		}
+	}
+	if !reclosed {
+		t.Fatalf("fresh evidence must re-close %s, alerts: %+v", closedSig, alerts)
+	}
+}
+
+// TestAlertSequencing pins the alert metadata invariants: Seq is a
+// strictly increasing per-monitor counter and Records carries the
+// ingest watermark the alert fired at.
+func TestAlertSequencing(t *testing.T) {
+	var alerts []monitor.Alert
+	mon := monitor.New(monitor.Config{
+		OnAlert: func(a monitor.Alert) { alerts = append(alerts, a) },
+	})
+	ingestLines(t, mon,
+		edgeLine(t, "a", "b", "w1", 0),
+		edgeLine(t, "b", "a", "w2", 1))
+	ingestLines(t, mon,
+		edgeLine(t, "c", "d", "w1", 2),
+		edgeLine(t, "d", "c", "w2", 3))
+	if len(alerts) < 2 {
+		t.Fatalf("want at least 2 closed alerts, got %+v", alerts)
+	}
+	var last int64
+	for _, a := range alerts {
+		if a.Seq <= last {
+			t.Fatalf("alert Seq must strictly increase: %+v", alerts)
+		}
+		last = a.Seq
+		if a.Records <= 0 {
+			t.Fatalf("alert must carry its record watermark: %+v", a)
+		}
+	}
+}
+
+// TestIngestTolerance mixes malformed and oversized lines into a valid
+// stream: the good records apply, the bad ones count as skipped.
+func TestIngestTolerance(t *testing.T) {
+	mon := monitor.New(monitor.Config{MaxLineBytes: 256})
+	huge := strings.Repeat("x", 1024)
+	stream := strings.Join([]string{
+		`{"t":"hello","v":1,"system":"Toy"}`,
+		`not json`,
+		edgeLine(t, "a", "b", "w1", 0),
+		huge,
+		`{"t":"edge","edge":{"f":"a","t":"b","k":99,"fc":0,"tc":0,"w":"w"}}`,
+		edgeLine(t, "b", "a", "w2", 1),
+	}, "\n")
+	res, err := mon.Ingest(bytes.NewReader([]byte(stream)))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if res.Records != 3 {
+		t.Errorf("want 3 applied records, got %d", res.Records)
+	}
+	if res.Skipped != 3 {
+		t.Errorf("want 3 skipped lines, got %d", res.Skipped)
+	}
+	if res.CyclesActive == 0 {
+		t.Error("valid records around the garbage must still close the cycle")
+	}
+}

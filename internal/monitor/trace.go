@@ -1,0 +1,126 @@
+// This file holds TraceWriter, the exporter side of the monitor wire
+// format: campaigns stream their causal-edge discoveries through it
+// (csnake -trace-out / csnake.WithTraceExport), producing a JSONL trace
+// any monitor can replay. Writes are serialized internally, so the
+// harness may emit edges from pool goroutines; errors are sticky and
+// surfaced by Flush/Err rather than per record, matching the exporter's
+// fire-and-forget call sites inside observer callbacks.
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/core/fca"
+	"repro/internal/faults"
+)
+
+// TraceWriter streams trace records to w. Safe for concurrent use.
+type TraceWriter struct {
+	mu    sync.Mutex
+	bw    *bufio.Writer
+	edges int64 // edge records written; doubles as the virtual clock (ms)
+	err   error
+}
+
+// NewTraceWriter wraps w in a buffered trace stream.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{bw: bufio.NewWriterSize(w, 64*1024)}
+}
+
+// emit marshals and writes one record line under the lock.
+func (t *TraceWriter) emitLocked(rec Record) {
+	if t.err != nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.bw.Write(append(data, '\n')); err != nil {
+		t.err = err
+	}
+}
+
+// Hello writes the stream preamble.
+func (t *TraceWriter) Hello(system string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Record{T: "hello", Version: TraceVersion, System: system})
+}
+
+// Static writes the static connector edge set, one record per edge, in
+// the given (deterministic) order.
+func (t *TraceWriter) Static(edges []fca.Edge) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range edges {
+		t.emitLocked(Record{T: "static", Edge: wireEdge(e)})
+	}
+}
+
+// NestGroups writes the loop-nest family annotations, sorted by fault
+// id for a deterministic stream.
+func (t *TraceWriter) NestGroups(groups map[faults.ID]int) {
+	ids := make([]string, 0, len(groups))
+	for f := range groups {
+		ids = append(ids, string(f))
+	}
+	sort.Strings(ids)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range ids {
+		t.emitLocked(Record{T: "nest", Fault: f, Group: groups[faults.ID(f)]})
+	}
+}
+
+// Edge writes one dynamic edge observation, stamped with the virtual
+// clock (one millisecond per edge record).
+func (t *TraceWriter) Edge(e fca.Edge) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Record{T: "edge", AtMS: t.edges, Edge: wireEdge(e)})
+	t.edges++
+}
+
+// Mark writes an experiment boundary record.
+func (t *TraceWriter) Mark() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Record{T: "mark"})
+}
+
+// Score writes one SimScore annotation.
+func (t *TraceWriter) Score(f faults.ID, score float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emitLocked(Record{T: "score", Fault: string(f), Score: score})
+}
+
+// Edges returns the number of edge records written so far.
+func (t *TraceWriter) Edges() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.edges
+}
+
+// Flush drains the buffer and returns the first error seen.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// Err returns the sticky write error, if any.
+func (t *TraceWriter) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

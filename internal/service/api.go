@@ -13,6 +13,8 @@
 //     cancellation, crash isolation, and a round fan-out to subscribers;
 //   - store.go: the graph artifact store (persisted schema-v1 graph
 //     JSON, served and merged by id);
+//   - monitors.go: online cascade monitors -- internal/monitor engines
+//     ingesting JSONL trace batches over HTTP, with SSE alert fan-out;
 //   - server.go + metrics.go: the HTTP surface (REST + SSE + /metrics).
 package service
 
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/core/csnake"
+	"repro/internal/monitor"
 	"repro/internal/report"
 	"repro/internal/systems/sysreg"
 )
@@ -256,6 +259,35 @@ type GraphInfo struct {
 	Bytes   int       `json:"bytes"`
 	Created time.Time `json:"created"`
 }
+
+// MonitorSpec is the POST /v1/monitors request body: an online cascade
+// monitor that ingests JSONL trace batches and alerts on closed/broken
+// self-sustaining cycles.
+type MonitorSpec struct {
+	// Name is an optional human label.
+	Name string `json:"name,omitempty"`
+	// WindowMS is the evidence retention span in milliseconds of stream
+	// time; 0 retains everything (the offline-equivalent configuration).
+	WindowMS int64 `json:"windowMs,omitempty"`
+	// Buckets is the decay granularity (0 = default 8).
+	Buckets int `json:"buckets,omitempty"`
+}
+
+// MonitorStatus is the GET /v1/monitors/{id} response.
+type MonitorStatus struct {
+	ID      string      `json:"id"`
+	Spec    MonitorSpec `json:"spec"`
+	Created time.Time   `json:"created"`
+	// Stats is the engine's counter snapshot (records, skipped, active
+	// cycles, window churn).
+	Stats monitor.Stats `json:"stats"`
+	// Subscribers counts live alert-stream connections.
+	Subscribers int `json:"subscribers,omitempty"`
+}
+
+// IngestResponse is the POST /v1/monitors/{id}/events response: the
+// batch summary including every alert the batch fired.
+type IngestResponse monitor.BatchResult
 
 // errorBody is the uniform error envelope.
 type errorBody struct {

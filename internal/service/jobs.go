@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core/csnake"
@@ -156,6 +157,21 @@ type Manager struct {
 	// the deterministic way to catch a job mid-flight.
 	roundHook func(j *Job, round int)
 
+	// monMu guards the monitor table. Lock ordering: monMu is a leaf --
+	// never acquire mu or call jlog/engine methods while holding it (an
+	// engine's own lock is held across ingestion, and Stats would block
+	// behind it).
+	monMu    sync.Mutex
+	mons     map[string]*monitorRuntime
+	monOrder []string // creation order, for listing
+	monSeq   int
+
+	// Lifetime monitor counters (survive monitor deletion), updated by
+	// the ingest handler.
+	monRecords atomic.Int64
+	monSkipped atomic.Int64
+	monAlerts  atomic.Int64
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
@@ -194,6 +210,7 @@ func NewManager(cfg Config) (*Manager, error) {
 		store:     store,
 		start:     time.Now(),
 		jobs:      make(map[string]*Job),
+		mons:      make(map[string]*monitorRuntime),
 		stopWatch: make(chan struct{}),
 	}
 	if cfg.DataDir != "" {
@@ -246,6 +263,9 @@ func (m *Manager) compactJournal() {
 	m.mu.Lock()
 	recs := m.snapshotRecordsLocked()
 	m.mu.Unlock()
+	m.monMu.Lock()
+	recs = append(recs, m.monitorRecordsLocked()...)
+	m.monMu.Unlock()
 	if err := m.jl.rewrite(recs); err != nil {
 		log.Printf("csnaked: journal compaction: %v", err)
 	}

@@ -35,6 +35,9 @@ const journalMaxBytes = 1 << 20
 //   - "round": one completed anytime round (Round).
 //   - "ckpt": a resume checkpoint was sealed (Rounds; the checkpoint
 //     itself lives in the job's ck-<job>.json side file).
+//   - "mon-create" / "mon-delete": online monitor lifecycle (Job is the
+//     monitor id, MonSpec its spec). Monitors re-create empty at boot:
+//     their evidence is stream-sourced, the producer re-ingests it.
 type journalRecord struct {
 	T   string `json:"t"`
 	Job string `json:"job"`
@@ -56,6 +59,8 @@ type journalRecord struct {
 	Report       string `json:"report,omitempty"`
 	Sims         int    `json:"sims,omitempty"`
 	EarlyStopped bool   `json:"earlyStopped,omitempty"`
+
+	MonSpec *MonitorSpec `json:"monitor,omitempty"`
 }
 
 // journal is the on-disk job log. Appends are serialized by the

@@ -38,6 +38,13 @@ type Metrics struct {
 	AdmissionRejected int64 `json:"admissionRejected"`
 	GraphsStored      int   `json:"graphsStored"`
 	UptimeSeconds     int64 `json:"uptimeSeconds"`
+	// Online-monitor counters: live instances plus lifetime ingest totals
+	// (records parsed, malformed/oversized lines skipped, alerts fired --
+	// deleted monitors included).
+	MonitorsActive      int   `json:"monitorsActive"`
+	MonitorRecordsTotal int64 `json:"monitorRecordsTotal"`
+	MonitorSkippedTotal int64 `json:"monitorSkippedTotal"`
+	MonitorAlertsTotal  int64 `json:"monitorAlertsTotal"`
 }
 
 // Snapshot collects the current metrics.
@@ -65,6 +72,12 @@ func (m *Manager) Snapshot() Metrics {
 	s.PoolInUse = m.pool.InUse()
 	s.GraphsStored = m.store.Len()
 	s.UptimeSeconds = int64(time.Since(m.start).Seconds())
+	m.monMu.Lock()
+	s.MonitorsActive = len(m.mons)
+	m.monMu.Unlock()
+	s.MonitorRecordsTotal = m.monRecords.Load()
+	s.MonitorSkippedTotal = m.monSkipped.Load()
+	s.MonitorAlertsTotal = m.monAlerts.Load()
 	return s
 }
 
@@ -93,6 +106,10 @@ func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"csnaked_jobs_panics_total", "Campaign panics contained by the crash-isolation barrier.", s.JobsPanics},
 		{"csnaked_admission_rejected_total", "Submissions rejected by admission control.", s.AdmissionRejected},
 		{"csnaked_graphs_stored", "Graph artifacts in the store.", int64(s.GraphsStored)},
+		{"csnaked_monitors_active", "Online cascade monitors currently registered.", int64(s.MonitorsActive)},
+		{"csnaked_monitor_records_total", "Trace records ingested across all monitors.", s.MonitorRecordsTotal},
+		{"csnaked_monitor_skipped_total", "Malformed or oversized trace lines skipped.", s.MonitorSkippedTotal},
+		{"csnaked_monitor_alerts_total", "Cycle alerts fired across all monitors.", s.MonitorAlertsTotal},
 		{"csnaked_uptime_seconds", "Seconds since the service started.", s.UptimeSeconds},
 	}
 	for _, l := range lines {

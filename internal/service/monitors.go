@@ -1,0 +1,325 @@
+// This file is the online-monitoring surface of csnaked: named monitor
+// instances wrap internal/monitor engines, ingest JSONL trace batches
+// over HTTP, and fan closed/broken cycle alerts out to SSE subscribers.
+// Monitors are journaled like jobs (create/delete records), so a daemon
+// restart re-creates them empty -- their evidence is stream-sourced and
+// re-ingestable by the producer, unlike campaign state which the service
+// itself owns.
+
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// monitorBacklog bounds the per-monitor alert replay buffer; beyond it
+// the oldest alerts are dropped (their Seq numbers expose the gap).
+const monitorBacklog = 1024
+
+// alertSub is one SSE subscriber of a monitor's alert stream.
+type alertSub struct {
+	ch      chan monitor.Alert
+	dropped int // alerts lost to backpressure (slow consumer)
+}
+
+// monitorRuntime pairs a monitor engine with its service identity and
+// alert fan-out. The engine serializes ingestion itself; mu only guards
+// the backlog and subscriber list.
+type monitorRuntime struct {
+	id      string
+	seq     int
+	spec    MonitorSpec
+	created time.Time
+	mon     *monitor.Monitor
+
+	mu     sync.Mutex
+	alerts []monitor.Alert
+	subs   []*alertSub
+	closed bool
+}
+
+func newMonitorRuntime(id string, seq int, spec MonitorSpec, created time.Time) *monitorRuntime {
+	rt := &monitorRuntime{id: id, seq: seq, spec: spec, created: created}
+	rt.mon = monitor.New(monitor.Config{
+		Window:  time.Duration(spec.WindowMS) * time.Millisecond,
+		Buckets: spec.Buckets,
+		OnAlert: rt.onAlert,
+	})
+	return rt
+}
+
+// onAlert records the alert in the replay backlog and offers it to every
+// live subscriber without blocking (a slow consumer drops alerts, never
+// stalls ingestion).
+func (rt *monitorRuntime) onAlert(a monitor.Alert) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.alerts = append(rt.alerts, a)
+	if len(rt.alerts) > monitorBacklog {
+		rt.alerts = rt.alerts[len(rt.alerts)-monitorBacklog:]
+	}
+	for _, s := range rt.subs {
+		select {
+		case s.ch <- a:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// subscribe snapshots the alert backlog and, when follow is set,
+// registers a live channel. The unsubscribe func is a no-op for
+// non-follow subscriptions.
+func (rt *monitorRuntime) subscribe(buffer int, follow bool) (backlog []monitor.Alert, ch chan monitor.Alert, unsubscribe func()) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	backlog = append([]monitor.Alert(nil), rt.alerts...)
+	if !follow || rt.closed {
+		return backlog, nil, func() {}
+	}
+	s := &alertSub{ch: make(chan monitor.Alert, buffer)}
+	rt.subs = append(rt.subs, s)
+	return backlog, s.ch, func() {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		for i, q := range rt.subs {
+			if q == s {
+				rt.subs = append(rt.subs[:i], rt.subs[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// close ends every subscriber stream; further subscriptions get only
+// the backlog.
+func (rt *monitorRuntime) close() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return
+	}
+	rt.closed = true
+	for _, s := range rt.subs {
+		close(s.ch)
+	}
+	rt.subs = nil
+}
+
+func errUnknownMonitor(id string) error { return fmt.Errorf("unknown monitor %q", id) }
+
+// CreateMonitor registers a new online monitor and journals it.
+func (m *Manager) CreateMonitor(spec MonitorSpec) (*MonitorStatus, error) {
+	if spec.WindowMS < 0 {
+		return nil, fmt.Errorf("windowMs = %d: must be non-negative", spec.WindowMS)
+	}
+	if spec.Buckets < 0 {
+		return nil, fmt.Errorf("buckets = %d: must be non-negative", spec.Buckets)
+	}
+	m.monMu.Lock()
+	m.monSeq++
+	seq := m.monSeq
+	rt := newMonitorRuntime(fmt.Sprintf("mon-%d", seq), seq, spec, time.Now())
+	m.mons[rt.id] = rt
+	m.monOrder = append(m.monOrder, rt.id)
+	m.monMu.Unlock()
+	sp := spec
+	m.jlog(journalRecord{T: "mon-create", Job: rt.id, Seq: seq, Created: rt.created, MonSpec: &sp})
+	return m.monitorStatus(rt), nil
+}
+
+// DeleteMonitor removes a monitor, ends its alert streams, and journals
+// the deletion. Its lifetime counters stay in /metrics.
+func (m *Manager) DeleteMonitor(id string) error {
+	m.monMu.Lock()
+	rt, ok := m.mons[id]
+	if !ok {
+		m.monMu.Unlock()
+		return errUnknownMonitor(id)
+	}
+	delete(m.mons, id)
+	for i, q := range m.monOrder {
+		if q == id {
+			m.monOrder = append(m.monOrder[:i], m.monOrder[i+1:]...)
+			break
+		}
+	}
+	m.monMu.Unlock()
+	rt.close()
+	m.jlog(journalRecord{T: "mon-delete", Job: id, Seq: rt.seq})
+	return nil
+}
+
+// getMonitor looks a runtime up by id.
+func (m *Manager) getMonitor(id string) (*monitorRuntime, bool) {
+	m.monMu.Lock()
+	defer m.monMu.Unlock()
+	rt, ok := m.mons[id]
+	return rt, ok
+}
+
+// Monitors lists every monitor's status in creation order.
+func (m *Manager) Monitors() []*MonitorStatus {
+	m.monMu.Lock()
+	rts := make([]*monitorRuntime, 0, len(m.monOrder))
+	for _, id := range m.monOrder {
+		rts = append(rts, m.mons[id])
+	}
+	m.monMu.Unlock()
+	// Engine stats are read outside monMu: Stats takes the engine's own
+	// lock, which an in-flight Ingest may hold for a while.
+	out := make([]*MonitorStatus, len(rts))
+	for i, rt := range rts {
+		out[i] = m.monitorStatus(rt)
+	}
+	return out
+}
+
+// monitorRecordsLocked renders the monitor table as journal records for
+// compaction. Caller holds monMu.
+func (m *Manager) monitorRecordsLocked() []journalRecord {
+	var recs []journalRecord
+	for _, id := range m.monOrder {
+		rt := m.mons[id]
+		sp := rt.spec
+		recs = append(recs, journalRecord{T: "mon-create", Job: id, Seq: rt.seq, Created: rt.created, MonSpec: &sp})
+	}
+	return recs
+}
+
+func (m *Manager) monitorStatus(rt *monitorRuntime) *MonitorStatus {
+	st := &MonitorStatus{
+		ID:      rt.id,
+		Spec:    rt.spec,
+		Created: rt.created,
+		Stats:   rt.mon.Stats(),
+	}
+	rt.mu.Lock()
+	st.Subscribers = len(rt.subs)
+	rt.mu.Unlock()
+	return st
+}
+
+func (m *Manager) handleMonitorCreate(w http.ResponseWriter, r *http.Request) {
+	var spec MonitorSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad monitor spec: %v", err)
+		return
+	}
+	st, err := m.CreateMonitor(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (m *Manager) handleMonitors(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Monitors())
+}
+
+func (m *Manager) handleMonitorStatus(w http.ResponseWriter, r *http.Request) {
+	rt, ok := m.getMonitor(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v", errUnknownMonitor(r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, m.monitorStatus(rt))
+}
+
+// handleMonitorIngest feeds the request body (JSONL trace records) into
+// the monitor and returns the batch summary, alerts included. Malformed
+// lines are counted in the response, never a request failure.
+func (m *Manager) handleMonitorIngest(w http.ResponseWriter, r *http.Request) {
+	rt, ok := m.getMonitor(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v", errUnknownMonitor(r.PathValue("id")))
+		return
+	}
+	res, err := rt.mon.Ingest(r.Body)
+	m.monRecords.Add(res.Records)
+	m.monSkipped.Add(res.Skipped)
+	m.monAlerts.Add(int64(len(res.Alerts)))
+	if err != nil {
+		// The body died mid-stream; everything parsed before the error is
+		// already applied, so report what happened with the partial counts.
+		writeError(w, http.StatusBadRequest, "ingest: %v (after %d records)", err, res.Records)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse(res))
+}
+
+// handleMonitorAlerts serves the alert stream as SSE "alert" events:
+// the recorded backlog first, then live alerts as batches ingest.
+// ?follow=0 ends the stream after the backlog (for scripted consumers).
+func (m *Manager) handleMonitorAlerts(w http.ResponseWriter, r *http.Request) {
+	rt, ok := m.getMonitor(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "%v", errUnknownMonitor(r.PathValue("id")))
+		return
+	}
+	flusher, okf := w.(http.Flusher)
+	if !okf {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	follow := r.URL.Query().Get("follow") != "0"
+	backlog, ch, unsubscribe := rt.subscribe(m.cfg.SubBuffer, follow)
+	defer unsubscribe()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	for _, a := range backlog {
+		if !writeAlertEvent(w, a) {
+			return
+		}
+	}
+	flusher.Flush()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case a, open := <-ch:
+			if !open {
+				return
+			}
+			if !writeAlertEvent(w, a) {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeAlertEvent writes one SSE "alert" event; false means the stream
+// is unwritable and the handler should end.
+func writeAlertEvent(w http.ResponseWriter, a monitor.Alert) bool {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "event: alert\ndata: %s\n\n", data)
+	return err == nil
+}
+
+func (m *Manager) handleMonitorDelete(w http.ResponseWriter, r *http.Request) {
+	if err := m.DeleteMonitor(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Deleted string `json:"deleted"`
+	}{Deleted: r.PathValue("id")})
+}

@@ -96,6 +96,32 @@ func (m *Manager) recover() error {
 			if _, ok := m.jobs[rec.Job]; ok {
 				ckptRounds[rec.Job] = rec.Rounds
 			}
+		case "mon-create":
+			if rec.MonSpec == nil {
+				continue
+			}
+			if _, ok := m.mons[rec.Job]; ok {
+				continue // idempotence: duplicate create records coalesce
+			}
+			rt := newMonitorRuntime(rec.Job, rec.Seq, *rec.MonSpec, rec.Created)
+			m.mons[rt.id] = rt
+			m.monOrder = append(m.monOrder, rt.id)
+			if rec.Seq > m.monSeq {
+				m.monSeq = rec.Seq
+			}
+		case "mon-delete":
+			if _, ok := m.mons[rec.Job]; ok {
+				delete(m.mons, rec.Job)
+				for i, id := range m.monOrder {
+					if id == rec.Job {
+						m.monOrder = append(m.monOrder[:i], m.monOrder[i+1:]...)
+						break
+					}
+				}
+			}
+			if rec.Seq > m.monSeq {
+				m.monSeq = rec.Seq
+			}
 		}
 	}
 
@@ -168,7 +194,8 @@ func (m *Manager) recover() error {
 
 	// Rotate the replayed journal down to the minimal equivalent record
 	// set, so repeated crash/restart cycles don't grow it unboundedly.
-	if err := m.jl.rewrite(m.snapshotRecordsLocked()); err != nil {
+	recs = append(m.snapshotRecordsLocked(), m.monitorRecordsLocked()...)
+	if err := m.jl.rewrite(recs); err != nil {
 		log.Printf("csnaked: boot journal compaction: %v", err)
 	}
 	return nil

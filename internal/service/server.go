@@ -29,6 +29,12 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/graphs", m.handleGraphs)
 	mux.HandleFunc("GET /v1/graphs/{id}", m.handleGraph)
 	mux.HandleFunc("POST /v1/graphs/merge", m.handleMerge)
+	mux.HandleFunc("POST /v1/monitors", m.handleMonitorCreate)
+	mux.HandleFunc("GET /v1/monitors", m.handleMonitors)
+	mux.HandleFunc("GET /v1/monitors/{id}", m.handleMonitorStatus)
+	mux.HandleFunc("DELETE /v1/monitors/{id}", m.handleMonitorDelete)
+	mux.HandleFunc("POST /v1/monitors/{id}/events", m.handleMonitorIngest)
+	mux.HandleFunc("GET /v1/monitors/{id}/alerts", m.handleMonitorAlerts)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	mux.HandleFunc("GET /healthz", m.handleHealthz)
 	return mux

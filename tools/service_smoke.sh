@@ -4,7 +4,10 @@
 # campaign, stream its rounds over SSE, read the report (both seeded
 # Raft storms must be detected), run a second campaign, merge the two
 # persisted graphs server-side, and fetch the merged artifact. Then the
-# crash journey: kill -9 the daemon mid-campaign, restart it on the same
+# monitor journey: export a campaign trace with csnake -trace-out,
+# create a monitor, ingest the trace over HTTP, and require the SSE
+# alert stream to carry both seeded storm fault ids. Then the crash
+# journey: kill -9 the daemon mid-campaign, restart it on the same
 # data directory, and require the journal-recovered job to resume and
 # still detect both storms. CI runs this; it also works locally:
 #
@@ -92,6 +95,29 @@ echo "$METRICS" | grep -q '^csnaked_jobs_succeeded_total 2' || { echo "metrics w
 for counter in csnaked_jobs_retries_total csnaked_jobs_resumed_total csnaked_jobs_panics_total csnaked_admission_rejected_total; do
   echo "$METRICS" | grep -q "^$counter " || { echo "metrics missing $counter" >&2; exit 1; }
 done
+
+echo "--- online monitor: export a trace, ingest over HTTP, read SSE alerts"
+go build -o "$WORKDIR/csnake" ./cmd/csnake
+"$WORKDIR/csnake" -system metastore -fast -seed 42 -early-stop 3 -wave 4 \
+  -trace-out "$WORKDIR/trace.jsonl" >/dev/null
+[ -s "$WORKDIR/trace.jsonl" ] || { echo "csnake exported no trace" >&2; exit 1; }
+MON=$(curl -sf -X POST "$BASE/v1/monitors" -d '{"name":"smoke"}' | sed -n 's/.*"id": "\([^"]*\)".*/\1/p' | head -1)
+[ -n "$MON" ] || { echo "monitor create returned no id" >&2; exit 1; }
+echo "monitor: $MON"
+INGEST=$(curl -sf -X POST --data-binary "@$WORKDIR/trace.jsonl" "$BASE/v1/monitors/$MON/events")
+echo "$INGEST" | grep -q '"skipped": 0' || { echo "monitor skipped records from a clean trace" >&2; exit 1; }
+ALERTS=$(curl -sf -N --max-time 30 "$BASE/v1/monitors/$MON/alerts?follow=0")
+echo "$ALERTS" | grep -q '^event: alert' || { echo "no alert events in SSE stream" >&2; exit 1; }
+echo "$ALERTS" | grep -q 'ms.node.election_loop' || { echo "alerts missing RAFT-1 storm fault" >&2; exit 1; }
+echo "$ALERTS" | grep -q 'ms.leader.snap.send_loop' || { echo "alerts missing RAFT-2 storm fault" >&2; exit 1; }
+echo "alerts streamed: $(echo "$ALERTS" | grep -c '^event: alert')"
+curl -sf "$BASE/v1/monitors/$MON" | grep -q '"cyclesActive"' || { echo "monitor status missing stats" >&2; exit 1; }
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q '^csnaked_monitors_active 1' || { echo "metrics missing active monitor" >&2; exit 1; }
+for counter in csnaked_monitor_records_total csnaked_monitor_skipped_total csnaked_monitor_alerts_total; do
+  echo "$METRICS" | grep -q "^$counter " || { echo "metrics missing $counter" >&2; exit 1; }
+done
+echo "monitor detected both seeded storms from the ingested trace"
 
 echo "--- crash recovery: kill -9 mid-campaign, restart, resume"
 SPEC3='{"system":"metastore","seed":44,"reps":3,"delayMagnitudesMs":[500,2000,8000],"earlyStopRounds":3,"waveSize":4}'
