@@ -108,6 +108,45 @@ func benchCampaignParallel(b *testing.B, parallelism int) {
 func BenchmarkCampaign_Serial(b *testing.B)   { benchCampaignParallel(b, 1) }
 func BenchmarkCampaign_Parallel(b *testing.B) { benchCampaignParallel(b, runtime.NumCPU()) }
 
+// BenchmarkCampaign_Scaling traces the core-count scaling curve on the
+// consensus-target campaign: the same workload at p = 1, 2, 4 and
+// NumCPU worker bounds (deduplicated when the host has few cores). All
+// points produce byte-identical reports -- the sharded accumulation and
+// wave-order merge guarantee it -- so the curve measures pure execution
+// scaling, not search-quality drift. On a single-core host the curve is
+// flat by construction; the interesting shape needs real parallelism.
+func BenchmarkCampaign_Scaling(b *testing.B) {
+	ps := []int{1, 2, 4, runtime.NumCPU()}
+	seen := make(map[int]bool)
+	for _, p := range ps {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			benchCampaignScalingPoint(b, p)
+		})
+	}
+}
+
+func benchCampaignScalingPoint(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		rep, err := csnake.NewCampaign(metastore.New(),
+			csnake.WithConfig(lightConfig(42)),
+			csnake.WithParallelism(parallelism),
+		).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		bugs := csnake.DetectedBugs(rep, metastore.New().Bugs())
+		if len(bugs) != 2 {
+			b.Fatalf("campaign lost detection at p=%d: %v", parallelism, bugs)
+		}
+		b.ReportMetric(float64(rep.Sims), "sims")
+		b.ReportMetric(float64(len(rep.Edges)), "edges")
+	}
+}
+
 // --- E2c: anytime pipeline -- batch vs streaming vs early stop ---
 
 // benchCampaignMetaStore measures the consensus-target campaign under a

@@ -35,6 +35,7 @@
 //	[-anytime] [-early-stop N] [-wave N] [-adaptive] [-no-prefix-share]
 //	[-trace-out FILE] [-monitor FILE [-monitor-batch N]
 //	[-monitor-window DUR] [-monitor-buckets N]]
+//	[-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -46,6 +47,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -127,7 +129,16 @@ func main() {
 	monitorBatch := flag.Int("monitor-batch", 256, "records per monitor replay batch (alerts fire at batch granularity)")
 	monitorWindow := flag.Duration("monitor-window", 0, "monitor evidence retention span (0 = keep everything)")
 	monitorBuckets := flag.Int("monitor-buckets", 0, "monitor decay buckets (0 = default 8)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to FILE for the whole invocation")
+	memProfile := flag.String("memprofile", "", "write a heap profile to FILE on exit")
 	flag.Parse()
+
+	// Profiles bracket everything the command does (campaign, offline
+	// re-search, or monitor replay) so hot paths in any mode show up.
+	// stopProfiles must run before every exit; log.Fatal paths skip it,
+	// which only loses the profile of an already-failed invocation.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	if *list {
 		for _, n := range sysreg.Names() {
@@ -239,6 +250,44 @@ func main() {
 		fmt.Printf("  [%s] score=%.2f %s\n", tag, best.Score, best)
 	}
 	fmt.Printf("detected ground-truth bugs: %v\n", csnake.DetectedBugs(rep, sys.Bugs()))
+}
+
+// startProfiles starts a CPU profile and/or arranges a heap profile,
+// returning the function that finalises both. Either path may be empty.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				log.Fatalf("cpuprofile: %v", err)
+			}
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		runtime.GC() // settle live-heap numbers before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("memprofile: %v", err)
+		}
+	}
 }
 
 // narrateCheckpoint prints the prefix-sharing summary to stderr: how

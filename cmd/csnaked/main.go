@@ -32,8 +32,13 @@
 //	GET    /metrics                  text metrics
 //	GET    /healthz                  liveness + counter snapshot
 //
+// -pprof ADDR starts an opt-in net/http/pprof listener on a separate
+// address (keep it loopback- or firewall-protected: profiles expose
+// internals), for profiling live campaigns without a restart.
+//
 // Usage: csnaked [-addr HOST:PORT] [-workers N] [-max-jobs N]
 // [-max-queue N] [-shed-high-water F] [-data DIR] [-drain-timeout D]
+// [-pprof HOST:PORT]
 package main
 
 import (
@@ -42,6 +47,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os/signal"
 	"strings"
 	"syscall"
@@ -65,7 +71,20 @@ func main() {
 	shedHW := flag.Float64("shed-high-water", 0, "reject submissions while the pool's in-use fraction is at or above this (0 = disabled)")
 	dataDir := flag.String("data", "", "directory for persisted graph artifacts and the job journal (empty = in-memory only)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain waits for running campaigns to reach a round boundary")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (off by default; keep it private)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on the
+		// default mux, which the API server deliberately does not use --
+		// profiling stays off the public address.
+		go func() {
+			log.Printf("csnaked: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("csnaked: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	m, err := service.NewManager(service.Config{
 		Workers:       *workers,

@@ -27,6 +27,7 @@ package alloc
 import (
 	"math/rand"
 
+	"repro/internal/core/graph"
 	"repro/internal/faults"
 )
 
@@ -130,18 +131,40 @@ func (p *Protocol) Run(ex Executor) *Result {
 	return s.Result()
 }
 
-// drive runs a schedule to completion against a blocking executor.
+// WaveExecutor is the optional wave-capable extension of Executor: an
+// executor that runs a whole planned wave at once (the harness driver
+// fans the wave's experiments across its worker pool, merging per-
+// experiment shards in wave order) while staying byte-identical to
+// issuing the same runs through serial Execute calls. drive prefers it
+// when available, so blocking batch campaigns inherit wave-level
+// parallelism: with Next(0) each wave spans a whole phase, and the only
+// serialization left is the two decision barriers (clustering after
+// phase one, scoring after phase two) where planning genuinely needs
+// the folded results.
+type WaveExecutor interface {
+	ExecuteWave(wave []PlannedRun) ([]RunRecord, graph.Delta)
+}
+
+// drive runs a schedule to completion against a blocking executor,
+// fanning whole-phase waves through ExecuteWave when the executor
+// supports it.
 func drive(s Scheduler, ex Executor) {
+	wx, _ := ex.(WaveExecutor)
 	for {
 		wave := s.Next(0)
 		if len(wave) == 0 {
 			return
 		}
-		recs := make([]RunRecord, len(wave))
-		for i, pr := range wave {
-			recs[i] = RunRecord{
-				Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
-				Intf: ex.Execute(pr.Fault, pr.Test),
+		var recs []RunRecord
+		if wx != nil {
+			recs, _ = wx.ExecuteWave(wave)
+		} else {
+			recs = make([]RunRecord, len(wave))
+			for i, pr := range wave {
+				recs[i] = RunRecord{
+					Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
+					Intf: ex.Execute(pr.Fault, pr.Test),
+				}
 			}
 		}
 		s.Fold(recs)

@@ -202,6 +202,13 @@ func (s *Schedule) Next(max int) []PlannedRun {
 				s.st = stCluster
 			}
 		case stCluster:
+			// PIPELINE BARRIER 1 (clustering): planning cannot cross into
+			// phase two until every phase-one run has been folded -- the
+			// interference sets of *all* phase-one experiments feed the
+			// causally-equivalent-fault clustering. This (and stScore) are
+			// the only points where the wave pipeline must drain; within a
+			// phase, waves may execute and be analysed concurrently because
+			// planning depends only on the RNG and used-pair bookkeeping.
 			if len(out) > 0 || len(s.res.Runs) < s.planned {
 				return s.emit(out)
 			}
@@ -214,6 +221,11 @@ func (s *Schedule) Next(max int) []PlannedRun {
 				s.st = stScore
 			}
 		case stScore:
+			// PIPELINE BARRIER 2 (scoring): phase-three weights derive from
+			// the per-cluster SimScores, which need the complete phase-two
+			// interference evidence. Callers snapshotting SimScores/ClusterOf
+			// for concurrent analysis must copy them *before* calling Next
+			// again: crossing this barrier mutates both in place.
 			if len(out) > 0 || len(s.res.Runs) < s.planned {
 				return s.emit(out)
 			}

@@ -101,6 +101,58 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 		cycles   []beam.Cycle
 		clusters []beam.CycleCluster
 	)
+
+	// Pipelined analysis: when no consumer needs round k's analysis
+	// before wave k+1 may start, the FCA-fed incremental search and the
+	// cycle clustering of a sealed round run on a background goroutine,
+	// concurrently with the next wave's simulations. Analysis consumes
+	// only immutable state -- the sealed wave-k graph snapshot, the wave's
+	// delta, and a copy of the schedule's scoring state taken before Next
+	// can mutate it at a phase barrier -- so the computed rounds are
+	// byte-identical to the blocking order; only wall-clock overlaps.
+	//
+	// Early stopping genuinely needs round k's cluster fingerprint before
+	// planning round k+1, and checkpointing must seal rounds in lockstep
+	// with the schedule state it persists, so both keep the blocking loop.
+	pipeline := cfg.EarlyStopRounds == 0 && c.ckptFn == nil
+	type pendingRound struct {
+		r        Round
+		done     chan struct{}
+		cycles   []beam.Cycle
+		clusters []beam.CycleCluster
+		panicked any
+	}
+	var pend *pendingRound
+	// finishPending joins the in-flight analysis and seals its round:
+	// append, observer, convergence bookkeeping -- everything the blocking
+	// loop does after searching, in the same order.
+	finishPending := func() {
+		if pend == nil {
+			return
+		}
+		<-pend.done
+		if pend.panicked != nil {
+			panic(pend.panicked)
+		}
+		cycles, clusters = pend.cycles, pend.clusters
+		r := pend.r
+		r.CycleCount = len(cycles)
+		r.Clusters = compactClusters(clusters)
+		rep.Rounds = append(rep.Rounds, r)
+		if ro, ok := c.obs.(RoundObserver); ok {
+			ro.RoundCompleted(r)
+		}
+		fp := clusterFingerprint(clusters)
+		if len(cycles) > 0 && fp == lastFP {
+			stable++
+		} else {
+			stable = 0
+		}
+		lastFP = fp
+		pend = nil
+	}
+
+	roundNum := roundBase
 	for !rep.EarlyStopped && !sched.Done() && c.ctx.Err() == nil {
 		wave := sched.Next(waveSize)
 		if len(wave) == 0 {
@@ -115,11 +167,9 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 			break
 		}
 
-		cycles = inc.SearchDelta(driver.Graph(), delta, scoreOf)
-		clusters = beam.ClusterCycles(cycles, clusterOf)
-
+		roundNum++
 		r := Round{
-			Round:         roundBase + len(rep.Rounds) + 1,
+			Round:         roundNum,
 			Phase:         wave[len(wave)-1].Phase,
 			Runs:          len(wave),
 			Spent:         sched.Spent(),
@@ -127,9 +177,31 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 			NewEdges:      delta.New,
 			TouchedEdges:  len(delta.Edges),
 			TouchedFaults: len(delta.Faults),
-			CycleCount:    len(cycles),
-			Clusters:      compactClusters(clusters),
 		}
+
+		if pipeline {
+			// Join round k-1 (its analysis overlapped this wave's sims),
+			// then hand round k to the background analyser. The snapshot
+			// and the scoring-state copy are taken now, between Fold and
+			// the next Next: exactly the state the blocking search sees.
+			finishPending()
+			snap := driver.Graph()
+			snapScore, snapCluster := snapshotScoring(res, isRandom)
+			p := &pendingRound{r: r, done: make(chan struct{})}
+			pend = p
+			go func() {
+				defer close(p.done)
+				defer func() { p.panicked = recover() }()
+				p.cycles = inc.SearchDelta(snap, delta, snapScore)
+				p.clusters = beam.ClusterCycles(p.cycles, snapCluster)
+			}()
+			continue
+		}
+
+		cycles = inc.SearchDelta(driver.Graph(), delta, scoreOf)
+		clusters = beam.ClusterCycles(cycles, clusterOf)
+		r.CycleCount = len(cycles)
+		r.Clusters = compactClusters(clusters)
 		rep.Rounds = append(rep.Rounds, r)
 		if ro, ok := c.obs.(RoundObserver); ok {
 			ro.RoundCompleted(r)
@@ -155,6 +227,7 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 			break
 		}
 	}
+	finishPending()
 
 	if !isRandom {
 		rep.Alloc = res
@@ -188,6 +261,32 @@ func (c *Campaign) runAnytime(cfg Config, space *faults.Space, driver *harness.D
 		c.obs.CampaignFinished(rep)
 	}
 	return rep, driver, nil
+}
+
+// snapshotScoring freezes the schedule's scoring state for a background
+// round analysis: crossing a phase barrier in Next mutates SimScores and
+// ClusterOf in place, so the pipelined search is handed a copy equal to
+// what the blocking search would have seen at this round. The random
+// baseline never clusters or scores, so its snapshot is the constants.
+func snapshotScoring(res *alloc.Result, isRandom bool) (func(faults.ID) float64, func(faults.ID) (int, bool)) {
+	if isRandom {
+		return func(faults.ID) float64 { return 1 },
+			func(faults.ID) (int, bool) { return 0, false }
+	}
+	scores := append([]float64(nil), res.SimScores...)
+	clusterOf := make(map[faults.ID]int, len(res.ClusterOf))
+	for f, gi := range res.ClusterOf {
+		clusterOf[f] = gi
+	}
+	return func(f faults.ID) float64 {
+			if gi, ok := clusterOf[f]; ok && gi < len(scores) {
+				return scores[gi]
+			}
+			return 1
+		}, func(f faults.ID) (int, bool) {
+			gi, ok := clusterOf[f]
+			return gi, ok
+		}
 }
 
 // newScheduler builds the wave-emitting schedule for the configured

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"repro/internal/core/fca"
+	"repro/internal/trace"
+)
+
+// Shard is a private, lock-free accumulation buffer for one worker's
+// slice of a wave: the parallel executor folds each experiment's edges
+// and marks into its own Shard with no shared state, then the wave-seal
+// step replays every shard into the campaign Graph -- in deterministic
+// experiment order, under the driver lock -- via MergeShard.
+//
+// The expensive per-occurrence work (canonicalising stacks and branch
+// vectors into their intern-key strings, see occKeys) happens here, on
+// the worker, outside any lock. MergeShard then replays the exact
+// Add/Mark call sequence the serial path would have issued, reusing the
+// precomputed strings: the intern tables, raw sequence numbers, OccCap
+// evidence merges, and Prefix snapshots all come out byte-identical to
+// serial accumulation, while the critical section shrinks to map
+// lookups and appends.
+//
+// A Shard is not safe for concurrent use; each worker owns its own.
+type Shard struct {
+	ops []shardOp
+}
+
+// occKeyStrings holds the precomputed stack-only and stack+branch key
+// strings for one occurrence -- the worker-side stack-intern cache that
+// MergeShard promotes into the graph's intern table on acceptance.
+type occKeyStrings struct {
+	stack, full string
+}
+
+type shardOp struct {
+	mark bool // a Mark boundary; edge fields unused
+	edge fca.Edge
+	// Key strings aligned 1:1 with edge.FromState.Occ / ToState.Occ.
+	// nil for static edges (rare; replayed through addStatic as-is).
+	fromKeys, toKeys []occKeyStrings
+}
+
+// Add buffers one edge, precomputing its occurrence key strings.
+func (s *Shard) Add(e fca.Edge) {
+	op := shardOp{edge: e}
+	if !e.Kind.Static() {
+		op.fromKeys = precomputeKeys(e.FromState.Occ)
+		op.toKeys = precomputeKeys(e.ToState.Occ)
+	}
+	s.ops = append(s.ops, op)
+}
+
+// AddAll buffers a batch of edges in order.
+func (s *Shard) AddAll(edges []fca.Edge) {
+	for _, e := range edges {
+		s.Add(e)
+	}
+}
+
+// Mark buffers an experiment boundary.
+func (s *Shard) Mark() {
+	s.ops = append(s.ops, shardOp{mark: true})
+}
+
+// Ops returns the number of buffered operations (edges + marks).
+func (s *Shard) Ops() int { return len(s.ops) }
+
+func precomputeKeys(occ []trace.Occurrence) []occKeyStrings {
+	if len(occ) == 0 {
+		return nil
+	}
+	out := make([]occKeyStrings, len(occ))
+	for i, o := range occ {
+		out[i].stack, out[i].full = occKeys(o)
+	}
+	return out
+}
+
+// MergeShard replays a worker shard into g under the caller's lock
+// discipline, issuing exactly the Add/Mark sequence the serial path
+// would have: one raw sequence number per dynamic edge, evidence merged
+// under trace.OccCap, key strings interned only for accepted
+// occurrences (and in the same order), static edges routed to the
+// static section. Replaying shards in deterministic experiment order
+// therefore yields a graph byte-identical to serial accumulation.
+func (g *Graph) MergeShard(s *Shard) {
+	g.mutable("MergeShard")
+	for i := range s.ops {
+		op := &s.ops[i]
+		switch {
+		case op.mark:
+			g.marks = append(g.marks, g.seq)
+		case op.edge.Kind.Static():
+			g.addStatic(op.edge)
+		default:
+			g.addPrekeyed(&op.edge, op.fromKeys, op.toKeys)
+		}
+	}
+}
+
+// addPrekeyed mirrors Add for a dynamic edge whose occurrence key
+// strings were already computed (outside the lock) by a Shard.
+func (g *Graph) addPrekeyed(e *fca.Edge, fromKeys, toKeys []occKeyStrings) {
+	seq := g.seq
+	g.seq++
+	k := edgeKey{
+		from: g.internFault(e.From),
+		to:   g.internFault(e.To),
+		kind: e.Kind,
+		test: g.internTest(e.Test),
+	}
+	if ref, ok := g.byKey[k]; ok && ref > 0 {
+		r := &g.dyn[ref-1]
+		nf, nt := len(r.fromOcc), len(r.toOcc)
+		r.fromOcc = g.mergePrekeyed(r.fromOcc, seq, e.FromState.Occ, fromKeys)
+		r.toOcc = g.mergePrekeyed(r.toOcc, seq, e.ToState.Occ, toKeys)
+		if len(r.fromOcc) > nf || len(r.toOcc) > nt {
+			r.lastSeq = seq
+		}
+		return
+	}
+	g.dyn = append(g.dyn, edgeRec{
+		from: k.from, to: k.to, kind: e.Kind,
+		fromClass: e.FromClass, toClass: e.ToClass,
+		test:      k.test,
+		fromDelay: e.FromState.DelayFault,
+		toDelay:   e.ToState.DelayFault,
+		firstSeq:  seq,
+		lastSeq:   seq,
+		fromOcc:   g.internPrekeyed(seq, e.FromState.Occ, fromKeys),
+		toOcc:     g.internPrekeyed(seq, e.ToState.Occ, toKeys),
+	})
+	g.byKey[k] = int32(len(g.dyn)) // +1 offset
+}
+
+// internPrekeyed is internOcc with the key strings supplied.
+func (g *Graph) internPrekeyed(seq int, occ []trace.Occurrence, keys []occKeyStrings) []occEntry {
+	if len(occ) == 0 {
+		return nil
+	}
+	out := make([]occEntry, len(occ))
+	for i, o := range occ {
+		out[i] = occEntry{seq: seq, occ: o, stackKey: g.internKey(keys[i].stack), fullKey: g.internKey(keys[i].full)}
+	}
+	return out
+}
+
+// mergePrekeyed is mergeInto with the key strings supplied: keys are
+// interned only for occurrences accepted under the cap, exactly as the
+// serial merge does, so intern-table order is unchanged.
+func (g *Graph) mergePrekeyed(dst []occEntry, seq int, occ []trace.Occurrence, keys []occKeyStrings) []occEntry {
+	for i, o := range occ {
+		if len(dst) >= trace.OccCap {
+			break
+		}
+		dst = append(dst, occEntry{seq: seq, occ: o, stackKey: g.internKey(keys[i].stack), fullKey: g.internKey(keys[i].full)})
+	}
+	return dst
+}

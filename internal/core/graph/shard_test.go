@@ -1,0 +1,107 @@
+package graph_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core/graph"
+)
+
+// TestMergeShardMatchesSerial pins the sharded-accumulation contract:
+// replaying per-worker shards into a graph in order produces the same
+// graph -- same deduplicated edges, same marks, and byte-identical JSON
+// (which pins the dense-id interning order, the part parallel insertion
+// would scramble first) -- as issuing the identical Add/Mark sequence
+// serially.
+func TestMergeShardMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for round := 0; round < 20; round++ {
+		edges := randomEdges(rng, 10+rng.Intn(150))
+
+		// Split the stream into experiment-sized chunks, each ending in a
+		// mark, exactly as ExecuteWave's workers would accumulate them.
+		serial := graph.New()
+		var shards []*graph.Shard
+		i := 0
+		for i < len(edges) {
+			n := 1 + rng.Intn(12)
+			if i+n > len(edges) {
+				n = len(edges) - i
+			}
+			chunk := edges[i : i+n]
+			i += n
+
+			for _, e := range chunk {
+				serial.Add(e)
+			}
+			serial.Mark()
+
+			var s graph.Shard
+			s.AddAll(chunk)
+			s.Mark()
+			shards = append(shards, &s)
+		}
+
+		merged := graph.New()
+		for _, s := range shards {
+			merged.MergeShard(s)
+		}
+
+		if !reflect.DeepEqual(merged.Edges(), serial.Edges()) {
+			t.Fatalf("round %d: merged edges diverge from serial", round)
+		}
+		if merged.Len() != serial.Len() || merged.NumKeys() != serial.NumKeys() {
+			t.Fatalf("round %d: sizes diverge: len %d/%d keys %d/%d",
+				round, merged.Len(), serial.Len(), merged.NumKeys(), serial.NumKeys())
+		}
+		sj, err := json.Marshal(serial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := json.Marshal(merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sj, mj) {
+			t.Fatalf("round %d: JSON serializations diverge (interning order?)", round)
+		}
+	}
+}
+
+// TestShardMarkOnlyKeepsAlignment pins the cancelled-experiment case: a
+// shard holding nothing but a mark still advances the merged graph's
+// round marks, so Prefix(n) stays aligned with the experiment count.
+func TestShardMarkOnlyKeepsAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	edges := randomEdges(rng, 8)
+
+	var full, empty graph.Shard
+	full.AddAll(edges)
+	full.Mark()
+	empty.Mark()
+
+	g := graph.New()
+	g.MergeShard(&full)
+	g.MergeShard(&empty)
+	g.MergeShard(&full)
+
+	want := graph.New()
+	for _, e := range edges {
+		want.Add(e)
+	}
+	want.Mark()
+	want.Mark()
+	for _, e := range edges {
+		want.Add(e)
+	}
+	want.Mark()
+
+	for n := 0; n <= 3; n++ {
+		if got, exp := g.Prefix(n).Len(), want.Prefix(n).Len(); got != exp {
+			t.Fatalf("Prefix(%d).Len() = %d, want %d", n, got, exp)
+		}
+	}
+}

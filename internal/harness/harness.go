@@ -10,11 +10,17 @@
 // magnitude sweep of a delay experiment) fan out across a bounded worker
 // pool; every run owns an independent sim.Engine, and results are merged
 // in deterministic (plan, seed-index) order, so a parallel campaign is
-// bit-identical to a serial one. Profile/TestsFor/read accessors may be
-// called from any goroutine, but Execute calls must be issued serially
-// (as the allocation protocols do): concurrent Execute calls would
-// interleave edge insertions between mark boundaries and corrupt the
-// Marks/GraphUpTo experiment-to-edge attribution.
+// bit-identical to a serial one. ExecuteWave additionally fans whole
+// experiments out across the pool: each experiment accumulates into a
+// private graph.Shard (no shared lock on the hot path) and the wave seal
+// merges the shards into the campaign graph in wave order, so the edge
+// stream, intern tables, mark boundaries, and observer event order are
+// byte-identical to serial execution. Profile/TestsFor/read accessors may
+// be called from any goroutine, but Execute (and ExecuteWave) calls must
+// be issued serially relative to each other (as the allocation protocols
+// do): concurrent calls would interleave edge insertions between mark
+// boundaries and corrupt the Marks/GraphUpTo experiment-to-edge
+// attribution.
 package harness
 
 import (
@@ -594,34 +600,155 @@ func (d *Driver) Execute(f faults.ID, test string) []faults.ID {
 	return intf
 }
 
-// ExecuteWave executes one scheduled wave of experiments in order --
-// each internally fanning its (magnitude x rep) grid across the worker
-// pool -- and returns the completed run records together with the causal-
-// graph delta the wave contributed: the new and evidence-extended edges
-// plus the fault ids they touch. The delta is the handoff artifact of the
+// ExecuteWave executes one scheduled wave of experiments -- each
+// internally fanning its (magnitude x rep) grid across the worker pool --
+// and returns the completed run records together with the causal-graph
+// delta the wave contributed: the new and evidence-extended edges plus
+// the fault ids they touch. The delta is the handoff artifact of the
 // anytime pipeline (incremental search, round observers); like everything
 // else the driver produces, it is deterministic for a given campaign
 // configuration, serial or parallel.
 //
-// Wave entries execute serially relative to each other (the Execute
-// contract: concurrent experiments would interleave edge insertions
-// between mark boundaries), so a wave-driven campaign accumulates exactly
-// the graph a blocking one does.
+// When the driver is parallel, the wave's experiments themselves execute
+// concurrently: each accumulates into a private graph.Shard (edges,
+// marks, and the precomputed occurrence intern keys -- no shared lock on
+// the hot path) and buffers its observer events. At wave seal the shards
+// are merged into the campaign graph in wave order and the buffered
+// events are replayed in the same order, so the raw edge sequence,
+// intern tables, mark boundaries, OccCap evidence merges, and the
+// observer/trace-export stream are all byte-identical to serial
+// execution. Serial drivers run the wave entries in order via Execute,
+// exactly as before.
 func (d *Driver) ExecuteWave(wave []alloc.PlannedRun) ([]alloc.RunRecord, graph.Delta) {
 	d.mu.Lock()
 	start := d.g.RawLen()
 	d.mu.Unlock()
 	recs := make([]alloc.RunRecord, len(wave))
+	if d.sem == nil || len(wave) <= 1 {
+		for i, pr := range wave {
+			recs[i] = alloc.RunRecord{
+				Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
+				Intf: d.Execute(pr.Fault, pr.Test),
+			}
+		}
+		d.mu.Lock()
+		delta := d.g.DeltaSince(start)
+		d.mu.Unlock()
+		return recs, delta
+	}
+	results := make([]*waveResult, len(wave))
+	d.each(len(wave), func(i int) {
+		results[i] = d.executeShard(wave[i].Fault, wave[i].Test)
+	})
+	d.mu.Lock()
+	for _, res := range results {
+		d.g.MergeShard(&res.shard)
+	}
+	delta := d.g.DeltaSince(start)
+	d.mu.Unlock()
 	for i, pr := range wave {
 		recs[i] = alloc.RunRecord{
 			Fault: pr.Fault, Test: pr.Test, Phase: pr.Phase,
-			Intf: d.Execute(pr.Fault, pr.Test),
+			Intf: results[i].intf,
+		}
+		d.emitWaveResult(results[i])
+	}
+	return recs, delta
+}
+
+// waveResult is one experiment's buffered outcome inside a parallel
+// wave: the private edge shard plus the observer events to replay --
+// in wave order, after the shard merge -- at wave seal.
+type waveResult struct {
+	fault faults.ID
+	test  string
+	intf  []faults.ID
+	shard graph.Shard
+	// edges holds the per-plan FCA edge batches in analysis order;
+	// executed is false for experiments skipped after cancellation
+	// (their empty mark still merges, but no events are emitted).
+	edges    [][]fca.Edge
+	executed bool
+}
+
+// executeShard is Execute's parallel-wave twin: the same run sets, FCA
+// analysis, and interference collection, but edges and the experiment
+// mark accumulate into a private shard (with occurrence intern keys
+// precomputed off-lock) and observer events are buffered instead of
+// emitted. The caller merges the shard and replays the events in
+// deterministic wave order.
+func (d *Driver) executeShard(f faults.ID, test string) *waveResult {
+	res := &waveResult{fault: f, test: test}
+	pt, ok := d.space.Lookup(f)
+	if !ok {
+		// Mirror Execute: unknown faults run nothing and leave no mark.
+		return res
+	}
+	w, wok := d.workloads[test]
+	if !wok {
+		panic(fmt.Sprintf("harness: unknown workload %q", test))
+	}
+	profile := d.Profile(test)
+
+	var plans []inject.Plan
+	var seeds [][]int64
+	if pt.Kind == faults.Loop {
+		for mi, mag := range d.cfg.DelayMagnitudes {
+			plans = append(plans, inject.PlanFor(pt, mag))
+			seeds = append(seeds, d.planSeeds(test, f, mi))
+		}
+	} else {
+		plans = append(plans, inject.PlanFor(pt, 0))
+		seeds = append(seeds, d.planSeeds(test, f, 0))
+	}
+	sets := d.runSets(w, plans, seeds)
+	defer d.releaseSets(sets)
+
+	if d.cancelled() {
+		res.shard.Mark()
+		return res
+	}
+
+	intfSet := make(map[faults.ID]bool)
+	for i, plan := range plans {
+		edges, add := fca.Analyze(d.space, plan, test, profile, sets[i], d.cfg.FCA)
+		res.shard.AddAll(edges)
+		res.edges = append(res.edges, edges)
+		for _, id := range add {
+			if !intfSet[id] {
+				intfSet[id] = true
+				res.intf = append(res.intf, id)
+			}
 		}
 	}
-	d.mu.Lock()
-	delta := d.g.DeltaSince(start)
-	d.mu.Unlock()
-	return recs, delta
+	sort.Slice(res.intf, func(i, j int) bool { return res.intf[i] < res.intf[j] })
+	res.shard.Mark()
+	res.executed = true
+	return res
+}
+
+// emitWaveResult replays one experiment's buffered observer events under
+// a single emitMu acquisition (the serial path takes it once per edge
+// batch plus once per experiment): per-edge discoveries in analysis
+// order, then the experiment summary. Event order across the wave equals
+// the serial emission order, so trace exports stay byte-identical.
+func (d *Driver) emitWaveResult(res *waveResult) {
+	if !res.executed {
+		return
+	}
+	d.emitMu.Lock()
+	defer d.emitMu.Unlock()
+	if d.obs == nil {
+		return
+	}
+	newEdges := 0
+	for _, batch := range res.edges {
+		for _, e := range batch {
+			d.obs.EdgeDiscovered(e)
+		}
+		newEdges += len(batch)
+	}
+	d.obs.ExperimentExecuted(res.fault, res.test, newEdges, len(res.intf))
 }
 
 // AdoptGraph replaces the driver's pristine accumulated graph with g --

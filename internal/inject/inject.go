@@ -148,7 +148,6 @@ func (rt *Runtime) Guard(p *sim.Proc, id faults.ID, cond bool) bool {
 		injected = true
 	}
 	if rt.Rec != nil {
-		rt.Rec.Cover(id, p.Now())
 		// Note: the guard's own outcome is deliberately NOT added to the
 		// frame's local branch trace. The compatibility check compares
 		// the context *around* a fault (the explicit monitor points of
@@ -156,11 +155,16 @@ func (rt *Runtime) Guard(p *sim.Proc, id faults.ID, cond bool) bool {
 		// activation trivially incompatible with natural ones, since
 		// injection forces the throw branch precisely when the natural
 		// condition is absent.
-		if injected {
+		switch {
+		case injected:
+			rt.Rec.Cover(id, p.Now())
 			rt.Rec.InjFired = true
 			rt.Rec.InjSite = rt.capture(p)
-		} else if cond {
-			rt.Rec.Activate(id, rt.capture(p))
+		case cond:
+			// Fused Cover+Activate: one dense lookup on the hot path.
+			rt.Rec.CoverActivate(id, p.Now(), rt.capture(p))
+		default:
+			rt.Rec.Cover(id, p.Now())
 		}
 	}
 	return cond || injected
@@ -186,16 +190,18 @@ func (rt *Runtime) Negate(p *sim.Proc, id faults.ID, v, errVal bool) bool {
 		out = !v
 	}
 	if rt.Rec != nil {
-		rt.Rec.Cover(id, p.Now())
+		if v == errVal {
+			// The detector observed the error on its own: a natural
+			// activation even under injection (which would mask it).
+			// Fused Cover+Activate: one dense lookup on the hot path.
+			rt.Rec.CoverActivate(id, p.Now(), rt.capture(p))
+		} else {
+			rt.Rec.Cover(id, p.Now())
+		}
 		if injected && !rt.negFired {
 			rt.negFired = true
 			rt.Rec.InjFired = true
 			rt.Rec.InjSite = rt.capture(p)
-		}
-		if v == errVal {
-			// The detector observed the error on its own: a natural
-			// activation even under injection (which would mask it).
-			rt.Rec.Activate(id, rt.capture(p))
 		}
 	}
 	return out
@@ -207,9 +213,12 @@ func (rt *Runtime) Negate(p *sim.Proc, id faults.ID, v, errVal bool) bool {
 // iteration, and applies the planned spinning delay.
 func (rt *Runtime) Loop(p *sim.Proc, id faults.ID) {
 	if rt.Rec != nil {
-		rt.Rec.Cover(id, p.Now())
-		rt.Rec.LoopIter(id)
-		rt.Rec.SeeLoop(id, trace.Occurrence{Stack: p.Stack()})
+		// Fused Cover+LoopIter (one dense lookup per iteration); the
+		// calling-context capture -- an interned-stack read plus a second
+		// lookup -- happens only on the first iteration of each loop.
+		if rt.Rec.LoopTick(id, p.Now()) {
+			rt.Rec.SeeLoop(id, trace.Occurrence{Stack: p.Stack()})
+		}
 		p.ResetLocalBranches()
 	}
 	if rt.Plan.Kind == Delay && rt.Plan.Target == id {

@@ -26,10 +26,20 @@ type subscriber struct {
 func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]
+	m.mu.Unlock()
 	if !ok {
-		m.mu.Unlock()
 		return nil, nil, errUnknownJob(id)
 	}
+	// Lock order: the per-job emit mutex strictly before the manager
+	// lock (publish and closeSubs do the same). Holding it across the
+	// backlog replay and the registration keeps per-subscriber event
+	// order intact: a concurrent publish either lands entirely before
+	// (its round is in the replayed backlog) or entirely after (the
+	// subscriber is registered and gets it live). Jobs are never removed
+	// from m.jobs, so the re-lock cannot lose j.
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
+	m.mu.Lock()
 	sub := &subscriber{ch: make(chan Event, m.cfg.SubBuffer)}
 	// Replay the backlog into the buffer. A backlog larger than the
 	// buffer degrades gracefully: the overflow counts as dropped rounds,
@@ -66,21 +76,31 @@ func (s *subscriber) offer(ev Event) bool {
 	}
 }
 
-// publish offers ev to every subscriber of j. The manager lock
-// serializes offers against Subscribe's backlog replay, so a subscriber
-// observes rounds in order; offers never block (see subscriber.offer),
-// so holding the lock is cheap.
+// publish offers ev to every subscriber of j. The per-job emit mutex
+// serializes offers against Subscribe's backlog replay (so a subscriber
+// observes rounds in order) and against closeSubs (so an offer never
+// races a channel close); the contended manager lock is held only long
+// enough to snapshot the subscriber list, and the fan-out itself runs
+// outside it -- subscriber activity can no longer extend the wave-seal
+// critical section that RoundCompleted and the API handlers share.
 func (m *Manager) publish(j *Job, ev Event) {
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, s := range j.subs {
+	subs := append([]*subscriber(nil), j.subs...)
+	m.mu.Unlock()
+	for _, s := range subs {
 		s.offer(ev)
 	}
 }
 
 // closeSubs closes every subscriber channel of a terminal job and
-// detaches them.
+// detaches them. Holding the emit mutex across the close excludes any
+// in-flight publish fan-out, which would otherwise offer on a closed
+// channel.
 func (m *Manager) closeSubs(j *Job) {
+	j.emitMu.Lock()
+	defer j.emitMu.Unlock()
 	m.mu.Lock()
 	subs := j.subs
 	j.subs = nil

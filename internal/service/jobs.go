@@ -132,8 +132,13 @@ type Job struct {
 	earlyStopped bool
 	sims         int
 
-	subs []*subscriber
-	done chan struct{}
+	// emitMu serializes event emission for this job: publish's fan-out,
+	// Subscribe's backlog replay, and closeSubs' channel closes. Lock
+	// order: emitMu strictly before Manager.mu. It exists so offers to
+	// subscriber channels happen outside the manager-wide lock.
+	emitMu sync.Mutex
+	subs   []*subscriber
+	done   chan struct{}
 }
 
 // Manager owns the job table, the run queue, and the shared worker pool.

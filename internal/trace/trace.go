@@ -204,6 +204,39 @@ func (r *Run) Activate(id faults.ID, occ Occurrence) {
 	}
 }
 
+// CoverActivate records coverage and a natural activation in one dense
+// id resolution: the fused form of Cover followed by Activate. The
+// dense lookup is the dominant cost of a hook that fires on every
+// monitored event, so the hot hooks (inject.Guard/Negate) use the fused
+// forms; recorded state is identical to the two separate calls.
+func (r *Run) CoverActivate(id faults.ID, at time.Duration, occ Occurrence) {
+	d := r.dense(id)
+	if !r.covered[d] {
+		r.covered[d] = true
+		r.reachAt[d] = at
+	}
+	r.reached[d]++
+	if len(r.occ[d]) < OccCap {
+		r.occ[d] = append(r.occ[d], occ)
+	}
+}
+
+// LoopTick records coverage and one loop iteration in a single dense id
+// resolution (the fused form of Cover + LoopIter) and reports whether
+// the loop's calling context has not been recorded yet -- so the caller
+// captures a stack and calls SeeLoop only once per (run, loop) instead
+// of paying the capture and a third lookup on every iteration. Recorded
+// state is identical to Cover + LoopIter + SeeLoop per iteration.
+func (r *Run) LoopTick(id faults.ID, at time.Duration) (needSite bool) {
+	d := r.dense(id)
+	if !r.covered[d] {
+		r.covered[d] = true
+		r.reachAt[d] = at
+	}
+	r.loopIters[d]++
+	return !r.loopSeen[d]
+}
+
 // LoopIter records one loop iteration.
 func (r *Run) LoopIter(id faults.ID) {
 	r.loopIters[r.dense(id)]++
